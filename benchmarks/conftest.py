@@ -1,0 +1,24 @@
+"""Benchmark fixtures: result artifact directory + shared traces."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+os.environ.setdefault("REPRO_SCALE", "small")
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_print(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered table/series and echo it to the terminal."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

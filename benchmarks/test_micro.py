@@ -1,0 +1,77 @@
+"""Microbenchmarks of the substrate (simulator, flow solver, planners).
+
+Not paper figures — these track the reproduction's own performance so
+regressions in the simulator or the planners are visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schedulers import DimensionExchangePlanner, TreeWalkPlanner
+from repro.machine import HypercubeTopology, Machine, MeshTopology, TreeTopology
+from repro.machine.event import Simulator
+from repro.optimal import optimal_redistribution
+
+
+def test_bench_simulator_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(1e-6, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_bench_message_round_trip(benchmark):
+    def ping_pong():
+        m = Machine(MeshTopology(4, 4), seed=0)
+        state = {"n": 0}
+
+        def pong(msg):
+            state["n"] += 1
+            if state["n"] < 500:
+                m.node(msg.dest).send(msg.src, "ball")
+
+        for r in range(16):
+            m.node(r).on("ball", pong)
+        m.node(0).send(15, "ball")
+        m.run()
+        return state["n"]
+
+    assert benchmark(ping_pong) >= 500
+
+
+def test_bench_min_cost_flow_mesh256(benchmark):
+    rng = np.random.default_rng(1)
+    topo = MeshTopology(16, 16)
+    loads = rng.integers(0, 50, size=256)
+
+    plan = benchmark(optimal_redistribution, topo, loads)
+    assert plan.cost >= 0
+
+
+def test_bench_tree_walk_planner(benchmark):
+    topo = TreeTopology(255)
+    rng = np.random.default_rng(2)
+    loads = rng.integers(0, 30, size=255)
+    planner = TreeWalkPlanner(topo)
+    plan = benchmark(planner.plan, loads)
+    assert int(plan.quotas.max()) - int(plan.quotas.min()) <= 1
+
+
+def test_bench_dem_planner(benchmark):
+    topo = HypercubeTopology(8)
+    rng = np.random.default_rng(3)
+    loads = rng.integers(0, 30, size=256)
+    planner = DimensionExchangePlanner(topo)
+    plan = benchmark(planner.plan, loads)
+    assert plan.quotas.sum() == loads.sum()

@@ -1,0 +1,75 @@
+"""Benchmark: Table I — strategy comparison on 32 processors.
+
+Regenerates the full nine-workload x four-strategy grid at the current
+scale (REPRO_SCALE=paper for the evaluation-section sizes) and checks
+the paper's ordinal claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_table1, table1_text
+
+from benchmarks.conftest import save_and_print
+
+
+@pytest.fixture(scope="module")
+def table1_metrics():
+    return run_table1(num_nodes=32)
+
+
+def test_table1_full_grid(benchmark, results_dir, table1_metrics):
+    # benchmark one representative re-run (queens row) and reuse the
+    # precomputed grid for the report
+    benchmark.pedantic(
+        lambda: run_table1(num_nodes=32, workload_keys=("gromos-8",)),
+        rounds=1,
+        iterations=1,
+    )
+    save_and_print(results_dir, "table1", table1_text(table1_metrics, 32))
+
+
+def _by(metrics, key_prefix, strategy):
+    out = [
+        m
+        for m in metrics
+        if m.workload.startswith(key_prefix) and m.strategy.startswith(strategy)
+    ]
+    return out
+
+
+def test_rips_has_best_locality_everywhere(table1_metrics):
+    """Paper: RIPS's non-local task count is far below every baseline."""
+    per_workload = {}
+    for m in table1_metrics:
+        per_workload.setdefault(m.workload, {})[
+            "RIPS" if m.strategy.startswith("RIPS") else m.strategy
+        ] = m
+    for wl, d in per_workload.items():
+        assert d["RIPS"].nonlocal_tasks <= d["random"].nonlocal_tasks, wl
+        assert d["RIPS"].nonlocal_tasks <= d["gradient"].nonlocal_tasks, wl
+
+
+def test_rips_efficiency_leads_on_large_problems(table1_metrics):
+    """Paper: the biggest instance of each family has RIPS on top (the
+    small instances are overhead-dominated, as the paper notes)."""
+    per_workload = {}
+    for m in table1_metrics:
+        per_workload.setdefault(m.workload, {})[
+            "RIPS" if m.strategy.startswith("RIPS") else m.strategy
+        ] = m
+    # the largest member of each family at the current scale
+    largest = [
+        wl for wl in per_workload
+        if wl.endswith("queens") and wl == max(
+            w for w in per_workload if w.endswith("queens")
+        )
+    ]
+    largest += [max(w for w in per_workload if w.startswith("gromos"))]
+    for wl in largest:
+        d = per_workload[wl]
+        for other in ("random", "gradient"):
+            assert d["RIPS"].efficiency >= 0.95 * d[other].efficiency, (
+                wl, other, d["RIPS"].efficiency, d[other].efficiency,
+            )

@@ -1,0 +1,23 @@
+"""Benchmark: Table II — optimal efficiencies for the test problems."""
+
+from __future__ import annotations
+
+from repro.experiments import run_table2, table2_text
+
+from benchmarks.conftest import save_and_print
+
+
+def test_table2_optimal_efficiencies(benchmark, results_dir):
+    values = benchmark.pedantic(
+        lambda: run_table2(num_nodes=32), rounds=1, iterations=1
+    )
+    save_and_print(results_dir, "table2", table2_text(values, 32))
+    assert len(values) == 9
+    for key, v in values.items():
+        assert 0.0 < v <= 1.0, key
+    # the paper's shape: GROMOS is nearly perfectly parallel; IDA* is
+    # capped well below the search workloads by iteration barriers
+    gromos = [v for k, v in values.items() if k.startswith("gromos")]
+    ida = [v for k, v in values.items() if k.startswith("ida")]
+    assert min(gromos) > 0.9
+    assert min(ida) < min(gromos)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Multi-timestep molecular dynamics under incremental scheduling.
+
+The paper's GROMOS workload, extended to several MD timesteps: each
+step's charge-group tasks start on whatever node ran them last (data
+locality), positions drift between steps, and RIPS incrementally
+corrects the resulting imbalance — the "incremental" in Runtime
+Incremental Parallel Scheduling.
+
+Compares all four strategies over a 4-step run on a 16-node mesh.
+
+Run:  python examples/molecular_dynamics.py
+"""
+
+from repro import (
+    GradientModel,
+    Machine,
+    MeshTopology,
+    RandomAllocation,
+    ReceiverInitiatedDiffusion,
+    RIPS,
+    run_trace,
+)
+from repro.apps import gromos_trace
+from repro.metrics import format_table
+
+
+def main() -> None:
+    trace = gromos_trace(
+        cutoff=8.0,
+        num_nodes=16,
+        timesteps=4,
+        n_atoms=2000,
+        n_groups=1200,
+    )
+    print(f"workload: {trace}")
+    print(f"  {trace.description}\n")
+
+    rows = []
+    for strategy in (
+        RandomAllocation(),
+        GradientModel(),
+        ReceiverInitiatedDiffusion(),
+        RIPS("lazy", "any"),
+    ):
+        machine = Machine(MeshTopology(4, 4), seed=7)
+        m = run_trace(trace, strategy, machine)
+        rows.append(
+            {
+                "strategy": m.strategy,
+                "T (s)": f"{m.T:.3f}",
+                "Th (ms)": f"{m.Th * 1e3:.1f}",
+                "Ti (ms)": f"{m.Ti * 1e3:.1f}",
+                "efficiency": f"{m.efficiency:.1%}",
+                "nonlocal": m.nonlocal_tasks,
+                "phases": m.system_phases or "-",
+            }
+        )
+    print(format_table(rows, title="4 MD timesteps on a 4x4 mesh"))
+    print(
+        "\nNote how RIPS keeps most tasks local across timesteps (the\n"
+        "previous step's placement is the starting point) while random\n"
+        "reassigns every task every step."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1`` / ``table2`` / ``table3`` / ``fig5``
+    Regenerate the paper's tables/figure from scratch and print them.
+``fig4``
+    Print the Figure-4 normalized-cost series.
+``run``
+    Run one workload under one strategy and print the metrics row.
+``workloads``
+    List the available workload keys at the chosen scale.
+
+All commands accept ``--scale {small,paper}`` (default: the
+``REPRO_SCALE`` environment variable, or ``small``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    STRATEGY_ORDER,
+    fig4_point,
+    fig5_text,
+    run_fig5,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_workload,
+    table1_text,
+    table2_text,
+    table3_text,
+    workload,
+    workloads,
+)
+from repro.experiments.fig4 import PAPER_SIZES, PAPER_WEIGHTS
+from repro.metrics import format_series, format_table, percent, seconds
+
+
+def _add_scale(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", choices=("small", "paper"), default=None,
+                   help="workload sizes (default: $REPRO_SCALE or small)")
+
+
+def _cmd_table1(args) -> int:
+    ms = run_table1(num_nodes=args.nodes, scale=args.scale)
+    print(table1_text(ms, args.nodes))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    print(table2_text(run_table2(num_nodes=args.nodes, scale=args.scale),
+                      args.nodes))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    ms = run_table3(num_nodes_list=tuple(args.nodes), scale=args.scale)
+    print(table3_text(ms))
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    print(fig5_text(run_fig5(num_nodes=args.nodes, scale=args.scale)))
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    sizes = args.sizes or list(PAPER_SIZES)
+    print("Figure 4: normalized communication cost of MWA, "
+          f"{args.cases} cases per point")
+    for n in sizes:
+        points = [fig4_point(n, w, cases=args.cases) for w in PAPER_WEIGHTS]
+        print(format_series(f"{n} procs", PAPER_WEIGHTS,
+                            [p.normalized_cost for p in points]))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    spec = workload(args.workload, args.scale)
+    m = run_workload(spec, args.strategy, num_nodes=args.nodes, seed=args.seed)
+    rows = [
+        {
+            "workload": spec.label,
+            "strategy": m.strategy,
+            "N": m.num_nodes,
+            "tasks": m.num_tasks,
+            "nonlocal": m.nonlocal_tasks,
+            "Th": seconds(m.Th),
+            "Ti": seconds(m.Ti),
+            "T": seconds(m.T),
+            "mu": percent(m.efficiency),
+            "speedup": f"{m.speedup:.1f}x",
+            "phases": m.system_phases or "-",
+        }
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_workloads(args) -> int:
+    rows = [
+        {"key": s.key, "label": s.label, "kind": s.kind}
+        for s in workloads(args.scale)
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="RIPS (Wu & Shu, SC'95) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="strategy comparison (Table I)")
+    _add_scale(p)
+    p.add_argument("--nodes", type=int, default=32)
+    p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser("table2", help="optimal efficiencies (Table II)")
+    _add_scale(p)
+    p.add_argument("--nodes", type=int, default=32)
+    p.set_defaults(fn=_cmd_table2)
+
+    p = sub.add_parser("table3", help="speedups on larger machines (Table III)")
+    _add_scale(p)
+    p.add_argument("--nodes", type=int, nargs="+", default=[64, 128])
+    p.set_defaults(fn=_cmd_table3)
+
+    p = sub.add_parser("fig4", help="MWA vs optimal transfer cost (Figure 4)")
+    p.add_argument("--cases", type=int, default=25)
+    p.add_argument("--sizes", type=int, nargs="*", default=None)
+    p.set_defaults(fn=_cmd_fig4)
+
+    p = sub.add_parser("fig5", help="normalized quality factors (Figure 5)")
+    _add_scale(p)
+    p.add_argument("--nodes", type=int, default=32)
+    p.set_defaults(fn=_cmd_fig5)
+
+    p = sub.add_parser("run", help="one workload under one strategy")
+    _add_scale(p)
+    p.add_argument("workload", help="workload key, e.g. queens-13 (see `workloads`)")
+    p.add_argument("strategy", choices=STRATEGY_ORDER)
+    p.add_argument("--nodes", type=int, default=32)
+    p.add_argument("--seed", type=int, default=1234)
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("workloads", help="list workload keys")
+    _add_scale(p)
+    p.set_defaults(fn=_cmd_workloads)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""The paper's three applications, regenerated as workload traces."""
+
+from .cache import cached_trace, clear_trace_cache, trace_cache_dir
+from .gromos import GromosConfig, gromos_trace, pair_counts
+from .idastar import IDAStarConfig, PAPER_CONFIGS, ida_star_sequential, idastar_trace
+from .molecule import Molecule, synthetic_sod
+from .nqueens import QueensConfig, count_solutions, nqueens_trace, solve_queens
+
+__all__ = [
+    "GromosConfig",
+    "IDAStarConfig",
+    "Molecule",
+    "PAPER_CONFIGS",
+    "QueensConfig",
+    "cached_trace",
+    "clear_trace_cache",
+    "count_solutions",
+    "gromos_trace",
+    "ida_star_sequential",
+    "idastar_trace",
+    "nqueens_trace",
+    "pair_counts",
+    "solve_queens",
+    "synthetic_sod",
+    "trace_cache_dir",
+]

@@ -1,0 +1,69 @@
+"""Disk cache for workload traces.
+
+Generating a trace means actually running the application (solving
+14-Queens takes ~10 s of real CPU), but the trace is a pure function of
+the application parameters — so we pickle it once and reuse it across
+strategies, machine sizes, test runs, and benchmark runs.  The cache
+directory defaults to ``<repo>/.trace_cache`` and can be moved with the
+``REPRO_TRACE_CACHE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Callable
+
+from repro.tasks.trace import WorkloadTrace
+
+__all__ = ["trace_cache_dir", "cached_trace", "clear_trace_cache"]
+
+_ENV_VAR = "REPRO_TRACE_CACHE"
+
+
+def trace_cache_dir() -> Path:
+    """Resolve (and create) the cache directory."""
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        path = Path(env)
+    else:
+        path = Path(__file__).resolve().parents[3] / ".trace_cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _key(name: str, params: dict) -> str:
+    blob = repr(sorted(params.items())).encode()
+    return f"{name}-{hashlib.sha256(blob).hexdigest()[:16]}"
+
+
+def cached_trace(
+    name: str, params: dict, build: Callable[[], WorkloadTrace]
+) -> WorkloadTrace:
+    """Return the cached trace for (name, params), building it if needed."""
+    path = trace_cache_dir() / (_key(name, params) + ".pkl")
+    if path.exists():
+        try:
+            with path.open("rb") as fh:
+                trace = pickle.load(fh)
+            if isinstance(trace, WorkloadTrace):
+                return trace
+        except Exception:
+            path.unlink(missing_ok=True)  # corrupt cache entry: rebuild
+    trace = build()
+    tmp = path.with_suffix(".tmp")
+    with tmp.open("wb") as fh:
+        pickle.dump(trace, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp.replace(path)
+    return trace
+
+
+def clear_trace_cache() -> int:
+    """Delete all cached traces; returns the number removed."""
+    removed = 0
+    for p in trace_cache_dir().glob("*.pkl"):
+        p.unlink()
+        removed += 1
+    return removed

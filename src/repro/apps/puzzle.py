@@ -1,0 +1,105 @@
+"""The 15-puzzle: board representation and Manhattan-distance heuristic.
+
+The board is a tuple of 16 ints; value 0 is the blank; the goal is
+``(1, 2, ..., 15, 0)``.  Everything IDA* needs — heuristic, move
+generation, solvability — lives here; the search itself is in
+:mod:`repro.apps.idastar`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "GOAL",
+    "manhattan",
+    "neighbors",
+    "is_solvable",
+    "random_walk_instance",
+    "apply_move",
+]
+
+SIDE = 4
+GOAL: tuple[int, ...] = tuple(list(range(1, 16)) + [0])
+
+#: goal position (row, col) of each tile value
+_GOAL_POS = {v: divmod(i, SIDE) for i, v in enumerate(GOAL)}
+
+# precomputed neighbor cells of each blank position
+_MOVES: list[tuple[int, ...]] = []
+for idx in range(16):
+    r, c = divmod(idx, SIDE)
+    opts = []
+    if r > 0:
+        opts.append(idx - SIDE)
+    if r < SIDE - 1:
+        opts.append(idx + SIDE)
+    if c > 0:
+        opts.append(idx - 1)
+    if c < SIDE - 1:
+        opts.append(idx + 1)
+    _MOVES.append(tuple(opts))
+
+
+def manhattan(board: Sequence[int]) -> int:
+    """Sum of Manhattan distances of all tiles to their goal cells.
+
+    Admissible and consistent — IDA* with this heuristic is optimal.
+    """
+    total = 0
+    for i, v in enumerate(board):
+        if v:
+            r, c = divmod(i, SIDE)
+            gr, gc = _GOAL_POS[v]
+            total += abs(r - gr) + abs(c - gc)
+    return total
+
+
+def apply_move(board: tuple[int, ...], blank: int, dest: int) -> tuple[int, ...]:
+    """Slide the tile at ``dest`` into the blank at ``blank``."""
+    lst = list(board)
+    lst[blank], lst[dest] = lst[dest], lst[blank]
+    return tuple(lst)
+
+
+def neighbors(board: tuple[int, ...]) -> Iterator[tuple[tuple[int, ...], int]]:
+    """Yield ``(next_board, moved_from)`` for every legal slide."""
+    blank = board.index(0)
+    for dest in _MOVES[blank]:
+        yield apply_move(board, blank, dest), dest
+
+
+def is_solvable(board: Sequence[int]) -> bool:
+    """Parity test: permutation parity + blank row distance must be even."""
+    perm = [v for v in board if v]
+    inversions = sum(
+        1
+        for i in range(len(perm))
+        for j in range(i + 1, len(perm))
+        if perm[i] > perm[j]
+    )
+    blank_row = board.index(0) // SIDE
+    # goal blank is at row 3; distance parity must match inversion parity
+    return (inversions + (SIDE - 1 - blank_row)) % 2 == 0
+
+
+def random_walk_instance(steps: int, seed: int) -> tuple[int, ...]:
+    """A solvable instance ``steps`` random slides away from the goal.
+
+    The optimal solution length is at most ``steps`` (usually less); the
+    walk avoids immediately undoing the previous move so the distance
+    grows close to linearly at first.
+    """
+    rng = np.random.default_rng(seed)
+    board = GOAL
+    prev_blank = -1
+    for _ in range(steps):
+        blank = board.index(0)
+        opts = [d for d in _MOVES[blank] if d != prev_blank]
+        dest = int(opts[rng.integers(len(opts))])
+        board = apply_move(board, blank, dest)
+        prev_blank = blank
+    assert is_solvable(board)
+    return board

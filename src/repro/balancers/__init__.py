@@ -1,0 +1,22 @@
+"""Load-balancing strategies: the runtime and the paper's baselines."""
+
+from .base import Driver, ExecutionConfig, RunMetrics, Strategy, Worker, run_trace
+from .gradient import GradientModel
+from .random_alloc import RandomAllocation
+from .rid import ReceiverInitiatedDiffusion
+from .sid import SenderInitiatedDiffusion
+from .static_pre import StaticPreschedule
+
+__all__ = [
+    "StaticPreschedule",
+    "Driver",
+    "ExecutionConfig",
+    "GradientModel",
+    "RandomAllocation",
+    "ReceiverInitiatedDiffusion",
+    "RunMetrics",
+    "SenderInitiatedDiffusion",
+    "Strategy",
+    "Worker",
+    "run_trace",
+]

@@ -1,0 +1,427 @@
+"""Execution runtime and the load-balancing strategy interface.
+
+A :class:`Driver` replays a :class:`~repro.tasks.trace.WorkloadTrace` on a
+:class:`~repro.machine.machine.Machine` under a :class:`Strategy`.  The
+driver owns the application-side mechanics that are identical across
+strategies — task execution on the node CPU, spawning, wave barriers,
+bookkeeping for the Table-I metrics — while the strategy decides *where
+tasks go*:
+
+* :meth:`Strategy.place_root` — initial placement of wave-0 roots;
+* :meth:`Strategy.place_child` — placement of a freshly spawned task;
+* :meth:`Strategy.on_task_complete` / :meth:`Strategy.on_idle` — hooks
+  where dynamic balancers (gradient, RID) and RIPS phase detection live.
+
+Metric definitions (matching Table I of the paper)
+---------------------------------------------------
+``T``   makespan in simulated seconds;
+``Th``  per-processor average CPU time in the ``overhead`` category
+        (message software overhead, task dispatch/creation, scheduling);
+``Ti``  per-processor average idle time, ``T - task_time - Th``;
+``mu``  efficiency ``Ts / (N * T)`` with ``Ts`` the sum of task work;
+``nonlocal`` number of tasks executed on a different node than the one
+        where they were created (locality measure).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.machine import (
+    Machine,
+    Message,
+    modeled_barrier_latency,
+    task_message_bytes,
+)
+from repro.tasks.trace import WorkloadTrace
+
+__all__ = ["ExecutionConfig", "RunMetrics", "Strategy", "Driver", "run_trace"]
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Costs of the runtime mechanics, charged as ``overhead`` CPU time."""
+
+    #: dequeue + dispatch cost paid before each task runs
+    task_start_overhead: float = 4e-6
+    #: cost of creating one child task (charged to the spawning node)
+    spawn_overhead: float = 6e-6
+    #: per-node cost of one scheduling decision step (strategy bookkeeping)
+    decision_overhead: float = 4e-6
+
+    def __post_init__(self) -> None:
+        for name in ("task_start_overhead", "spawn_overhead", "decision_overhead"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass
+class RunMetrics:
+    """Outcome of one scheduled run (one Table-I cell group)."""
+
+    workload: str
+    strategy: str
+    num_nodes: int
+    num_tasks: int
+    nonlocal_tasks: int
+    T: float
+    Th: float
+    Ti: float
+    efficiency: float
+    Ts: float
+    messages: int = 0
+    bytes: int = 0
+    task_hops: int = 0
+    system_phases: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return self.Ts / self.T if self.T > 0 else 0.0
+
+    def row(self) -> dict:
+        """Flat dict for table rendering."""
+        return {
+            "workload": self.workload,
+            "strategy": self.strategy,
+            "N": self.num_nodes,
+            "tasks": self.num_tasks,
+            "nonlocal": self.nonlocal_tasks,
+            "Th": self.Th,
+            "Ti": self.Ti,
+            "T": self.T,
+            "mu": self.efficiency,
+        }
+
+
+class Worker:
+    """Per-node task execution loop (the RTE queue plus the CPU driver)."""
+
+    def __init__(self, driver: "Driver", rank: int) -> None:
+        self.driver = driver
+        self.rank = rank
+        self.node = driver.machine.node(rank)
+        self.queue: deque[int] = deque()  # the RTE queue (task ids)
+        self.outstanding: Optional[int] = None  # task currently on the CPU
+        self.enabled = True  # RIPS pauses execution during system phases
+
+    # ------------------------------------------------------------------
+    @property
+    def load(self) -> int:
+        """Queue length plus the in-flight task (the RID load measure)."""
+        return len(self.queue) + (1 if self.outstanding is not None else 0)
+
+    @property
+    def rte_empty(self) -> bool:
+        """The paper's local transfer condition: nothing left to execute."""
+        return not self.queue and self.outstanding is None
+
+    def enqueue(self, tid: int, front: bool = False) -> None:
+        if front:
+            self.queue.appendleft(tid)
+        else:
+            self.queue.append(tid)
+
+    def take(self, k: int) -> list[int]:
+        """Remove up to ``k`` tasks from the back of the queue (for
+        migration; the back holds the coldest tasks)."""
+        out = []
+        for _ in range(min(k, len(self.queue))):
+            out.append(self.queue.pop())
+        return out
+
+    def drain(self) -> list[int]:
+        """Remove and return all queued tasks (system-phase collection)."""
+        out = list(self.queue)
+        self.queue.clear()
+        return out
+
+    # ------------------------------------------------------------------
+    def try_start(self) -> None:
+        """Start the next task if allowed; notify the strategy on idle."""
+        if self.outstanding is not None or not self.enabled:
+            return
+        if not self.queue:
+            self.driver.strategy.on_idle(self.rank)
+            return
+        tid = self.queue.popleft()
+        self.outstanding = tid
+        cfg = self.driver.config
+        self.node.exec_cpu(cfg.task_start_overhead, "overhead")
+        self.node.exec_cpu(
+            self.driver.trace.duration(tid), "task", lambda: self._complete(tid)
+        )
+
+    def _complete(self, tid: int) -> None:
+        self.outstanding = None
+        self.driver._task_finished(self.rank, tid)
+
+
+class Strategy(ABC):
+    """Where-do-tasks-go policy.  Subclasses: Random, Gradient, RID, RIPS."""
+
+    #: short name used in tables
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.driver: Optional[Driver] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, driver: "Driver") -> None:
+        self.driver = driver
+        for node in driver.machine.nodes:
+            node.on("task", self._on_task_message)
+        self.setup()
+
+    def setup(self) -> None:
+        """Register protocol message handlers; override as needed."""
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    @property
+    def machine(self) -> Machine:
+        assert self.driver is not None
+        return self.driver.machine
+
+    def worker(self, rank: int) -> Worker:
+        assert self.driver is not None
+        return self.driver.workers[rank]
+
+    def send_tasks(self, src: int, dest: int, tids: Sequence[int],
+                   front: bool = False) -> None:
+        """Migrate tasks ``src -> dest`` as one packed message."""
+        if not tids:
+            return
+        if src == dest:
+            w = self.worker(src)
+            for tid in tids:
+                w.enqueue(tid, front=front)
+            w.try_start()
+            return
+        trace = self.driver.trace
+        payload_bytes = sum(trace.task(t).data_bytes for t in tids)
+        self.machine.node(src).send(
+            dest, "task", (list(tids), front),
+            size=task_message_bytes(0) + payload_bytes,
+            tasks_carried=len(tids),
+        )
+
+    def _on_task_message(self, msg: Message) -> None:
+        tids, front = msg.payload
+        w = self.worker(msg.dest)
+        for tid in tids:
+            w.enqueue(tid, front=front)
+        self.on_tasks_received(msg.dest, tids)
+        w.try_start()
+
+    # ------------------------------------------------------------------
+    # decision hooks
+    # ------------------------------------------------------------------
+    def place_root(self, rank: int, tid: int) -> None:
+        """Place a wave-0 root that materialized on ``rank``.
+
+        Default: run where it lives.
+        """
+        w = self.worker(rank)
+        w.enqueue(tid)
+        w.try_start()
+
+    def place_child(self, rank: int, tid: int) -> None:
+        """Place a task freshly spawned on ``rank``.  Default: local."""
+        w = self.worker(rank)
+        w.enqueue(tid)
+
+    def place_released(self, rank: int, tid: int) -> None:
+        """Place a wave-barrier-released task residing on ``rank``."""
+        self.place_child(rank, tid)
+
+    def on_task_complete(self, rank: int, tid: int) -> None:
+        """Called after a task finished and its children were placed."""
+
+    def on_tasks_received(self, rank: int, tids: Sequence[int]) -> None:
+        """Called when migrated tasks arrive (before execution resumes)."""
+
+    def on_idle(self, rank: int) -> None:
+        """Called whenever ``rank`` has nothing to execute."""
+
+    def on_wave_released(self, wave: int) -> None:
+        """Called after all tasks of ``wave`` were made runnable."""
+
+    def on_workload_done(self) -> None:
+        """Called once when the last task of the last wave completed."""
+
+    # ------------------------------------------------------------------
+    def finalize_metrics(self, metrics: RunMetrics) -> None:
+        """Strategy-specific additions to the metrics (e.g. phase count)."""
+
+
+class Driver:
+    """Replays one workload trace under one strategy on one machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        trace: WorkloadTrace,
+        strategy: Strategy,
+        config: ExecutionConfig = ExecutionConfig(),
+    ) -> None:
+        self.machine = machine
+        self.trace = trace
+        self.strategy = strategy
+        self.config = config
+        self.workers = [Worker(self, r) for r in range(machine.num_nodes)]
+        n_tasks = len(trace)
+        self.created_at: list[int] = [-1] * n_tasks
+        self.executed_at: list[int] = [-1] * n_tasks
+        self._remaining = n_tasks
+        self._wave_remaining = [trace.wave_size(w) for w in range(trace.num_waves)]
+        self.current_wave = 0
+        # cross-wave children buffered at the node where their parent ran
+        self._held: list[list[tuple[int, int]]] = [
+            [] for _ in range(trace.num_waves)
+        ]  # per wave: list of (node, tid)
+        self.finished = False
+        strategy.bind(self)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Inject wave-0 roots at their homes and let the strategy place
+        them (for RIPS this immediately triggers the initial system
+        phase, cf. Figure 1: 'starts with a system phase')."""
+        for t in self.trace.roots:
+            rank = t.pinned if t.pinned is not None else (t.home or 0)
+            self._materialize(rank, t.id, root=True)
+
+    def _materialize(self, rank: int, tid: int, root: bool = False) -> None:
+        t = self.trace.task(tid)
+        if t.pinned is not None and rank != t.pinned:
+            # a pinned task spawned on a foreign node is routed home by
+            # the runtime (one task message), like any SPMD "run this on
+            # rank k" request
+            home = t.pinned
+            self.created_at[tid] = home
+            self.strategy.send_tasks(rank, home, [tid])
+            return
+        self.created_at[tid] = rank
+        if root:
+            self.strategy.place_root(rank, tid)
+        else:
+            self.strategy.place_child(rank, tid)
+
+    # ------------------------------------------------------------------
+    def _task_finished(self, rank: int, tid: int) -> None:
+        self.executed_at[tid] = rank
+        t = self.trace.task(tid)
+        same_wave = [c for c in t.children if self.trace.task(c).wave == t.wave]
+        later = [c for c in t.children if self.trace.task(c).wave != t.wave]
+        for c in later:
+            c_task = self.trace.task(c)
+            hold_rank = c_task.pinned if c_task.pinned is not None else rank
+            self._held[c_task.wave].append((hold_rank, c))
+        node = self.machine.node(rank)
+        if same_wave:
+            # Task creation costs CPU; the children are placed (and the
+            # completion hooks run) only after that cost has been paid —
+            # otherwise a strategy could observe "task done, no children"
+            # and wrongly conclude the node has drained.
+            cost = self.config.spawn_overhead * len(same_wave)
+            node.exec_cpu(cost, "overhead",
+                          lambda: self._finish_completion(rank, tid, same_wave))
+        else:
+            self._finish_completion(rank, tid, [])
+
+    def _finish_completion(self, rank: int, tid: int, children: list[int]) -> None:
+        for c in children:
+            self._materialize(rank, c)
+        t = self.trace.task(tid)
+        self._wave_remaining[t.wave] -= 1
+        self._remaining -= 1
+        self.strategy.on_task_complete(rank, tid)
+        self.workers[rank].try_start()
+        if self._wave_remaining[t.wave] == 0 and t.wave == self.current_wave:
+            self._advance_wave()
+
+    def _advance_wave(self) -> None:
+        if self._remaining == 0:
+            self.finished = True
+            self.strategy.on_workload_done()
+            return
+        self.current_wave += 1
+        wave = self.current_wave
+        held = self._held[wave]
+        # The wave barrier: charge one up-down tree synchronization before
+        # the next wave's tasks become runnable anywhere.
+        delay = modeled_barrier_latency(self.machine)
+        self.machine.sim.schedule(delay, self._release_wave, wave, held)
+
+    def _release_wave(self, wave: int, held: list[tuple[int, int]]) -> None:
+        for rank, tid in held:
+            self.created_at[tid] = rank
+            self.strategy.place_released(rank, tid)
+        self.strategy.on_wave_released(wave)
+        for rank, _tid in held:
+            self.workers[rank].try_start()
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunMetrics:
+        """Run to completion and compute the Table-I metrics."""
+        self.start()
+        self.machine.run()
+        if self._remaining != 0:
+            raise RuntimeError(
+                f"workload did not complete: {self._remaining} tasks stranded "
+                f"(strategy {self.strategy.name!r} deadlocked?)"
+            )
+        return self._metrics()
+
+    def _metrics(self) -> RunMetrics:
+        n = self.machine.num_nodes
+        T = self.machine.makespan()
+        Ts = self.trace.total_work_seconds()
+        task_time = self.machine.cpu_time("task")
+        Th = self.machine.cpu_time("overhead") / n
+        Ti = max(0.0, T - task_time / n - Th)
+        nonlocal_tasks = sum(
+            1
+            for c, e in zip(self.created_at, self.executed_at)
+            if c != e
+        )
+        stats = self.machine.network.stats
+        self_extra = {
+            "task_messages": stats.task_messages,
+            "packing_ratio": stats.packing_ratio,
+        }
+        m = RunMetrics(
+            workload=self.trace.name,
+            strategy=self.strategy.name,
+            num_nodes=n,
+            num_tasks=len(self.trace),
+            nonlocal_tasks=nonlocal_tasks,
+            T=T,
+            Th=Th,
+            Ti=Ti,
+            efficiency=Ts / (n * T) if T > 0 else 0.0,
+            Ts=Ts,
+            messages=stats.messages,
+            bytes=stats.bytes,
+            task_hops=stats.task_hops,
+            extra=self_extra,
+        )
+        self.strategy.finalize_metrics(m)
+        return m
+
+
+def run_trace(
+    trace: WorkloadTrace,
+    strategy: Strategy,
+    machine: Machine,
+    config: ExecutionConfig = ExecutionConfig(),
+) -> RunMetrics:
+    """Convenience one-shot runner."""
+    return Driver(machine, trace, strategy, config).run()

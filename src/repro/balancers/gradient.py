@@ -1,0 +1,142 @@
+"""The gradient model (Lin & Keller), one of the paper's comparisons.
+
+Every node is *light* when its load is at or below ``low_mark``.  Each
+node maintains a **proximity**: its distance to the nearest light node,
+computed relaxation-style from its neighbors —
+
+    proximity(i) = 0                         if i is light
+                   min_j proximity(j) + 1    over neighbors j, capped at
+                                             w_max (the network diameter)
+
+Proximity changes propagate to neighbors.  An overloaded node (load
+above ``high_mark``) that sees a neighbor with proximity below the cap
+sends one task down the gradient — one hop at a time, toward, not
+directly to, the nearest light node.  This hop-by-hop spreading is why
+the paper finds the gradient model slow to disperse deep imbalance
+("the load is spread slowly"): a task crosses one scheduling decision
+per hop, and the proximity map is always slightly stale.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.balancers.base import RunMetrics, Strategy
+from repro.machine import Message
+
+__all__ = ["GradientModel"]
+
+
+class GradientModel(Strategy):
+    """Gradient-model load balancing."""
+
+    name = "gradient"
+
+    def __init__(self, low_mark: int = 2, high_mark: int = 8) -> None:
+        super().__init__()
+        if low_mark < 0 or high_mark <= low_mark:
+            raise ValueError("need 0 <= low_mark < high_mark")
+        self.low_mark = low_mark
+        self.high_mark = high_mark
+        self.proximity_updates = 0
+
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        machine = self.machine
+        n = machine.num_nodes
+        self.cap = max(machine.topology.diameter(), 1)
+        #: own proximity per node
+        self.prox = [0] * n
+        #: neighbor proximity estimates: {neighbor: proximity}
+        self.nbr_prox = [
+            {j: 0 for j in machine.topology.neighbors(r)} for r in range(n)
+        ]
+        self._emitting = [False] * n
+        for node in machine.nodes:
+            node.on("grad.prox", self._on_prox)
+        # initial proximities are consistent: everyone starts light
+
+    # ------------------------------------------------------------------
+    # load-event hooks
+    # ------------------------------------------------------------------
+    def place_root(self, rank: int, tid: int) -> None:
+        super().place_root(rank, tid)
+        self._load_changed(rank)
+
+    def place_child(self, rank: int, tid: int) -> None:
+        super().place_child(rank, tid)
+        self._load_changed(rank)
+
+    def on_task_complete(self, rank: int, tid: int) -> None:
+        self._load_changed(rank)
+
+    def on_tasks_received(self, rank: int, tids: Sequence[int]) -> None:
+        self._load_changed(rank)
+
+    # ------------------------------------------------------------------
+    def _is_light(self, rank: int) -> bool:
+        return self.worker(rank).load <= self.low_mark
+
+    def _my_proximity(self, rank: int) -> int:
+        if self._is_light(rank):
+            return 0
+        nbrs = self.nbr_prox[rank]
+        best = min(nbrs.values(), default=self.cap)
+        return min(best + 1, self.cap)
+
+    def _load_changed(self, rank: int) -> None:
+        self._refresh_proximity(rank)
+        self._maybe_emit(rank)
+
+    def _refresh_proximity(self, rank: int) -> None:
+        new = self._my_proximity(rank)
+        if new != self.prox[rank]:
+            self.prox[rank] = new
+            self.proximity_updates += 1
+            node = self.machine.node(rank)
+            for j in self.nbr_prox[rank]:
+                node.send(j, "grad.prox", (rank, new))
+
+    def _on_prox(self, msg: Message) -> None:
+        rank = msg.dest
+        src, prox = msg.payload
+        self.nbr_prox[rank][src] = prox
+        self._refresh_proximity(rank)
+        self._maybe_emit(rank)
+
+    # ------------------------------------------------------------------
+    def _maybe_emit(self, rank: int) -> None:
+        """Send at most one task down the gradient per decision point.
+
+        One task per event is the defining trait of the gradient model
+        (and the reason the paper finds it spreads load slowly): each
+        migration is an independent decision against the current — and
+        always slightly stale — proximity map.
+        """
+        if self._emitting[rank]:
+            return
+        self._emitting[rank] = True
+        try:
+            w = self.worker(rank)
+            if w.load <= self.high_mark:
+                return
+            nbrs = self.nbr_prox[rank]
+            if not nbrs:
+                return
+            dest, best = min(nbrs.items(), key=lambda kv: (kv[1], kv[0]))
+            if best >= self.cap:
+                return  # no light node in sight
+            taken = w.take(1)
+            if not taken:
+                return
+            tid = taken[0]
+            if self.driver.trace.task(tid).pinned is not None:
+                w.enqueue(tid, front=True)  # pinned tasks never migrate
+                return
+            self.send_tasks(rank, dest, [tid])
+            self._refresh_proximity(rank)
+        finally:
+            self._emitting[rank] = False
+
+    def finalize_metrics(self, metrics: RunMetrics) -> None:
+        metrics.extra["proximity_updates"] = self.proximity_updates

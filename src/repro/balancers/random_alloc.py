@@ -1,0 +1,41 @@
+"""Randomized allocation — the paper's baseline dynamic scheduler.
+
+Every newly created task is sent to a uniformly random processor
+(including, with probability 1/N, the local one).  Statistically this
+balances well and it has nearly zero decision overhead, but locality is
+as bad as it gets: an expected fraction ``(N-1)/N`` of all tasks execute
+away from their birth node, and every one of them pays a message.
+
+The paper uses it both as a comparison point in Table I and as the
+normalization baseline of the quality factor (Figure 5).
+"""
+
+from __future__ import annotations
+
+from repro.balancers.base import Strategy
+
+__all__ = ["RandomAllocation"]
+
+
+class RandomAllocation(Strategy):
+    """Uniform random placement of every spawned task."""
+
+    name = "random"
+
+    def place_root(self, rank: int, tid: int) -> None:
+        self._scatter(rank, tid)
+
+    def place_child(self, rank: int, tid: int) -> None:
+        self._scatter(rank, tid)
+
+    def place_released(self, rank: int, tid: int) -> None:
+        self._scatter(rank, tid)
+
+    def _scatter(self, rank: int, tid: int) -> None:
+        if self.driver.trace.task(tid).pinned is not None:
+            w = self.worker(rank)
+            w.enqueue(tid)
+            w.try_start()
+            return
+        dest = int(self.machine.rng.integers(self.machine.num_nodes))
+        self.send_tasks(rank, dest, [tid])

@@ -1,0 +1,32 @@
+"""RIPS and the parallel scheduling algorithms (the paper's core)."""
+
+from .mwa import MWAResult, mwa_schedule, quotas_row_major
+from .mwa_protocol import MWAProtocolResult, run_mwa_protocol
+from .rips import GlobalPolicy, LocalPolicy, RIPS
+from .schedulers import (
+    DimensionExchangePlanner,
+    MeshWalkPlanner,
+    OptimalPlanner,
+    Planner,
+    RedistributionPlan,
+    TreeWalkPlanner,
+    default_planner,
+)
+
+__all__ = [
+    "DimensionExchangePlanner",
+    "GlobalPolicy",
+    "LocalPolicy",
+    "MWAProtocolResult",
+    "MWAResult",
+    "MeshWalkPlanner",
+    "OptimalPlanner",
+    "Planner",
+    "RIPS",
+    "RedistributionPlan",
+    "TreeWalkPlanner",
+    "default_planner",
+    "mwa_schedule",
+    "quotas_row_major",
+    "run_mwa_protocol",
+]

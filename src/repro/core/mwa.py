@@ -1,0 +1,293 @@
+"""The Mesh Walking Algorithm (MWA) — Section 3 of the paper.
+
+Given an ``n1 x n2`` mesh where node ``(i, j)`` holds ``w[i, j]`` equal-
+sized tasks, MWA redistributes tasks so that every node ends with its
+*quota* — ``floor(T/N)`` or ``floor(T/N)+1`` tasks, the ``+1`` going to
+the first ``T mod N`` nodes in row-major order.  The algorithm runs in
+``3(n1+n2)`` communication steps on the mesh:
+
+1. scan load vectors along each row;
+2. scan-with-sum down the last column to get the total ``T``; broadcast
+   ``wavg``/``R`` and spread the row prefix sums;
+3. every node computes its quota ``q[i,j]`` and the row-accumulated
+   quotas ``Q_i``;
+4. balance *between* rows: the cumulative flow across the boundary
+   between row ``i`` and ``i+1`` is ``y_i = t_i - Q_i`` (cumulative load
+   minus cumulative quota); each boundary's flow is carried column-wise,
+   allocated greedily left-to-right over the nodes' current excess
+   (the paper's ``delta``/``eta``/``gamma`` vectors);
+5. balance *within* each row by prefix flows (the ``z``/``v`` vectors).
+
+This module is the *array-level* implementation: it computes, exactly,
+the flows and final assignment the distributed algorithm produces, using
+vectorized NumPy where the data parallelism allows.  The message-level
+implementation on the simulated machine lives in
+:mod:`repro.core.mwa_protocol`; the two are checked against each other
+in the test suite.
+
+Guarantees reproduced here (and property-tested):
+
+* **Theorem 1** — final loads differ by at most one;
+* **Theorem 2** — the number of non-local tasks is the minimum
+  ``m = sum(wavg - w_j)`` over underloaded nodes ``j`` (when ``T`` is
+  divisible by ``N``);
+* **Lemma 2** — for <= 4 processors the total transfer cost
+  ``sum_k e_k`` is minimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MWAResult", "mwa_schedule", "quotas_row_major"]
+
+
+def quotas_row_major(n1: int, n2: int, total: int) -> np.ndarray:
+    """Per-node quotas: ``wavg`` everywhere, ``+1`` for the first
+    ``total mod N`` nodes in row-major order (paper, step 3)."""
+    n = n1 * n2
+    wavg, r = divmod(int(total), n)
+    q = np.full(n, wavg, dtype=np.int64)
+    q[:r] += 1
+    return q.reshape(n1, n2)
+
+
+@dataclass
+class MWAResult:
+    """Everything MWA decides for one scheduling round.
+
+    Attributes
+    ----------
+    quotas:
+        ``(n1, n2)`` final task count per node.
+    vflow:
+        ``(n1-1, n2)``; ``vflow[i, k]`` tasks cross the vertical edge
+        between ``(i, k)`` and ``(i+1, k)``; positive means downward
+        (row ``i`` to row ``i+1``).
+    hflow:
+        ``(n1, n2-1)``; ``hflow[i, j]`` tasks cross the horizontal edge
+        between ``(i, j)`` and ``(i, j+1)``; positive means rightward.
+    transfers:
+        Flow decomposition into end-to-end moves
+        ``(src_rank, dst_rank, count)``: ``src`` is overloaded, ``dst``
+        underloaded, and total hop-cost is preserved.
+    cost:
+        ``sum_k e_k``, total tasks crossing edges (the paper's objective).
+    nonlocal_tasks:
+        Tasks that leave their origin node, ``sum max(0, w - q)``.
+    """
+
+    quotas: np.ndarray
+    vflow: np.ndarray
+    hflow: np.ndarray
+    transfers: list[tuple[int, int, int]]
+    cost: int
+    nonlocal_tasks: int
+
+    @property
+    def comm_steps(self) -> int:
+        """The paper's step bound for the distributed algorithm."""
+        n1, n2 = self.quotas.shape
+        return 3 * (n1 + n2)
+
+
+def _row_allocation(excess: np.ndarray, amount: int,
+                    available: np.ndarray) -> np.ndarray:
+    """The paper's d/u-vector scan (step 4): allocate ``amount`` vertical
+    transfers over a row's columns.
+
+    ``excess[k]`` is the node's current surplus ``delta = w - q``;
+    ``available[k]`` is its actual task count (a node may ship below its
+    quota when the eta/gamma bookkeeping asks it to pass load through).
+
+    The recurrence (eta = remaining vertical need, gamma = unmet deficit
+    of the columns already scanned):
+
+        d_k = eta_k              if delta_k >  eta_k + gamma_k
+            = delta_k - gamma_k  if eta_k + gamma_k >= delta_k > gamma_k
+            = 0                  otherwise
+        gamma_{k+1} = gamma_k - (delta_k - d_k)
+        eta_{k+1}   = eta_k - d_k
+
+    The gamma term is what distinguishes this from a naive left-to-right
+    greedy: a column whose surplus is needed by underloaded columns to
+    its *left* holds tasks back, so the vertical transfer is sourced
+    from columns whose surplus would otherwise have to travel
+    horizontally — this is how MWA keeps the total task-hop count low.
+    """
+    n = excess.shape[0]
+    alloc = np.zeros_like(excess)
+    eta = int(amount)
+    gamma = 0
+    for k in range(n):
+        if eta == 0:
+            break
+        delta = int(excess[k])
+        if delta > eta + gamma:
+            d = eta
+        elif delta > gamma:
+            d = delta - gamma
+        else:
+            d = 0
+        d = max(0, min(d, eta, int(available[k])))
+        # gamma is "tasks needed by previous nodes" — never negative: a
+        # column's leftover surplus covers left deficits but cannot turn
+        # the left side into a phantom source (that would make nodes ship
+        # below quota and break the locality guarantee of Theorem 2).
+        gamma = max(0, gamma - (delta - d))
+        eta -= d
+        alloc[k] = d
+    if eta != 0:  # pragma: no cover - violates the paper's invariant
+        raise RuntimeError("row allocation infeasible: excess < amount")
+    return alloc
+
+
+def mwa_schedule(w: np.ndarray) -> MWAResult:
+    """Run MWA on a load matrix ``w`` of shape ``(n1, n2)``.
+
+    Returns the flows, the end-to-end transfer plan, and the cost
+    measures.  Pure function; ``w`` is not modified.
+    """
+    w = np.asarray(w)
+    if w.ndim != 2:
+        raise ValueError("w must be a 2-D (n1 x n2) load matrix")
+    if w.size == 0:
+        raise ValueError("empty mesh")
+    if np.any(w < 0):
+        raise ValueError("negative loads")
+    if not np.issubdtype(w.dtype, np.integer):
+        if not np.all(np.equal(np.mod(w, 1), 0)):
+            raise ValueError("loads must be integral")
+    w = w.astype(np.int64)
+    n1, n2 = w.shape
+    total = int(w.sum())
+
+    # Steps 1-3: scans and quota computation (vectorized: the data flow of
+    # the distributed scans is exactly a cumulative sum).
+    q = quotas_row_major(n1, n2, total)
+    s = w.sum(axis=1)  # per-row loads (step 2's s_i)
+    t = np.cumsum(s)  # cumulative loads (t_i)
+    Q = np.cumsum(q.sum(axis=1))  # row-accumulated quotas (Q_i)
+    y = t - Q  # boundary flows (step 4); y[n1-1] == 0
+
+    work = w.copy()
+    vflow = np.zeros((max(n1 - 1, 0), n2), dtype=np.int64)
+
+    # Step 4a: downward cascades, top to bottom.  Row i has already
+    # received everything from above when boundary i is processed.
+    for i in range(n1 - 1):
+        if y[i] > 0:
+            excess = work[i] - q[i]
+            d = _row_allocation(excess, int(y[i]), work[i])
+            work[i] -= d
+            work[i + 1] += d
+            vflow[i] += d
+
+    # Step 4b: upward cascades, bottom to top.
+    for i in range(n1 - 2, -1, -1):
+        if y[i] < 0:
+            excess = work[i + 1] - q[i + 1]
+            u = _row_allocation(excess, int(-y[i]), work[i + 1])
+            work[i + 1] -= u
+            work[i] += u
+            vflow[i] -= u
+
+    # Step 5: balance within each row by prefix flows (z/v vectors).
+    # g[i, j] = net flow across the edge between columns j and j+1 of
+    # row i; positive flows rightward.
+    diff = work - q
+    hflow = np.cumsum(diff, axis=1)[:, : n2 - 1] if n2 > 1 else np.zeros((n1, 0), dtype=np.int64)
+    final = work.copy()
+    if n2 > 1:
+        final[:, 0] -= hflow[:, 0]
+        for j in range(1, n2 - 1):
+            final[:, j] += hflow[:, j - 1] - hflow[:, j]
+        final[:, n2 - 1] += hflow[:, n2 - 2]
+    if not np.array_equal(final, q):  # pragma: no cover - internal check
+        raise RuntimeError("MWA did not reach the quota distribution")
+
+    cost = int(np.abs(vflow).sum() + np.abs(hflow).sum())
+    nonlocal_tasks = int(np.maximum(w - q, 0).sum())
+    transfers = _decompose_flows(w, q, vflow, hflow)
+    assert sum(c for _, _, c in transfers) == nonlocal_tasks
+    return MWAResult(
+        quotas=q,
+        vflow=vflow,
+        hflow=hflow,
+        transfers=transfers,
+        cost=cost,
+        nonlocal_tasks=nonlocal_tasks,
+    )
+
+
+def _decompose_flows(
+    w: np.ndarray, q: np.ndarray, vflow: np.ndarray, hflow: np.ndarray
+) -> list[tuple[int, int, int]]:
+    """Decompose the edge-flow field into end-to-end transfers.
+
+    The flow field is acyclic (each mesh boundary carries flow in one
+    direction only), so repeatedly walking from a surplus node along
+    positive-residual flow edges must terminate at a deficit node.  Each
+    walk moves the bottleneck amount; the number of walks is O(N).
+    """
+    n1, n2 = w.shape
+
+    def rank(i: int, j: int) -> int:
+        return i * n2 + j
+
+    # Residual out-flow per directed edge, keyed by (src_rank, dst_rank).
+    out: dict[int, dict[int, int]] = {}
+
+    def add_edge(a: int, b: int, amount: int) -> None:
+        if amount > 0:
+            out.setdefault(a, {})[b] = amount
+
+    for i in range(n1 - 1):
+        for k in range(n2):
+            f = int(vflow[i, k])
+            if f > 0:
+                add_edge(rank(i, k), rank(i + 1, k), f)
+            elif f < 0:
+                add_edge(rank(i + 1, k), rank(i, k), -f)
+    for i in range(n1):
+        for j in range(n2 - 1):
+            f = int(hflow[i, j])
+            if f > 0:
+                add_edge(rank(i, j), rank(i, j + 1), f)
+            elif f < 0:
+                add_edge(rank(i, j + 1), rank(i, j), -f)
+
+    surplus = (w - q).ravel().astype(int).tolist()
+    transfers: dict[tuple[int, int], int] = {}
+    for src in range(n1 * n2):
+        while surplus[src] > 0:
+            # walk along residual flow edges until a deficit node
+            path = [src]
+            node = src
+            while True:
+                edges = out.get(node)
+                assert edges, "flow conservation violated during decomposition"
+                nxt = next(iter(edges))
+                path.append(nxt)
+                node = nxt
+                if surplus[node] < 0:
+                    break
+            amount = min(
+                surplus[src],
+                -surplus[node],
+                *(out[a][b] for a, b in zip(path, path[1:])),
+            )
+            assert amount > 0
+            for a, b in zip(path, path[1:]):
+                out[a][b] -= amount
+                if out[a][b] == 0:
+                    del out[a][b]
+                    if not out[a]:
+                        del out[a]
+            surplus[src] -= amount
+            surplus[node] += amount
+            key = (src, node)
+            transfers[key] = transfers.get(key, 0) + amount
+    return [(a, b, c) for (a, b), c in sorted(transfers.items())]

@@ -1,0 +1,475 @@
+"""Message-level Mesh Walking Algorithm on the simulated machine.
+
+:mod:`repro.core.mwa` computes MWA's decisions array-level; this module
+runs the *actual distributed protocol* of Figure 3 — five steps of
+neighbor-to-neighbor messages on a mesh ``Machine`` — and is checked
+against the array version in the test suite (same final distribution,
+same edge flows) plus against the paper's ``3(n1+n2)`` communication-
+step bound.
+
+Protocol (per node ``(i, j)``, rank ``i*n2 + j``):
+
+1. **Row scan** — load prefix vectors travel left to right; the last
+   column learns its row's loads.
+2. **Column scan + spread** — row sums ``s_i`` and prefixes ``t_i``
+   travel down the last column; the corner computes ``wavg``/``R``;
+   the results travel back up the last column and leftward along every
+   row (the "broadcast and spread" of the paper, done mesh-style).
+3. **Quota computation** — purely local.
+4. **Vertical balancing** — per boundary ``i``: if ``y_i > 0`` the
+   eta/gamma scan pipelines along row ``i`` left to right, and every
+   node sends its ``d`` tasks to the node below (a ``d=0`` message
+   still travels so the receiver can proceed); symmetrically upward for
+   ``y_i < 0``.  Downward cascades wait on receives from above,
+   upward cascades on receives from below and on the node's own
+   downward send — the same ordering the array implementation uses.
+5. **Horizontal balancing** — a prefix scan of ``w - q`` along each
+   row, then task transfers between row neighbors, chunked by the
+   sender's current inventory (a node may have to wait for tasks
+   arriving from one side before it can forward to the other).
+
+The protocol moves task *counts* (its purpose is validating the
+algorithm and its cost; identity-carrying migration lives in the RIPS
+runtime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.machine import Machine, Message
+from repro.machine.topology import MeshTopology
+
+__all__ = ["MWAProtocolResult", "run_mwa_protocol"]
+
+#: wire size of a scan/control message (a few integers)
+CTRL_BYTES = 48
+
+
+@dataclass
+class MWAProtocolResult:
+    """Outcome of one distributed MWA round."""
+
+    final: np.ndarray  # (n1, n2) final task counts
+    quotas: np.ndarray  # (n1, n2) quota each node computed locally
+    vflow: np.ndarray  # (n1-1, n2) net tasks crossing each vertical edge
+    hflow: np.ndarray  # (n1, n2-1) net tasks crossing each horizontal edge
+    cost: int  # total task-edge crossings
+    messages: int
+    elapsed: float  # simulated seconds for the whole round
+
+
+@dataclass
+class _NodeState:
+    w: int = 0  # current task count
+    # step 1/2 knowledge
+    row_prefix: Optional[list[int]] = None  # loads of columns 0..j
+    s_i: Optional[int] = None
+    t_i: Optional[int] = None
+    t_prev: Optional[int] = None
+    wavg: Optional[int] = None
+    remainder: Optional[int] = None
+    # step 4 bookkeeping
+    recv_above_done: bool = False
+    recv_below_done: bool = False
+    down_sent: bool = False
+    up_sent: bool = False
+    down_scan: Optional[tuple[int, int]] = None  # (eta, gamma) from left
+    up_scan: Optional[tuple[int, int]] = None
+    # step 5 bookkeeping
+    h_prefix: Optional[int] = None  # sum of (w - q) for columns < j
+    out_right: int = 0
+    out_left: int = 0
+    in_left: int = 0  # remaining expected from the left
+    in_right: int = 0
+    # horizontal tasks that arrived before this node entered step 5
+    # (a fast neighbor may flush early); they offset in_left/in_right
+    early_left: int = 0
+    early_right: int = 0
+    step5_started: bool = False
+
+
+class _MWAProtocol:
+    """One protocol round; use :func:`run_mwa_protocol`."""
+
+    def __init__(self, machine: Machine, loads: np.ndarray) -> None:
+        topo = machine.topology
+        if not isinstance(topo, MeshTopology):
+            raise TypeError("the MWA protocol requires a MeshTopology machine")
+        self.machine = machine
+        self.mesh = topo
+        self.n1, self.n2 = topo.n1, topo.n2
+        loads = np.asarray(loads, dtype=np.int64)
+        if loads.shape != (self.n1, self.n2):
+            raise ValueError(f"loads must be ({self.n1}, {self.n2})")
+        if np.any(loads < 0):
+            raise ValueError("negative loads")
+        self.initial = loads.copy()
+        self.state = [
+            _NodeState(w=int(loads[i, j]))
+            for i in range(self.n1)
+            for j in range(self.n2)
+        ]
+        self.vflow = np.zeros((max(self.n1 - 1, 0), self.n2), dtype=np.int64)
+        self.hflow = np.zeros((self.n1, max(self.n2 - 1, 0)), dtype=np.int64)
+        for node in machine.nodes:
+            node.on("mwa.rowscan", self._on_rowscan)
+            node.on("mwa.colscan", self._on_colscan)
+            node.on("mwa.spread", self._on_spread)
+            node.on("mwa.down", self._on_down)
+            node.on("mwa.up", self._on_up)
+            node.on("mwa.hscan", self._on_hscan)
+            node.on("mwa.htask", self._on_htask)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def rank(self, i: int, j: int) -> int:
+        return self.mesh.rank_of(i, j)
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        return self.mesh.coords(rank)
+
+    def st(self, i: int, j: int) -> _NodeState:
+        return self.state[i * self.n2 + j]
+
+    def send(self, i: int, j: int, di: int, dj: int, kind: str, payload) -> None:
+        self.machine.node(self.rank(i, j)).send(
+            self.rank(i + di, j + dj), kind, payload, size=CTRL_BYTES
+        )
+
+    # ------------------------------------------------------------------
+    # step 1: row scans
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for i in range(self.n1):
+            st = self.st(i, 0)
+            st.row_prefix = [st.w]
+            if self.n2 > 1:
+                self.send(i, 0, 0, 1, "mwa.rowscan", [st.w])
+            else:
+                self._row_scan_done(i)
+
+    def _on_rowscan(self, msg: Message) -> None:
+        i, j = self.coords(msg.dest)
+        st = self.st(i, j)
+        st.row_prefix = list(msg.payload) + [st.w]
+        if j < self.n2 - 1:
+            self.send(i, j, 0, 1, "mwa.rowscan", st.row_prefix)
+        else:
+            self._row_scan_done(i)
+
+    # ------------------------------------------------------------------
+    # step 2: column scan down the last column, then spread back
+    # ------------------------------------------------------------------
+    def _row_scan_done(self, i: int) -> None:
+        st = self.st(i, self.n2 - 1)
+        st.s_i = sum(st.row_prefix)
+        if i == 0:
+            st.t_prev = 0
+            st.t_i = st.s_i
+            self._maybe_corner(i)
+            if self.n1 > 1:
+                self.send(i, self.n2 - 1, 1, 0, "mwa.colscan", st.t_i)
+        elif st.t_prev is not None:
+            self._col_absorb(i)
+
+    def _on_colscan(self, msg: Message) -> None:
+        i, _j = self.coords(msg.dest)
+        st = self.st(i, self.n2 - 1)
+        st.t_prev = int(msg.payload)
+        if st.s_i is not None:
+            self._col_absorb(i)
+
+    def _col_absorb(self, i: int) -> None:
+        st = self.st(i, self.n2 - 1)
+        st.t_i = st.t_prev + st.s_i
+        if i < self.n1 - 1:
+            self.send(i, self.n2 - 1, 1, 0, "mwa.colscan", st.t_i)
+        self._maybe_corner(i)
+
+    def _maybe_corner(self, i: int) -> None:
+        if i != self.n1 - 1:
+            return
+        st = self.st(i, self.n2 - 1)
+        total = st.t_i
+        wavg, r = divmod(int(total), self.n1 * self.n2)
+        # spread (wavg, R) up the last column; each last-column node then
+        # spreads leftward along its row together with (s_i, t_i, t_prev)
+        self._spread_row(i, wavg, r)
+        if i > 0:
+            self.send(i, self.n2 - 1, -1, 0, "mwa.spread", ("col", wavg, r))
+
+    def _on_spread(self, msg: Message) -> None:
+        i, j = self.coords(msg.dest)
+        tag = msg.payload[0]
+        if tag == "col":
+            _tag, wavg, r = msg.payload
+            self._spread_row(i, wavg, r)
+            if i > 0:
+                self.send(i, self.n2 - 1, -1, 0, "mwa.spread", msg.payload)
+        else:
+            _tag, wavg, r, s_i, t_i, t_prev = msg.payload
+            st = self.st(i, j)
+            st.wavg, st.remainder = wavg, r
+            st.s_i, st.t_i, st.t_prev = s_i, t_i, t_prev
+            if j > 0:
+                self.send(i, j, 0, -1, "mwa.spread", msg.payload)
+            self._enter_step4(i, j)
+
+    def _spread_row(self, i: int, wavg: int, r: int) -> None:
+        st = self.st(i, self.n2 - 1)
+        st.wavg, st.remainder = wavg, r
+        payload = ("row", wavg, r, st.s_i, st.t_i, st.t_prev)
+        if self.n2 > 1:
+            self.send(i, self.n2 - 1, 0, -1, "mwa.spread", payload)
+        self._enter_step4(i, self.n2 - 1)
+
+    # ------------------------------------------------------------------
+    # step 3 (local) + step 4 gating
+    # ------------------------------------------------------------------
+    def _quota(self, i: int, j: int) -> int:
+        st = self.st(i, j)
+        rank = i * self.n2 + j
+        return st.wavg + (1 if rank < st.remainder else 0)
+
+    def _Q(self, i: int, st: _NodeState) -> int:
+        """Row-accumulated quota of rows 0..i — pure arithmetic from the
+        (wavg, R) values ``st``'s node received in the spread."""
+        upto = (i + 1) * self.n2  # ranks at or above this row boundary
+        return st.wavg * upto + min(upto, st.remainder)
+
+    def _enter_step4(self, i: int, j: int) -> None:
+        st = self.st(i, j)
+        y_here = st.t_i - self._Q(i, st)
+        y_above = (st.t_prev - self._Q(i - 1, st)) if i > 0 else 0
+        if i > 0 and y_above > 0:
+            pass  # wait for mwa.down from above
+        else:
+            st.recv_above_done = True
+        if i < self.n1 - 1 and y_here < 0:
+            pass  # wait for mwa.up from below
+        else:
+            st.recv_below_done = True
+        # kick off scans at column 0
+        if j == 0:
+            if y_here > 0:
+                st.down_scan = (y_here, 0)
+            if i > 0 and y_above < 0:
+                st.up_scan = (-y_above, 0)
+        self._try_step4(i, j)
+
+    def _try_step4(self, i: int, j: int) -> None:
+        st = self.st(i, j)
+        if st.wavg is None:
+            return
+        y_here = st.t_i - self._Q(i, st)
+        y_above = (st.t_prev - self._Q(i - 1, st)) if i > 0 else 0
+        # --- downward send (boundary i, y_i > 0) ---
+        if (
+            y_here > 0
+            and not st.down_sent
+            and st.down_scan is not None
+            and st.recv_above_done
+        ):
+            eta, gamma = st.down_scan
+            q = self._quota(i, j)
+            delta = st.w - q
+            if delta > eta + gamma:
+                d = eta
+            elif delta > gamma:
+                d = delta - gamma
+            else:
+                d = 0
+            d = max(0, min(d, eta, st.w))
+            gamma = max(0, gamma - (delta - d))
+            eta -= d
+            st.down_sent = True
+            st.w -= d
+            self.vflow[i, j] += d
+            self.send(i, j, 1, 0, "mwa.down", d)
+            if j < self.n2 - 1:
+                nxt = self.st(i, j + 1)
+                nxt.down_scan = (eta, gamma)
+                self.send(i, j, 0, 1, "mwa.hscan", ("dscan", eta, gamma))
+        # --- upward send (boundary i-1, y_{i-1} < 0) ---
+        down_ok = (y_here <= 0) or st.down_sent
+        if (
+            i > 0
+            and y_above < 0
+            and not st.up_sent
+            and st.up_scan is not None
+            and st.recv_below_done
+            and down_ok
+        ):
+            eta, gamma = st.up_scan
+            q = self._quota(i, j)
+            delta = st.w - q
+            if delta > eta + gamma:
+                u = eta
+            elif delta > gamma:
+                u = delta - gamma
+            else:
+                u = 0
+            u = max(0, min(u, eta, st.w))
+            gamma = max(0, gamma - (delta - u))
+            eta -= u
+            st.up_sent = True
+            st.w -= u
+            self.vflow[i - 1, j] -= u
+            self.send(i, j, -1, 0, "mwa.up", u)
+            if j < self.n2 - 1:
+                nxt = self.st(i, j + 1)
+                nxt.up_scan = (eta, gamma)
+                self.send(i, j, 0, 1, "mwa.hscan", ("uscan", eta, gamma))
+        self._maybe_start_step5(i, j)
+
+    def _on_down(self, msg: Message) -> None:
+        i, j = self.coords(msg.dest)
+        st = self.st(i, j)
+        st.w += int(msg.payload)
+        st.recv_above_done = True
+        self._try_step4(i, j)
+
+    def _on_up(self, msg: Message) -> None:
+        i, j = self.coords(msg.dest)
+        st = self.st(i, j)
+        st.w += int(msg.payload)
+        st.recv_below_done = True
+        self._try_step4(i, j)
+
+    def _on_hscan(self, msg: Message) -> None:
+        i, j = self.coords(msg.dest)
+        st = self.st(i, j)
+        tag = msg.payload[0]
+        if tag == "dscan":
+            st.down_scan = (msg.payload[1], msg.payload[2])
+            self._try_step4(i, j)
+        elif tag == "uscan":
+            st.up_scan = (msg.payload[1], msg.payload[2])
+            self._try_step4(i, j)
+        else:  # step-5 prefix scan
+            st.h_prefix = int(msg.payload[1])
+            self._maybe_start_step5(i, j)
+
+    # ------------------------------------------------------------------
+    # step 5: horizontal prefix flows
+    # ------------------------------------------------------------------
+    def _step4_settled(self, i: int, j: int) -> bool:
+        st = self.st(i, j)
+        if st.wavg is None:
+            return False
+        y_here = st.t_i - self._Q(i, st)
+        y_above = (st.t_prev - self._Q(i - 1, st)) if i > 0 else 0
+        if not st.recv_above_done or not st.recv_below_done:
+            return False
+        if y_here > 0 and not st.down_sent:
+            return False
+        if i > 0 and y_above < 0 and not st.up_sent:
+            return False
+        return True
+
+    def _maybe_start_step5(self, i: int, j: int) -> None:
+        st = self.st(i, j)
+        if st.step5_started or not self._step4_settled(i, j):
+            return
+        if j > 0 and st.h_prefix is None:
+            return  # prefix scan has not reached us yet
+        st.step5_started = True
+        prefix = st.h_prefix or 0
+        q = self._quota(i, j)
+        # the scan is defined over post-step-4 loads; any step-5 chunks
+        # that already slipped in must not distort the prefix arithmetic
+        w4 = st.w - st.early_left - st.early_right
+        v = prefix + (w4 - q)  # net flow to the right of us
+        z = prefix  # net flow entering from our left edge
+        if j < self.n2 - 1:
+            self.send(i, j, 0, 1, "mwa.hscan", ("hpre", v))
+        st.out_right = max(v, 0) if j < self.n2 - 1 else 0
+        st.out_left = max(-z, 0) if j > 0 else 0
+        st.in_left = max(max(z, 0) - st.early_left, 0) if j > 0 else 0
+        st.in_right = max(max(-v, 0) - st.early_right, 0) if j < self.n2 - 1 else 0
+        st.early_left = st.early_right = 0
+        self._flush(i, j)
+
+    def _flush(self, i: int, j: int) -> None:
+        """Ship as much pending horizontal flow as inventory allows."""
+        st = self.st(i, j)
+        if not st.step5_started:
+            return
+        q = self._quota(i, j)
+        while st.out_right + st.out_left > 0:
+            # ship only what will not dip below the quota we must end
+            # with, accounting for tasks still owed to us from neighbors
+            available = st.w - max(0, q - st.in_left - st.in_right)
+            if available <= 0:
+                break
+            if st.out_right > 0:
+                chunk = min(st.out_right, available)
+                st.out_right -= chunk
+                st.w -= chunk
+                self.hflow[i, j] += chunk
+                self.send(i, j, 0, 1, "mwa.htask", chunk)
+            elif st.out_left > 0:
+                chunk = min(st.out_left, available)
+                st.out_left -= chunk
+                st.w -= chunk
+                self.hflow[i, j - 1] -= chunk
+                self.send(i, j, 0, -1, "mwa.htask", chunk)
+
+    def _on_htask(self, msg: Message) -> None:
+        i, j = self.coords(msg.dest)
+        src_i, src_j = self.coords(msg.src)
+        st = self.st(i, j)
+        amount = int(msg.payload)
+        st.w += amount
+        from_left = src_j < j
+        if not st.step5_started:
+            # neighbor flushed before we even computed our prefix; count
+            # it so the expected-in bookkeeping starts consistent
+            if from_left:
+                st.early_left += amount
+            else:
+                st.early_right += amount
+            return
+        if from_left:
+            st.in_left -= amount
+        else:
+            st.in_right -= amount
+        self._flush(i, j)
+
+    # ------------------------------------------------------------------
+    def result(self) -> MWAProtocolResult:
+        final = np.array([s.w for s in self.state], dtype=np.int64).reshape(
+            self.n1, self.n2
+        )
+        quotas = np.array(
+            [self._quota(i, j) for i in range(self.n1) for j in range(self.n2)],
+            dtype=np.int64,
+        ).reshape(self.n1, self.n2)
+        cost = int(np.abs(self.vflow).sum() + np.abs(self.hflow).sum())
+        return MWAProtocolResult(
+            final=final,
+            quotas=quotas,
+            vflow=self.vflow,
+            hflow=self.hflow,
+            cost=cost,
+            messages=self.machine.network.stats.messages,
+            elapsed=self.machine.sim.now,
+        )
+
+
+def run_mwa_protocol(machine: Machine, loads: np.ndarray) -> MWAProtocolResult:
+    """Run one full distributed MWA round on ``machine`` and return the
+    outcome.  The machine must be freshly constructed (the protocol owns
+    its message kinds) with a :class:`MeshTopology`."""
+    proto = _MWAProtocol(machine, loads)
+    proto.start()
+    machine.run()
+    res = proto.result()
+    if not np.array_equal(res.final, res.quotas):  # pragma: no cover
+        raise RuntimeError("distributed MWA did not converge to the quotas")
+    return res

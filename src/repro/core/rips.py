@@ -1,0 +1,442 @@
+"""Runtime Incremental Parallel Scheduling — the paper's contribution.
+
+Execution alternates between **user phases** (nodes execute tasks from
+their RTE queues, newly generated tasks accumulate) and **system phases**
+(all processors cooperatively rebalance).  This module implements the
+full protocol of Section 2 on the simulated machine, with every policy
+combination of the paper:
+
+local policy (``EAGER`` / ``LAZY``)
+    Eager keeps two queues: generated tasks enter the ready-to-schedule
+    (RTS) queue and *must* pass a system phase before execution.  Lazy
+    uses a single RTE queue; tasks may be generated and executed on the
+    same node without ever being scheduled — only the leftovers of a
+    phase transfer get scheduled.
+
+global policy (``ALL`` / ``ANY``)
+    ALL transfers to the system phase when *every* node has drained its
+    RTE queue, detected by the ready-signal tree of Section 2 (a node
+    signals its parent once it and all its children are ready; the root
+    broadcasts *init*).  ANY transfers as soon as *one* node drains,
+    that node broadcasting *init* itself (the or-barrier/eureka pattern);
+    duplicate initiators are suppressed by the phase index.
+
+System phase protocol (per phase ``p``):
+
+1. *init(p)* reaches a node: it finishes its current task (no
+   preemption), pauses execution, moves leftover RTE tasks (plus the
+   whole RTS queue under eager) into its scheduling pool, and
+   contributes its pool size to a load gather up the spanning tree.
+2. The root runs the redistribution planner (MWA on a mesh) on the load
+   vector and sends every node its *plan*: final quota, expected
+   incoming count, and an outgoing transfer list.
+3. Nodes send packed task messages straight to their destinations —
+   preferring to forward tasks that are already non-local, which is what
+   makes MWA's locality guarantee (Theorem 2) hold end-to-end — and
+   resume the user phase once all expected tasks have arrived.
+4. If the gathered total is zero the root broadcasts *sleep* (more
+   waves pending) or *done* (workload finished) instead of plans.
+
+The planner decisions are computed array-level (:mod:`repro.core.mwa`);
+the message-level MWA protocol in :mod:`repro.core.mwa_protocol` is
+validated against it.  The gather/plan/migrate message exchange above is
+fully simulated, so detection cost, scheduling cost, and migration cost
+all land in the measured overhead ``Th`` exactly like the paper's.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.balancers.base import RunMetrics, Strategy
+from repro.machine import BinomialBroadcast, GatherTree, Message
+from .schedulers import Planner, default_planner
+
+__all__ = ["LocalPolicy", "GlobalPolicy", "RIPS"]
+
+
+class LocalPolicy(str, enum.Enum):
+    """When must a task pass a system phase before executing?"""
+
+    EAGER = "eager"
+    LAZY = "lazy"
+
+
+class GlobalPolicy(str, enum.Enum):
+    """How many nodes must satisfy the local condition to switch phase?"""
+
+    ALL = "all"
+    ANY = "any"
+
+
+class _Mode(enum.Enum):
+    USER = enum.auto()
+    STOPPING = enum.auto()  # init seen, finishing the current task
+    SYSTEM = enum.auto()  # contributed, waiting for plan / migrations
+    DONE = enum.auto()
+
+
+@dataclass
+class _NodeState:
+    mode: _Mode = _Mode.USER
+    completed_phase: int = 0  # last system phase this node finished
+    target_phase: int = 0  # phase currently being executed (mode SYSTEM)
+    pending_init: int = 0  # init seen while still in a system phase
+    rts: list[int] = field(default_factory=list)  # eager's RTS queue
+    pool: list[int] = field(default_factory=list)  # tasks being scheduled
+    pinned_hold: list[int] = field(default_factory=list)
+    incoming_expected: int = 0
+    incoming_got: int = 0
+    plan_received: bool = False
+    initiated_phase: int = 0  # ANY: last phase this node initiated
+    ready_sent_phase: int = 0  # ALL: last phase we signalled up the tree
+    # ALL: per-target-phase count of ready children subtrees (a child may
+    # signal readiness for phase p+1 while we are still completing p)
+    ready_counts: dict[int, int] = field(default_factory=dict)
+    asleep: bool = False  # suppress triggers until new tasks appear
+
+
+class RIPS(Strategy):
+    """Runtime Incremental Parallel Scheduling."""
+
+    def __init__(
+        self,
+        local_policy: LocalPolicy | str = LocalPolicy.LAZY,
+        global_policy: GlobalPolicy | str = GlobalPolicy.ANY,
+        planner: Optional[Planner] = None,
+        plan_compute_per_node: float = 1e-6,
+    ) -> None:
+        super().__init__()
+        self.local_policy = LocalPolicy(local_policy)
+        self.global_policy = GlobalPolicy(global_policy)
+        self._planner = planner
+        self.plan_compute_per_node = plan_compute_per_node
+        self.name = f"RIPS-{self.global_policy.value}-{self.local_policy.value}"
+        # stats
+        self.num_phases = 0
+        self.migrated_tasks = 0
+        self.plan_cost_total = 0
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        machine = self.machine
+        if self._planner is None:
+            self._planner = default_planner(machine.topology)
+        self.states = [_NodeState() for _ in range(machine.num_nodes)]
+        self._bcast_init = BinomialBroadcast(machine, "rips.init", self._on_init)
+        self._bcast_ctrl = BinomialBroadcast(machine, "rips.ctrl", self._on_ctrl)
+        self._gather = GatherTree(
+            machine,
+            "rips.load",
+            combine=lambda a, b: {**a, **b},
+            on_result=self._on_loads_gathered,
+            root=0,
+        )
+        self._tree_parent, self._tree_children = machine.topology.spanning_tree(0)
+        for node in machine.nodes:
+            node.on("rips.ready", self._on_ready)
+            node.on("rips.plan", self._on_plan)
+        self._initial_phase_requested = False
+
+    # ------------------------------------------------------------------
+    # placement hooks (driver side)
+    # ------------------------------------------------------------------
+    def place_root(self, rank: int, tid: int) -> None:
+        """Wave-0 roots wait in the pool for the initial system phase
+        (Figure 1: a RIPS run *starts* with a system phase)."""
+        st = self.states[rank]
+        if self.driver.trace.task(tid).pinned is not None:
+            self.worker(rank).enqueue(tid)
+        else:
+            st.rts.append(tid)
+        if not self._initial_phase_requested:
+            self._initial_phase_requested = True
+            # fire the very first init from rank 0 at t=0
+            self.machine.sim.schedule(0.0, self._initiate, 0)
+
+    def place_child(self, rank: int, tid: int) -> None:
+        st = self.states[rank]
+        pinned = self.driver.trace.task(tid).pinned is not None
+        if pinned:
+            self.worker(rank).enqueue(tid)
+        elif self.local_policy is LocalPolicy.EAGER:
+            st.rts.append(tid)
+        else:
+            self.worker(rank).enqueue(tid)
+        if st.asleep and not pinned:
+            # New reschedulable work in a quiescent system: wake everyone
+            # with a fresh system phase so the work gets scheduled, not
+            # hoarded.  (A pinned task cannot migrate, so it just runs
+            # here — waking the machine for it would loop: the gather
+            # would still see zero schedulable tasks.)
+            st.asleep = False
+            if st.mode is _Mode.USER:
+                self._initiate(rank)
+
+    def place_released(self, rank: int, tid: int) -> None:
+        # Wave-barrier-released tasks behave like freshly generated ones.
+        self.place_child(rank, tid)
+
+    def on_wave_released(self, wave: int) -> None:
+        """A new wave appeared: schedule it with a fresh system phase."""
+        self._initiate(0)
+
+    # ------------------------------------------------------------------
+    # user-phase triggers
+    # ------------------------------------------------------------------
+    def on_task_complete(self, rank: int, tid: int) -> None:
+        st = self.states[rank]
+        if st.mode is _Mode.STOPPING and self.worker(rank).outstanding is None:
+            self._enter_system_phase(rank)
+
+    def on_idle(self, rank: int) -> None:
+        st = self.states[rank]
+        if st.mode is not _Mode.USER or st.asleep:
+            return
+        if self.global_policy is GlobalPolicy.ANY:
+            if st.initiated_phase <= st.completed_phase:
+                st.initiated_phase = st.completed_phase + 1
+                # Randomized backoff before broadcasting init: when many
+                # nodes drain at once (common right after a phase hands a
+                # few nodes zero tasks), all of them would flood the mesh
+                # with redundant init broadcasts.  A short stagger lets
+                # the first broadcast suppress the rest — the software
+                # stand-in for the Cray T3D eureka or-barrier the paper
+                # recommends for the ANY policy.
+                lat = self.machine.latency
+                horizon = 2.0 * self.machine.topology.diameter() * lat.per_hop
+                delay = float(self.machine.rng.uniform(0.0, horizon))
+                self.machine.sim.schedule(
+                    delay, self._initiate_if_still_needed, rank,
+                    st.initiated_phase,
+                )
+        else:
+            self._maybe_send_ready(rank)
+
+    def _initiate_if_still_needed(self, rank: int, phase: int) -> None:
+        st = self.states[rank]
+        if (
+            st.mode is _Mode.USER
+            and not st.asleep
+            and st.completed_phase + 1 == phase
+            and self.worker(rank).rte_empty
+        ):
+            self._initiate(rank)
+
+    def _initiate(self, rank: int) -> None:
+        st = self.states[rank]
+        self._bcast_init.broadcast(rank, st.completed_phase + 1)
+
+    # ------------------------------------------------------------------
+    # ALL policy: the ready-signal tree
+    # ------------------------------------------------------------------
+    def _maybe_send_ready(self, rank: int) -> None:
+        st = self.states[rank]
+        if st.mode is not _Mode.USER or st.asleep:
+            return
+        target = st.completed_phase + 1
+        if st.ready_sent_phase >= target:
+            return
+        if not self.worker(rank).rte_empty:
+            return
+        if st.ready_counts.get(target, 0) < len(self._tree_children[rank]):
+            return
+        st.ready_sent_phase = target
+        if rank == 0:
+            self._initiate(0)
+        else:
+            self.machine.node(rank).send(
+                self._tree_parent[rank], "rips.ready", target
+            )
+
+    def _on_ready(self, msg: Message) -> None:
+        st = self.states[msg.dest]
+        target = msg.payload
+        st.ready_counts[target] = st.ready_counts.get(target, 0) + 1
+        self._maybe_send_ready(msg.dest)
+
+    # ------------------------------------------------------------------
+    # phase switch: init -> stop -> contribute
+    # ------------------------------------------------------------------
+    def _on_init(self, rank: int, phase: int) -> None:
+        st = self.states[rank]
+        if st.mode is _Mode.DONE or phase <= st.completed_phase:
+            return
+        if st.mode in (_Mode.SYSTEM, _Mode.STOPPING):
+            # still completing the previous system phase; remember the init
+            if phase > st.target_phase:
+                st.pending_init = max(st.pending_init, phase)
+            return
+        st.mode = _Mode.STOPPING
+        st.target_phase = phase
+        worker = self.worker(rank)
+        worker.enabled = False
+        if worker.outstanding is None:
+            self._enter_system_phase(rank)
+        # else: on_task_complete finishes the stop
+
+    def _enter_system_phase(self, rank: int) -> None:
+        st = self.states[rank]
+        worker = self.worker(rank)
+        st.mode = _Mode.SYSTEM
+        st.incoming_expected = 0
+        st.incoming_got = 0
+        st.plan_received = False
+        # Collect every reschedulable task: leftover RTE + (eager) RTS.
+        leftovers = worker.drain()
+        pool: list[int] = []
+        trace = self.driver.trace
+        for tid in leftovers + st.rts:
+            if trace.task(tid).pinned is not None:
+                st.pinned_hold.append(tid)
+            else:
+                pool.append(tid)
+        st.rts.clear()
+        st.pool = pool
+        self._gather.contribute(rank, st.target_phase, {rank: len(pool)})
+
+    # ------------------------------------------------------------------
+    # root: plan and distribute
+    # ------------------------------------------------------------------
+    def _on_loads_gathered(self, phase: int, loads_by_rank: dict[int, int]) -> None:
+        machine = self.machine
+        n = machine.num_nodes
+        loads = np.zeros(n, dtype=np.int64)
+        for r, c in loads_by_rank.items():
+            loads[r] = c
+        total = int(loads.sum())
+        root = machine.node(0)
+        if total == 0:
+            kind = "done" if self.driver.finished else "sleep"
+            root.exec_cpu(
+                self.plan_compute_per_node, "overhead",
+                lambda: self._bcast_ctrl.broadcast(0, (phase, kind)),
+            )
+            return
+        plan = self._planner.plan(loads)
+        self.num_phases += 1
+        self.migrated_tasks += sum(c for (_s, _d, c) in plan.transfers)
+        self.plan_cost_total += plan.cost
+        outgoing: dict[int, list[tuple[int, int]]] = {r: [] for r in range(n)}
+        incoming = [0] * n
+        for (s, d, c) in plan.transfers:
+            outgoing[s].append((d, c))
+            incoming[d] += c
+
+        def send_plans() -> None:
+            for r in range(n):
+                root.send(
+                    r, "rips.plan",
+                    (phase, outgoing[r], incoming[r]),
+                    size=32 + 12 * len(outgoing[r]),
+                )
+
+        # planner computation charged at the root (the array-level stand-in
+        # for the distributed 3(n1+n2)-step algorithm; see DESIGN.md)
+        root.exec_cpu(self.plan_compute_per_node * n, "overhead", send_plans)
+
+    def _on_ctrl(self, rank: int, payload: tuple[int, str]) -> None:
+        phase, kind = payload
+        st = self.states[rank]
+        if phase < st.target_phase or st.mode is _Mode.DONE:
+            return
+        if kind == "done":
+            st.mode = _Mode.DONE
+            st.completed_phase = phase
+            return
+        # sleep: resume the user phase quiescently
+        st.asleep = True
+        self._resume(rank, phase)
+
+    # ------------------------------------------------------------------
+    # node: execute the plan
+    # ------------------------------------------------------------------
+    def _on_plan(self, msg: Message) -> None:
+        phase, outgoing, incoming = msg.payload
+        rank = msg.dest
+        st = self.states[rank]
+        if st.mode is not _Mode.SYSTEM or phase != st.target_phase:
+            raise RuntimeError(
+                f"node {rank}: unexpected plan for phase {phase} in {st.mode}"
+            )
+        st.plan_received = True
+        st.incoming_expected = incoming
+        created_at = self.driver.created_at
+        # Prefer forwarding tasks that are already non-local so that local
+        # tasks stay local (this realizes Theorem 2's bound end-to-end).
+        st.pool.sort(key=lambda tid: 0 if created_at[tid] != rank else 1)
+        for dest, count in outgoing:
+            batch = st.pool[:count]
+            del st.pool[:count]
+            if len(batch) != count:  # pragma: no cover - plan is consistent
+                raise RuntimeError("plan asked for more tasks than pooled")
+            self.send_tasks(rank, dest, batch)
+        self._maybe_resume(rank)
+
+    def on_tasks_received(self, rank: int, tids: Sequence[int]) -> None:
+        st = self.states[rank]
+        if st.mode is _Mode.SYSTEM:
+            st.incoming_got += len(tids)
+            self._maybe_resume(rank)
+        else:
+            st.asleep = False
+
+    def _maybe_resume(self, rank: int) -> None:
+        st = self.states[rank]
+        if st.mode is _Mode.SYSTEM and st.plan_received and \
+                st.incoming_got >= st.incoming_expected:
+            st.asleep = False
+            self._resume(rank, st.target_phase)
+
+    def _resume(self, rank: int, phase: int) -> None:
+        st = self.states[rank]
+        worker = self.worker(rank)
+        # Everything left in the pool plus pinned tasks re-enter the RTE
+        # queue; migrated-in tasks were enqueued on arrival.
+        for tid in st.pinned_hold:
+            worker.enqueue(tid, front=True)
+        for tid in st.pool:
+            worker.enqueue(tid)
+        st.pinned_hold.clear()
+        st.pool = []
+        st.completed_phase = phase
+        st.target_phase = phase
+        st.mode = _Mode.USER
+        for p in [p for p in st.ready_counts if p <= phase]:
+            del st.ready_counts[p]
+        worker.enabled = True
+        pending = st.pending_init
+        st.pending_init = 0
+        if pending > phase:
+            self._on_init(rank, pending)
+            return
+        trace = self.driver.trace
+        reschedulable = bool(st.rts) or any(
+            trace.task(tid).pinned is None for tid in worker.queue
+        )
+        if st.asleep and reschedulable:
+            # Went to sleep while reschedulable work slipped in (late
+            # spawns): reschedule.  Pinned tasks do not count — they run
+            # locally below and cannot be redistributed anyway.
+            st.asleep = False
+            self._initiate(rank)
+            return
+        worker.try_start()
+        # A node that came out of the phase with nothing to do triggers the
+        # next transfer (unless the whole system was put to sleep).
+        if worker.rte_empty and not st.asleep:
+            self.on_idle(rank)
+
+    # ------------------------------------------------------------------
+    def finalize_metrics(self, metrics: RunMetrics) -> None:
+        metrics.system_phases = self.num_phases
+        metrics.extra["migrated_tasks"] = self.migrated_tasks
+        metrics.extra["plan_cost_total"] = self.plan_cost_total
+        metrics.extra["local_policy"] = self.local_policy.value
+        metrics.extra["global_policy"] = self.global_policy.value

@@ -1,0 +1,304 @@
+"""Redistribution planners: the system-phase scheduling algorithms.
+
+A planner answers one question for a system phase: given the task count
+``w_r`` at every rank, what does each node end with (quota) and which
+end-to-end transfers realize it?  RIPS (Section 3) uses the Mesh Walking
+Algorithm on meshes and the paper points at tree/hypercube variants
+([25], [32]); we implement all of them plus the min-cost-flow optimum
+(used for ablations) behind one interface:
+
+``plan(loads) -> RedistributionPlan`` with ``quotas`` and ``transfers``
+(a list of ``(src, dst, count)``); transfer *cost* is the paper's
+``sum_k e_k`` objective.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.topology import (
+    HypercubeTopology,
+    MeshTopology,
+    Topology,
+    TreeTopology,
+)
+from .mwa import mwa_schedule, quotas_row_major
+
+__all__ = [
+    "RedistributionPlan",
+    "Planner",
+    "MeshWalkPlanner",
+    "TreeWalkPlanner",
+    "DimensionExchangePlanner",
+    "OptimalPlanner",
+    "default_planner",
+]
+
+
+@dataclass
+class RedistributionPlan:
+    """Outcome of one planning round."""
+
+    quotas: np.ndarray  # (N,) final task count per rank
+    transfers: list[tuple[int, int, int]]  # (src, dst, count)
+    cost: int  # task-edge crossings (sum_k e_k)
+    comm_steps: int  # communication steps of the distributed algorithm
+
+    def outgoing(self, rank: int) -> list[tuple[int, int]]:
+        """``(dest, count)`` list for one source rank."""
+        return [(d, c) for (s, d, c) in self.transfers if s == rank]
+
+    def incoming_count(self, rank: int) -> int:
+        return sum(c for (_s, d, c) in self.transfers if d == rank)
+
+
+class Planner(ABC):
+    """Base class of the system-phase scheduling algorithms."""
+
+    name: str = "abstract"
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+
+    @abstractmethod
+    def plan(self, loads: np.ndarray) -> RedistributionPlan:
+        """Compute the redistribution for a rank-indexed load vector."""
+
+    def _check(self, loads: np.ndarray) -> np.ndarray:
+        w = np.asarray(loads, dtype=np.int64)
+        if w.shape != (self.topology.num_nodes,):
+            raise ValueError(
+                f"loads must have shape ({self.topology.num_nodes},)"
+            )
+        if np.any(w < 0):
+            raise ValueError("negative loads")
+        return w
+
+
+def _decompose_edge_flows(
+    num_nodes: int,
+    surplus: np.ndarray,
+    flows: dict[tuple[int, int], int],
+) -> list[tuple[int, int, int]]:
+    """Generic acyclic flow decomposition into (src, dst, count) moves.
+
+    ``flows`` maps directed edges to positive amounts; the field must
+    conserve flow against ``surplus`` and contain no directed cycles.
+    """
+    out: dict[int, dict[int, int]] = {}
+    for (a, b), f in flows.items():
+        if f > 0:
+            out.setdefault(a, {})[b] = f
+    bal = surplus.astype(int).tolist()
+    transfers: dict[tuple[int, int], int] = {}
+    for src in range(num_nodes):
+        while bal[src] > 0:
+            path = [src]
+            node = src
+            while bal[node] >= 0 or node == src:
+                edges = out.get(node)
+                if not edges:
+                    raise RuntimeError("flow conservation violated")
+                node = next(iter(edges))
+                path.append(node)
+                if bal[node] < 0:
+                    break
+            amount = min(
+                bal[src], -bal[node],
+                *(out[a][b] for a, b in zip(path, path[1:])),
+            )
+            for a, b in zip(path, path[1:]):
+                out[a][b] -= amount
+                if out[a][b] == 0:
+                    del out[a][b]
+                    if not out[a]:
+                        del out[a]
+            bal[src] -= amount
+            bal[node] += amount
+            key = (src, node)
+            transfers[key] = transfers.get(key, 0) + amount
+    return [(a, b, c) for (a, b), c in sorted(transfers.items())]
+
+
+class MeshWalkPlanner(Planner):
+    """The paper's Mesh Walking Algorithm (see :mod:`repro.core.mwa`)."""
+
+    name = "mwa"
+
+    def __init__(self, topology: Topology) -> None:
+        if not isinstance(topology, MeshTopology):
+            raise TypeError("MeshWalkPlanner requires a MeshTopology")
+        super().__init__(topology)
+
+    def plan(self, loads: np.ndarray) -> RedistributionPlan:
+        w = self._check(loads)
+        mesh: MeshTopology = self.topology  # type: ignore[assignment]
+        res = mwa_schedule(w.reshape(mesh.n1, mesh.n2))
+        return RedistributionPlan(
+            quotas=res.quotas.ravel(),
+            transfers=res.transfers,
+            cost=res.cost,
+            comm_steps=res.comm_steps,
+        )
+
+
+class TreeWalkPlanner(Planner):
+    """Optimal redistribution on a tree (the paper's reference [25]).
+
+    On a tree the optimal flow is forced: the flow across the edge above
+    node ``v`` equals the subtree's surplus.  Runs in two sweeps; the
+    distributed version takes O(tree height) communication steps.
+    """
+
+    name = "treewalk"
+
+    def __init__(self, topology: Topology) -> None:
+        if not isinstance(topology, TreeTopology):
+            raise TypeError("TreeWalkPlanner requires a TreeTopology")
+        super().__init__(topology)
+
+    def plan(self, loads: np.ndarray) -> RedistributionPlan:
+        w = self._check(loads)
+        tree: TreeTopology = self.topology  # type: ignore[assignment]
+        n = tree.num_nodes
+        q = quotas_row_major(1, n, int(w.sum())).ravel()
+        surplus = w - q
+        # subtree surplus via reverse-rank order (children have larger rank)
+        sub = surplus.astype(np.int64).copy()
+        for v in range(n - 1, 0, -1):
+            sub[tree.parent(v)] += sub[v]
+        flows: dict[tuple[int, int], int] = {}
+        cost = 0
+        for v in range(1, n):
+            p = tree.parent(v)
+            f = int(sub[v])  # >0: v sends up; <0: parent sends down
+            if f > 0:
+                flows[(v, p)] = f
+            elif f < 0:
+                flows[(p, v)] = -f
+            cost += abs(f)
+        transfers = _decompose_edge_flows(n, surplus, flows)
+        height = max(len(tree._ancestors(v)) for v in range(n)) - 1
+        return RedistributionPlan(
+            quotas=q, transfers=transfers, cost=cost,
+            comm_steps=3 * max(height, 1),
+        )
+
+
+class DimensionExchangePlanner(Planner):
+    """Cybenko's dimension-exchange method on a hypercube (reference [8]).
+
+    In round ``b`` every node pair differing in bit ``b`` equalizes their
+    (aggregate) loads.  We run it on exact integer counts: the pair
+    member with the lower rank keeps the ceiling.  DEM does *not* reach
+    the row-major quota vector and can move more tasks than necessary —
+    the redundancy the paper criticizes; the ablation benchmark
+    quantifies it.
+    """
+
+    name = "dem"
+
+    def __init__(self, topology: Topology) -> None:
+        if not isinstance(topology, HypercubeTopology):
+            raise TypeError("DimensionExchangePlanner requires a HypercubeTopology")
+        super().__init__(topology)
+
+    def plan(self, loads: np.ndarray) -> RedistributionPlan:
+        w = self._check(loads)
+        cube: HypercubeTopology = self.topology  # type: ignore[assignment]
+        n = cube.num_nodes
+        cur = w.astype(np.int64).copy()
+        flows: dict[tuple[int, int], int] = {}
+        cost = 0
+        for b in range(cube.dim):
+            bit = 1 << b
+            for r in range(n):
+                mate = r ^ bit
+                if r > mate:
+                    continue
+                total = int(cur[r] + cur[mate])
+                keep_low = (total + 1) // 2
+                delta = int(cur[r]) - keep_low  # >0: r sends to mate
+                if delta > 0:
+                    flows[(r, mate)] = flows.get((r, mate), 0) + delta
+                elif delta < 0:
+                    flows[(mate, r)] = flows.get((mate, r), 0) - delta
+                cost += abs(delta)
+                cur[r] = keep_low
+                cur[mate] = total - keep_low
+        # net the per-edge flows (opposite directions cancel)
+        net: dict[tuple[int, int], int] = {}
+        for (a, b_), f in flows.items():
+            rev = net.pop((b_, a), 0)
+            if rev > f:
+                net[(b_, a)] = rev - f
+            elif f > rev:
+                net[(a, b_)] = f - rev
+        surplus = w - cur
+        transfers = _decompose_edge_flows(n, surplus, net)
+        return RedistributionPlan(
+            quotas=cur, transfers=transfers, cost=cost,
+            comm_steps=cube.dim,
+        )
+
+
+class OptimalPlanner(Planner):
+    """Min-cost-flow optimal redistribution (ablation reference).
+
+    Not a realistic runtime algorithm (the paper: "This high complexity
+    is not realistic for runtime scheduling") but the gold standard the
+    others are measured against.
+    """
+
+    name = "optimal"
+
+    def plan(self, loads: np.ndarray) -> RedistributionPlan:
+        w = self._check(loads)
+        n = self.topology.num_nodes
+        q = quotas_row_major(1, n, int(w.sum())).ravel()
+        flows: dict[tuple[int, int], int] = {}
+        # optimal_redistribution only reports undirected edge totals; we
+        # need directions for the decomposition, so solve here directly.
+        from repro.optimal.mincostflow import INF, MinCostFlow
+
+        g = MinCostFlow(n + 2)
+        s, t = n, n + 1
+        edge_arcs = []
+        for (u, v) in self.topology.edges():
+            e1 = g.add_edge(u, v, INF, 1)
+            e2 = g.add_edge(v, u, INF, 1)
+            edge_arcs.append((u, v, e1, e2))
+        surplus = w - q
+        for i in range(n):
+            if surplus[i] > 0:
+                g.add_edge(s, i, int(surplus[i]), 0)
+            elif surplus[i] < 0:
+                g.add_edge(i, t, int(-surplus[i]), 0)
+        res = g.solve(s, t)
+        for (u, v, e1, e2) in edge_arcs:
+            f1, f2 = res.edge_flows[e1], res.edge_flows[e2]
+            net = f1 - f2
+            if net > 0:
+                flows[(u, v)] = net
+            elif net < 0:
+                flows[(v, u)] = -net
+        transfers = _decompose_edge_flows(n, surplus, flows)
+        return RedistributionPlan(
+            quotas=q, transfers=transfers, cost=res.cost,
+            comm_steps=0,
+        )
+
+
+def default_planner(topology: Topology) -> Planner:
+    """Pick the paper-appropriate planner for a topology."""
+    if isinstance(topology, MeshTopology):
+        # includes the torus (MWA simply ignores the wraparound links)
+        return MeshWalkPlanner(topology)
+    if isinstance(topology, TreeTopology):
+        return TreeWalkPlanner(topology)
+    if isinstance(topology, HypercubeTopology):
+        return DimensionExchangePlanner(topology)
+    return OptimalPlanner(topology)

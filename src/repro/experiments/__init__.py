@@ -1,0 +1,56 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+* :mod:`repro.experiments.fig4` — MWA vs optimal transfer cost;
+* :mod:`repro.experiments.table1` — strategy comparison on 32 procs;
+* :mod:`repro.experiments.table2` — optimal efficiencies;
+* :mod:`repro.experiments.fig5` — normalized quality factors;
+* :mod:`repro.experiments.table3` — speedups on 64/128 procs.
+
+Scale selection: ``REPRO_SCALE=paper`` for the full evaluation-section
+sizes, default ``small`` for CI-friendly runs (same code paths).
+"""
+
+from .common import (
+    STRATEGY_ORDER,
+    WorkloadSpec,
+    current_scale,
+    make_machine,
+    run_workload,
+    strategy_factories,
+    workload,
+    workloads,
+)
+from .fig4 import Fig4Point, fig4_point, fig4_series
+from .fig5 import fig5_text, quality_factor, run_fig5
+from .table1 import run_table1, table1_rows, table1_text
+from .table2 import run_table2, table2_text
+from .table3 import TABLE3_WORKLOADS, run_table3, table3_text
+from .topologies import TopologyCase, run_topology_comparison, topology_cases
+
+__all__ = [
+    "Fig4Point",
+    "STRATEGY_ORDER",
+    "TABLE3_WORKLOADS",
+    "WorkloadSpec",
+    "current_scale",
+    "fig4_point",
+    "fig4_series",
+    "fig5_text",
+    "make_machine",
+    "quality_factor",
+    "run_fig5",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_workload",
+    "run_topology_comparison",
+    "strategy_factories",
+    "table1_rows",
+    "table1_text",
+    "table2_text",
+    "table3_text",
+    "TopologyCase",
+    "topology_cases",
+    "workload",
+    "workloads",
+]

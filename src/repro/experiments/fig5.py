@@ -1,0 +1,81 @@
+"""Figure 5: normalized quality factors.
+
+The quality factor of algorithm ``g`` on a workload is
+
+    (mu_opt - mu_rand) / (mu_opt - mu_g)
+
+where ``mu_opt`` comes from Table II and ``mu_rand``/``mu_g`` from
+Table I.  Randomized allocation scores exactly 1 by construction;
+values above 1 mean better than random.  The paper plots three groups:
+(a) exhaustive search, (b) IDA*, (c) GROMOS.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.balancers import RunMetrics
+from repro.metrics import format_table
+from .common import STRATEGY_ORDER, current_scale, workloads
+from .table1 import run_table1
+from .table2 import run_table2
+
+__all__ = ["quality_factor", "run_fig5", "fig5_text"]
+
+
+def quality_factor(mu_opt: float, mu_rand: float, mu_g: float) -> float:
+    """The paper's normalized quality factor (capped at a large value
+    when an algorithm gets within rounding of the optimum)."""
+    denom = mu_opt - mu_g
+    if denom <= 0:
+        return float("inf")
+    return (mu_opt - mu_rand) / denom
+
+
+def run_fig5(
+    num_nodes: int = 32,
+    scale: Optional[str] = None,
+    metrics: Optional[Sequence[RunMetrics]] = None,
+    opt: Optional[dict[str, float]] = None,
+) -> dict[str, dict[str, float]]:
+    """Quality factor per workload key per strategy.
+
+    Reuses precomputed Table-I metrics / Table-II optima when given.
+    """
+    scale = current_scale(scale)
+    if metrics is None:
+        metrics = run_table1(num_nodes=num_nodes, scale=scale)
+    if opt is None:
+        opt = run_table2(num_nodes=num_nodes, scale=scale)
+    spec_by_label = {}
+    for spec in workloads(scale):
+        spec_by_label[spec.label] = spec.key
+    mu: dict[str, dict[str, float]] = {}
+    for m in metrics:
+        key = spec_by_label.get(m.extra.get("workload_label", ""), m.workload)
+        mu.setdefault(key, {})[m.strategy] = m.efficiency
+    out: dict[str, dict[str, float]] = {}
+    for key, per_strat in mu.items():
+        rand = per_strat.get("random")
+        if rand is None or key not in opt:
+            continue
+        out[key] = {}
+        for strat, eff in per_strat.items():
+            name = "RIPS" if strat.startswith("RIPS") else strat
+            out[key][name] = quality_factor(opt[key], rand, eff)
+    return out
+
+
+def fig5_text(factors: dict[str, dict[str, float]]) -> str:
+    rows = []
+    for key, per_strat in factors.items():
+        row = {"workload": key}
+        for strat in STRATEGY_ORDER:
+            v = per_strat.get(strat)
+            row[strat] = f"{v:.2f}" if v is not None else "-"
+        rows.append(row)
+    return format_table(rows, title="Figure 5: Normalized Quality Factors")
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(fig5_text(run_fig5()))

@@ -1,0 +1,64 @@
+"""Table I: comparison of scheduling algorithms on 32 processors.
+
+For each of the nine workloads and each of the four strategies (Random,
+Gradient, RID, RIPS with the ANY-Lazy policy) the harness reports the
+paper's columns: total tasks, non-local tasks, overhead time Th, idle
+time Ti, execution time T, and efficiency mu.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.balancers import RunMetrics
+from repro.metrics import format_table, percent, seconds
+from .common import STRATEGY_ORDER, current_scale, run_workload, workloads
+
+__all__ = ["table1_rows", "table1_text", "run_table1"]
+
+
+def run_table1(
+    num_nodes: int = 32,
+    scale: Optional[str] = None,
+    strategies: Sequence[str] = STRATEGY_ORDER,
+    workload_keys: Optional[Sequence[str]] = None,
+    seed: int = 1234,
+) -> list[RunMetrics]:
+    """Run the full (or restricted) Table-I grid; returns all metrics."""
+    scale = current_scale(scale)
+    out: list[RunMetrics] = []
+    for spec in workloads(scale):
+        if workload_keys is not None and spec.key not in workload_keys:
+            continue
+        for strat in strategies:
+            out.append(run_workload(spec, strat, num_nodes=num_nodes, seed=seed))
+    return out
+
+
+def table1_rows(metrics: Sequence[RunMetrics]) -> list[dict]:
+    """Flatten metrics into the paper's Table-I row layout."""
+    return [
+        {
+            "workload": m.extra.get("workload_label", m.workload),
+            "strategy": m.strategy,
+            "tasks": m.num_tasks,
+            "nonlocal": m.nonlocal_tasks,
+            "Th": seconds(m.Th),
+            "Ti": seconds(m.Ti),
+            "T": seconds(m.T),
+            "mu": percent(m.efficiency),
+        }
+        for m in metrics
+    ]
+
+
+def table1_text(metrics: Sequence[RunMetrics], num_nodes: int = 32) -> str:
+    return format_table(
+        table1_rows(metrics),
+        title=f"Table I: Comparison of Scheduling Algorithms on {num_nodes} Processors",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    ms = run_table1()
+    print(table1_text(ms))

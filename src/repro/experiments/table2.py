@@ -1,0 +1,41 @@
+"""Table II: optimal efficiencies for the test problems.
+
+The optimal efficiency assumes an ideal scheduler and zero overhead;
+the binding limits are task granularity, spawn chains, and wave
+barriers (see :func:`repro.optimal.bounds.optimal_efficiency`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.metrics import format_table, percent
+from repro.optimal import optimal_efficiency
+from .common import current_scale, workloads
+
+__all__ = ["run_table2", "table2_text"]
+
+
+def run_table2(num_nodes: int = 32, scale: Optional[str] = None) -> dict[str, float]:
+    """Optimal efficiency per workload key."""
+    scale = current_scale(scale)
+    out: dict[str, float] = {}
+    for spec in workloads(scale):
+        trace = spec.build(num_nodes)
+        out[spec.key] = optimal_efficiency(trace, num_nodes)
+    return out
+
+
+def table2_text(values: dict[str, float], num_nodes: int = 32) -> str:
+    rows = [
+        {"workload": key, "optimal efficiency": percent(v)}
+        for key, v in values.items()
+    ]
+    return format_table(
+        rows,
+        title=f"Table II: Optimal Efficiencies for Test Problems ({num_nodes} processors)",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(table2_text(run_table2()))

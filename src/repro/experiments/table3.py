@@ -1,0 +1,64 @@
+"""Table III: speedup comparison on 64 and 128 processors.
+
+The paper scales the three largest workloads (15-Queens, IDA* config
+#3, GROMOS 16 A) to 64 and 128 processors and reports speedups
+``Ts / Tp`` per strategy.  RID's update factor is raised to 0.7 for
+IDA* on the larger machines, as the paper describes
+(:mod:`repro.experiments.common` encodes that tuning).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.balancers import RunMetrics
+from repro.metrics import format_table
+from .common import STRATEGY_ORDER, current_scale, run_workload, workloads
+
+__all__ = ["TABLE3_WORKLOADS", "run_table3", "table3_text"]
+
+#: workload keys of Table III at paper scale (the last of each group)
+TABLE3_WORKLOADS = {
+    "paper": ("queens-15", "ida-3", "gromos-16"),
+    "small": ("queens-12", "ida-3", "gromos-16"),
+}
+
+
+def run_table3(
+    num_nodes_list: Sequence[int] = (64, 128),
+    scale: Optional[str] = None,
+    strategies: Sequence[str] = STRATEGY_ORDER,
+    seed: int = 1234,
+) -> list[RunMetrics]:
+    scale = current_scale(scale)
+    keys = TABLE3_WORKLOADS[scale]
+    specs = [s for s in workloads(scale) if s.key in keys]
+    out: list[RunMetrics] = []
+    for spec in specs:
+        for n in num_nodes_list:
+            for strat in strategies:
+                out.append(run_workload(spec, strat, num_nodes=n, seed=seed))
+    return out
+
+
+def table3_text(metrics: Sequence[RunMetrics]) -> str:
+    # pivot: rows = (workload, strategy), columns = machine sizes
+    sizes = sorted({m.num_nodes for m in metrics})
+    cell: dict[tuple[str, str], dict[int, float]] = {}
+    for m in metrics:
+        label = m.extra.get("workload_label", m.workload)
+        cell.setdefault((label, m.strategy), {})[m.num_nodes] = m.speedup
+    rows = []
+    for (label, strat), per_n in cell.items():
+        row = {"workload": label, "strategy": strat}
+        for n in sizes:
+            v = per_n.get(n)
+            row[f"speedup@{n}"] = f"{v:.1f}" if v is not None else "-"
+        rows.append(row)
+    return format_table(
+        rows, title="Table III: Speedup Comparison on 64 and 128 Processors"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(table3_text(run_table3()))

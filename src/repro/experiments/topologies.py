@@ -1,0 +1,105 @@
+"""Cross-topology experiment: RIPS beyond the mesh.
+
+Section 5 of the paper: "RIPS is a general method and applies to
+different topologies, such as the tree, mesh, and hypercube", each with
+its own optimal-or-near-optimal parallel scheduling algorithm (MWA for
+the mesh, the tree-walking algorithm of [25], a hypercube variant in
+[32]).  This experiment runs the same workload under RIPS on a mesh, a
+binary tree, a hypercube, and a crossbar, pairing each interconnect
+with its planner, and reports the Table-I metrics side by side —
+together with the dimension-exchange planner on the hypercube as the
+redundant-communication strawman the paper criticizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.balancers import RunMetrics, run_trace
+from repro.core import RIPS
+from repro.core.schedulers import (
+    DimensionExchangePlanner,
+    MeshWalkPlanner,
+    OptimalPlanner,
+    Planner,
+    TreeWalkPlanner,
+)
+from repro.machine import (
+    FullyConnectedTopology,
+    HypercubeTopology,
+    Machine,
+    MeshTopology,
+    Topology,
+    TreeTopology,
+    mesh_shape_for,
+)
+from repro.tasks.trace import WorkloadTrace
+
+__all__ = ["TopologyCase", "topology_cases", "run_topology_comparison"]
+
+
+@dataclass(frozen=True)
+class TopologyCase:
+    """One interconnect + its paired system-phase planner."""
+
+    name: str
+    make_topology: Callable[[int], Topology]
+    make_planner: Optional[Callable[[Topology], Planner]]  # None = default
+
+
+def topology_cases() -> list[TopologyCase]:
+    """The paper's three topologies + a crossbar reference + DEM."""
+    return [
+        TopologyCase(
+            "mesh+MWA",
+            lambda n: MeshTopology(*mesh_shape_for(n)),
+            lambda t: MeshWalkPlanner(t),
+        ),
+        TopologyCase(
+            "tree+walk",
+            lambda n: TreeTopology(n, arity=2),
+            lambda t: TreeWalkPlanner(t),
+        ),
+        TopologyCase(
+            "hypercube+DEM",
+            lambda n: HypercubeTopology((n - 1).bit_length()),
+            lambda t: DimensionExchangePlanner(t),
+        ),
+        TopologyCase(
+            "hypercube+optimal",
+            lambda n: HypercubeTopology((n - 1).bit_length()),
+            lambda t: OptimalPlanner(t),
+        ),
+        TopologyCase(
+            "crossbar+optimal",
+            lambda n: FullyConnectedTopology(n),
+            lambda t: OptimalPlanner(t),
+        ),
+    ]
+
+
+def run_topology_comparison(
+    trace: WorkloadTrace,
+    num_nodes: int = 32,
+    cases: Optional[Sequence[TopologyCase]] = None,
+    seed: int = 77,
+) -> dict[str, RunMetrics]:
+    """Run ``trace`` under RIPS (ANY-Lazy) on each topology case.
+
+    ``num_nodes`` must be a power of two so the hypercube cases match
+    the other topologies' node count.
+    """
+    if num_nodes & (num_nodes - 1):
+        raise ValueError("num_nodes must be a power of two for this comparison")
+    out: dict[str, RunMetrics] = {}
+    for case in cases if cases is not None else topology_cases():
+        topo = case.make_topology(num_nodes)
+        if topo.num_nodes != num_nodes:
+            raise RuntimeError(f"case {case.name} built {topo.num_nodes} nodes")
+        planner = case.make_planner(topo) if case.make_planner else None
+        machine = Machine(topo, seed=seed)
+        metrics = run_trace(trace, RIPS("lazy", "any", planner=planner), machine)
+        metrics.extra["topology_case"] = case.name
+        out[case.name] = metrics
+    return out

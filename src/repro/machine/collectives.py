@@ -1,0 +1,160 @@
+"""Collective-communication protocols over the simulated machine.
+
+RIPS needs three collectives (Section 2 of the paper):
+
+* a **ready-signal / gather tree** for the ALL policy and for collecting
+  per-node load counts into a system phase;
+* a **broadcast** for the init signal (ANY policy) and for spreading
+  ``wavg``/quota information;
+* an **or-barrier** (the Cray T3D "eureka") — here realized as a
+  broadcast from the first node whose condition fires, with phase-index
+  de-duplication done by the caller.
+
+These are real message protocols on the DES: every signal is a message
+with hop-accurate latency and per-message software overhead, so the
+overhead column Th of Table I includes detection costs, exactly as the
+paper's measurements do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .machine import Machine
+from .message import HEADER_BYTES, Message
+
+__all__ = ["GatherTree", "BinomialBroadcast", "modeled_barrier_latency"]
+
+
+class GatherTree:
+    """Repeated-round reduction to a root over the topology spanning tree.
+
+    Every node eventually calls :meth:`contribute` once per round; interior
+    nodes forward the combined value of their subtree to their parent once
+    all children (and they themselves) have contributed.  The root invokes
+    ``on_result(round_id, combined)``.
+
+    ``combine(a, b) -> c`` must be associative; contributions within a
+    subtree are combined in a deterministic order.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        kind: str,
+        combine: Callable[[Any, Any], Any],
+        on_result: Callable[[int, Any], None],
+        root: int = 0,
+        payload_bytes: int = HEADER_BYTES,
+    ) -> None:
+        self.machine = machine
+        self.kind = kind
+        self.combine = combine
+        self.on_result = on_result
+        self.root = root
+        self.payload_bytes = payload_bytes
+        self.parent, self.children = machine.topology.spanning_tree(root)
+        n = machine.num_nodes
+        # per-node, per-round accumulation: {round: [count, value]}
+        self._acc: list[dict[int, list]] = [dict() for _ in range(n)]
+        self._expected = [len(self.children[r]) + 1 for r in range(n)]
+        for node in machine.nodes:
+            node.on(kind, self._on_message)
+
+    # ------------------------------------------------------------------
+    def contribute(self, rank: int, round_id: int, value: Any) -> None:
+        """Node ``rank`` contributes its local value for ``round_id``."""
+        self._absorb(rank, round_id, value)
+
+    def _on_message(self, msg: Message) -> None:
+        round_id, value = msg.payload
+        self._absorb(msg.dest, round_id, value)
+
+    def _absorb(self, rank: int, round_id: int, value: Any) -> None:
+        acc = self._acc[rank]
+        slot = acc.get(round_id)
+        if slot is None:
+            slot = acc[round_id] = [0, None]
+        slot[0] += 1
+        slot[1] = value if slot[0] == 1 else self.combine(slot[1], value)
+        if slot[0] > self._expected[rank]:  # pragma: no cover - defensive
+            raise RuntimeError(f"over-contribution at node {rank}, round {round_id}")
+        if slot[0] == self._expected[rank]:
+            del acc[round_id]
+            if rank == self.root:
+                self.on_result(round_id, slot[1])
+            else:
+                self.machine.node(rank).send(
+                    self.parent[rank], self.kind, (round_id, slot[1]),
+                    size=self.payload_bytes,
+                )
+
+
+class BinomialBroadcast:
+    """One-to-all broadcast along a binomial tree rooted at any rank.
+
+    Depth is ``ceil(log2 N)`` message steps — this is the fast init
+    broadcast of the ANY policy.  ``on_receive(rank, payload)`` fires at
+    every rank *including the root* (so callers have one code path).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        kind: str,
+        on_receive: Callable[[int, Any], None],
+        payload_bytes: int = HEADER_BYTES,
+    ) -> None:
+        self.machine = machine
+        self.kind = kind
+        self.on_receive = on_receive
+        self.payload_bytes = payload_bytes
+        for node in machine.nodes:
+            node.on(kind, self._on_message)
+
+    # ------------------------------------------------------------------
+    def broadcast(self, root: int, payload: Any) -> None:
+        """Start a broadcast from ``root`` (callable any number of times)."""
+        self.machine.topology.check_rank(root)
+        self._forward(root, root, payload)
+        self.on_receive(root, payload)
+
+    def _on_message(self, msg: Message) -> None:
+        root, payload = msg.payload
+        self._forward(msg.dest, root, payload)
+        self.on_receive(msg.dest, payload)
+
+    def _forward(self, rank: int, root: int, payload: Any) -> None:
+        n = self.machine.num_nodes
+        rel = (rank - root) % n
+        node = self.machine.node(rank)
+        k = rel.bit_length()
+        while True:
+            child_rel = rel + (1 << k)
+            if child_rel >= n:
+                break
+            dest = (child_rel + root) % n
+            node.send(dest, self.kind, (root, payload), size=self.payload_bytes)
+            k += 1
+
+
+def modeled_barrier_latency(machine: Machine) -> float:
+    """Analytic cost of one up-and-down tree barrier on this machine.
+
+    Used where the runtime driver needs to charge for a synchronization it
+    performs omnisciently (e.g. the iteration barrier of IDA*), without
+    spelling out the message exchange: two traversals of the spanning
+    tree, each hop paying wire latency plus send/recv software overhead.
+    """
+    lat = machine.latency
+    parent, _children = machine.topology.spanning_tree(0)
+    depth = 0
+    for r in range(machine.num_nodes):
+        d = 0
+        cur = r
+        while parent[cur] != -1:
+            d += machine.topology.distance(cur, parent[cur])
+            cur = parent[cur]
+        depth = max(depth, d)
+    per_step = lat.per_hop + 2 * lat.software_overhead + lat.per_byte * HEADER_BYTES
+    return 2.0 * depth * per_step

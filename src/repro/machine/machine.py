@@ -1,0 +1,105 @@
+"""The simulated multicomputer: topology + network + nodes + clock.
+
+:class:`Machine` is the facade everything else builds on.  It owns the
+simulator, constructs the node array and the network, wires message
+delivery to node dispatch, and carries a seeded RNG so that runs are
+reproducible.
+
+This is the substitution for the paper's Intel Paragon (see DESIGN.md §2):
+a deterministic, instrumentable machine whose cost knobs are calibrated to
+the paper's reported anatomy rather than a physical testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .event import Simulator
+from .message import Message
+from .network import ContentionNetwork, IdealNetwork, LatencyModel, PARAGON_LIKE
+from .node import Node
+from .topology import Topology, make_topology
+
+__all__ = ["Machine", "PARAGON_LIKE"]
+
+
+class Machine:
+    """A distributed-memory multicomputer simulation.
+
+    Parameters
+    ----------
+    topology:
+        A :class:`~repro.machine.topology.Topology`, or a string kind
+        (``"mesh"``, ``"hypercube"``, ...) combined with ``num_nodes``.
+    latency:
+        Postal-model cost parameters; defaults to the Paragon-like
+        calibration.
+    contention:
+        If True, use the store-and-forward contention network instead of
+        the ideal wormhole network.
+    seed:
+        Seed for the machine RNG (used by randomized protocols).
+    """
+
+    def __init__(
+        self,
+        topology: Topology | str,
+        num_nodes: Optional[int] = None,
+        latency: LatencyModel = PARAGON_LIKE,
+        contention: bool = False,
+        seed: Optional[int] = None,
+    ) -> None:
+        if isinstance(topology, str):
+            if num_nodes is None:
+                raise ValueError("num_nodes required when topology is a kind string")
+            topology = make_topology(topology, num_nodes)
+        self.topology = topology
+        self.latency = latency
+        self.sim = Simulator()
+        self.rng = np.random.default_rng(seed)
+        net_cls = ContentionNetwork if contention else IdealNetwork
+        self.network = net_cls(self.sim, topology, latency, self._deliver)
+        self.nodes = [Node(rank, self) for rank in range(topology.num_nodes)]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.topology.num_nodes
+
+    def node(self, rank: int) -> Node:
+        return self.nodes[rank]
+
+    def _deliver(self, msg: Message) -> None:
+        self.nodes[msg.dest].dispatch(msg)
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run the simulation (see :meth:`Simulator.run`)."""
+        self.sim.run(until=until, max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+    def makespan(self) -> float:
+        """Wall-clock of the run: last CPU activity over all nodes."""
+        return max((n.last_active for n in self.nodes), default=0.0)
+
+    def cpu_time(self, category: str) -> float:
+        """Total CPU seconds in a category, summed over nodes."""
+        return sum(n.cpu_time[category] for n in self.nodes)
+
+    def per_node_idle(self, horizon: Optional[float] = None) -> list[float]:
+        """Idle seconds per node within ``horizon`` (default: makespan)."""
+        if horizon is None:
+            horizon = self.makespan()
+        return [
+            max(0.0, horizon - sum(n.cpu_time.values())) for n in self.nodes
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"Machine({self.topology!r}, latency={self.latency}, "
+            f"t={self.sim.now:.6f})"
+        )

@@ -1,0 +1,160 @@
+"""Processor node model.
+
+Each simulated processor is a single non-preemptive CPU.  Everything that
+costs processor time — executing a task, the software overhead of sending
+or receiving a message, running a scheduling step — is an item on the
+node's CPU queue, executed serially on the global virtual clock.  This is
+what lets us decompose the makespan exactly the way Table I of the paper
+does:
+
+* ``Th`` (overhead)  = CPU time in the ``"overhead"`` category,
+* task time          = CPU time in the ``"task"`` category,
+* ``Ti`` (idle)      = makespan − overhead − task time, per node.
+
+Protocols interact with a node through three things:
+
+* :meth:`Node.on` — register a handler for a message kind;
+* :meth:`Node.send` — send a message (charges sender software overhead,
+  then injects into the network);
+* :meth:`Node.exec_cpu` — charge arbitrary CPU time, with a completion
+  callback.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from .message import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+
+__all__ = ["Node"]
+
+#: CPU-time categories tracked per node.
+CATEGORIES = ("task", "overhead")
+
+
+class Node:
+    """One processor of the simulated multicomputer."""
+
+    def __init__(self, rank: int, machine: "Machine") -> None:
+        self.rank = rank
+        self.machine = machine
+        self.sim = machine.sim
+        self._cpu_queue: deque[tuple[float, str, Optional[Callable[[], None]]]] = deque()
+        self._cpu_busy = False
+        self.cpu_time: dict[str, float] = {c: 0.0 for c in CATEGORIES}
+        self._handlers: dict[str, Callable[[Message], None]] = {}
+        self._idle_callbacks: list[Callable[[], None]] = []
+        #: last virtual time this node finished any CPU item (for makespan).
+        self.last_active = 0.0
+        #: scratch storage for protocol state, keyed by protocol name.
+        self.state: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+    def on(self, kind: str, handler: Callable[[Message], None]) -> None:
+        """Register ``handler`` for messages of ``kind``.
+
+        Exactly one handler per kind; re-registration replaces (protocols
+        are set up once per run).
+        """
+        self._handlers[kind] = handler
+
+    def dispatch(self, msg: Message) -> None:
+        """Entry point used by the machine when a message arrives.
+
+        Charges the receive software overhead, then runs the handler.
+        """
+        try:
+            handler = self._handlers[msg.kind]
+        except KeyError:
+            raise RuntimeError(
+                f"node {self.rank}: no handler for message kind {msg.kind!r}"
+            ) from None
+        self.exec_cpu(self.machine.latency.endpoint_cpu(msg.size), "overhead",
+                      lambda: handler(msg))
+
+    def send(
+        self,
+        dest: int,
+        kind: str,
+        payload: Any = None,
+        size: int | None = None,
+        tasks_carried: int = 0,
+    ) -> None:
+        """Send a message to ``dest``.
+
+        The sender's software overhead is charged on this node's CPU; the
+        message enters the network when that CPU item completes (i.e. sends
+        issued from a handler serialize behind the handler itself, as on a
+        real single-CPU node).
+        """
+        from .message import HEADER_BYTES
+
+        msg = Message(self.rank, dest, kind, payload,
+                      HEADER_BYTES if size is None else size)
+        self.exec_cpu(
+            self.machine.latency.endpoint_cpu(msg.size),
+            "overhead",
+            lambda: self.machine.network.transmit(msg, tasks_carried),
+        )
+
+    # ------------------------------------------------------------------
+    # CPU
+    # ------------------------------------------------------------------
+    def exec_cpu(
+        self,
+        duration: float,
+        category: str,
+        fn: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Queue a CPU burst of ``duration`` seconds; run ``fn`` when done."""
+        if duration < 0:
+            raise ValueError("duration must be >= 0")
+        if category not in self.cpu_time:
+            raise ValueError(f"unknown CPU category {category!r}")
+        self._cpu_queue.append((duration, category, fn))
+        if not self._cpu_busy:
+            self._start_next()
+
+    @property
+    def cpu_busy(self) -> bool:
+        return self._cpu_busy
+
+    @property
+    def cpu_backlog(self) -> int:
+        """Number of queued (not yet started) CPU items."""
+        return len(self._cpu_queue)
+
+    def on_cpu_idle(self, fn: Callable[[], None]) -> None:
+        """Register a callback fired whenever the CPU queue drains."""
+        self._idle_callbacks.append(fn)
+
+    def _start_next(self) -> None:
+        duration, category, fn = self._cpu_queue.popleft()
+        self._cpu_busy = True
+        self.sim.schedule(duration, self._finish, duration, category, fn)
+
+    def _finish(
+        self, duration: float, category: str, fn: Optional[Callable[[], None]]
+    ) -> None:
+        self.cpu_time[category] += duration
+        self.last_active = self.sim.now
+        self._cpu_busy = False
+        if fn is not None:
+            fn()
+        # fn may have queued more work (re-entrancy safe: _cpu_busy is False
+        # so exec_cpu inside fn starts immediately and sets it True again).
+        if not self._cpu_busy and self._cpu_queue:
+            self._start_next()
+        if not self._cpu_busy and not self._cpu_queue:
+            for cb in self._idle_callbacks:
+                cb()
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"Node(rank={self.rank})"

@@ -1,0 +1,66 @@
+"""Plain-text table/series rendering for the experiment harness.
+
+The benchmark targets print the same rows the paper's tables report;
+these helpers keep that output consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "percent", "seconds"]
+
+
+def percent(x: float) -> str:
+    return f"{100.0 * x:.1f}%"
+
+
+def seconds(x: float) -> str:
+    return f"{x:.2f}"
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a list of dict rows as a fixed-width text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) if _numeric(v) else v.ljust(w)
+                               for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[Any], ys: Sequence[float], yfmt=percent
+) -> str:
+    """Render one figure series as ``name: x=y`` pairs."""
+    pairs = "  ".join(f"{x}={yfmt(y)}" for x, y in zip(xs, ys))
+    return f"{name:>12s}: {pairs}"
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.3f}"
+    return str(v)
+
+
+def _numeric(v: str) -> bool:
+    try:
+        float(v.rstrip("%"))
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,15 @@
+"""Optimal scheduling reference: min-cost flow and lower bounds."""
+
+from .bounds import min_nonlocal_tasks, optimal_efficiency, optimal_parallel_time
+from .mincostflow import FlowResult, MinCostFlow
+from .schedule import OptimalPlan, optimal_redistribution
+
+__all__ = [
+    "FlowResult",
+    "MinCostFlow",
+    "OptimalPlan",
+    "min_nonlocal_tasks",
+    "optimal_efficiency",
+    "optimal_parallel_time",
+    "optimal_redistribution",
+]

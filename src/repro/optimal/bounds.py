@@ -1,0 +1,96 @@
+"""Scheduling lower bounds: Lemma 1 and the Table-II optimal efficiency.
+
+* :func:`min_nonlocal_tasks` — Lemma 1: to balance the load, at least
+  ``m = sum(wavg - w_j)`` tasks (over underloaded nodes ``j``) must move.
+* :func:`optimal_efficiency` — Table II's "optimal efficiency": the best
+  possible efficiency for a workload on ``N`` processors assuming an
+  ideal scheduler and zero overhead.  The binding constraints are task
+  granularity (a task cannot be split), spawn chains (a task cannot
+  start before the task that created it finishes), and wave barriers
+  (IDA* iterations, MD timesteps).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tasks.trace import WorkloadTrace
+
+__all__ = ["min_nonlocal_tasks", "optimal_parallel_time", "optimal_efficiency"]
+
+
+def min_nonlocal_tasks(loads: Sequence[int] | np.ndarray,
+                       quotas: Sequence[int] | np.ndarray | None = None) -> int:
+    """Lemma 1: the minimum number of tasks that must change processor.
+
+    With explicit ``quotas`` this is ``sum max(0, q_j - w_j)``; the
+    default quota is the balanced average (requires divisible total).
+    """
+    w = np.asarray(loads, dtype=np.int64)
+    if quotas is None:
+        total = int(w.sum())
+        if total % w.size != 0:
+            raise ValueError(
+                "total load not divisible by N; pass explicit quotas"
+            )
+        q = np.full(w.size, total // w.size, dtype=np.int64)
+    else:
+        q = np.asarray(quotas, dtype=np.int64)
+        if q.shape != w.shape:
+            raise ValueError("quotas shape mismatch")
+    return int(np.maximum(q - w, 0).sum())
+
+
+def _wave_chain_seconds(trace: WorkloadTrace) -> list[float]:
+    """Per-wave critical spawn-chain length in seconds.
+
+    Within a wave, a task can only start after the chain of tasks that
+    spawned it; the wave cannot finish faster than its longest chain.
+    """
+    n = len(trace)
+    finish = [0.0] * n
+    chains = [0.0] * trace.num_waves
+    child_ids = {c for t in trace for c in t.children}
+    order: list[int] = []
+    stack = [t.id for t in trace if t.id not in child_ids]
+    seen = [False] * n
+    while stack:
+        tid = stack.pop()
+        if seen[tid]:
+            continue
+        seen[tid] = True
+        order.append(tid)
+        stack.extend(trace.task(tid).children)
+    for tid in order:
+        t = trace.task(tid)
+        finish[tid] += t.work * trace.sec_per_unit
+        chains[t.wave] = max(chains[t.wave], finish[tid])
+        for c in t.children:
+            carried = finish[tid] if trace.task(c).wave == t.wave else 0.0
+            finish[c] = max(finish[c], carried)
+    return chains
+
+
+def optimal_parallel_time(trace: WorkloadTrace, num_nodes: int) -> float:
+    """Lower bound on parallel makespan with an ideal zero-overhead
+    scheduler: per wave, ``max(work/N, critical chain)``, summed over
+    waves (waves are globally serialized)."""
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    chains = _wave_chain_seconds(trace)
+    total = 0.0
+    for wave in range(trace.num_waves):
+        ts_w = trace.total_work_seconds(wave)
+        total += max(ts_w / num_nodes, chains[wave])
+    return total
+
+
+def optimal_efficiency(trace: WorkloadTrace, num_nodes: int) -> float:
+    """Table II: ``mu_opt = Ts / (N * Tp_opt)``."""
+    ts = trace.total_work_seconds()
+    if ts == 0:
+        return 1.0
+    tp = optimal_parallel_time(trace, num_nodes)
+    return ts / (num_nodes * tp)

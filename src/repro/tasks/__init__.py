@@ -1,0 +1,5 @@
+"""Task and workload-trace model."""
+
+from .trace import TraceTask, WorkloadTrace
+
+__all__ = ["TraceTask", "WorkloadTrace"]

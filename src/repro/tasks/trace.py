@@ -1,0 +1,177 @@
+"""Workload traces: the task structure an application generates.
+
+The applications (N-Queens, IDA*, GROMOS) are executed *for real* once,
+producing a :class:`WorkloadTrace` — the task tree with exact per-task
+work, spawn structure, and wave (synchronization epoch) membership.  The
+scheduling experiments then replay the same trace under each strategy
+(Random, Gradient, RID, RIPS, ...), which is both faithful (the task
+structure is identical across strategies, as on the real machine, where
+the application is deterministic) and efficient (the app runs once, not
+once per strategy x machine size).
+
+Terminology
+-----------
+wave:
+    A global synchronization epoch.  IDA* iterations and MD timesteps are
+    waves; tasks of wave ``k+1`` only become runnable after *every* task
+    of wave ``k`` has completed.  N-Queens has a single wave.
+pinned:
+    A task that must run on a fixed rank (e.g. the sequential IDA*
+    iteration driver on rank 0).  Schedulers must not migrate it.
+home:
+    For wave-0 roots only: the rank where the task initially resides
+    (SPMD geometric pre-placement for GROMOS; rank 0 for search roots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.machine.message import TASK_DESCRIPTOR_BYTES
+
+__all__ = ["TraceTask", "WorkloadTrace"]
+
+
+@dataclass(frozen=True)
+class TraceTask:
+    """One task of a workload trace.
+
+    ``work`` is in abstract units (e.g. search-tree node visits); the
+    trace's ``sec_per_unit`` converts it to simulated CPU seconds.
+    ``children`` are spawned when this task completes; same-wave children
+    are handed to the scheduler immediately, later-wave children are held
+    back until the wave barrier.
+    """
+
+    id: int
+    work: float
+    wave: int = 0
+    children: tuple[int, ...] = ()
+    pinned: Optional[int] = None
+    home: Optional[int] = None
+    data_bytes: int = TASK_DESCRIPTOR_BYTES
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise ValueError("task work must be >= 0")
+
+
+class WorkloadTrace:
+    """An immutable task DAG (a forest, really) with wave structure."""
+
+    def __init__(
+        self,
+        name: str,
+        tasks: Sequence[TraceTask],
+        sec_per_unit: float,
+        description: str = "",
+    ) -> None:
+        if sec_per_unit <= 0:
+            raise ValueError("sec_per_unit must be positive")
+        self.name = name
+        self.sec_per_unit = sec_per_unit
+        self.description = description
+        self.tasks: list[TraceTask] = list(tasks)
+        self._validate()
+        self.num_waves = 1 + max((t.wave for t in self.tasks), default=-1)
+        # wave-0 roots = tasks that are nobody's child and live in wave 0
+        child_ids = {c for t in self.tasks for c in t.children}
+        self.roots: list[TraceTask] = [
+            t for t in self.tasks if t.id not in child_ids
+        ]
+        bad_roots = [t.id for t in self.roots if t.wave != 0]
+        if bad_roots:
+            raise ValueError(f"roots must be in wave 0, got waves for {bad_roots[:5]}")
+        self._wave_sizes = [0] * self.num_waves
+        for t in self.tasks:
+            self._wave_sizes[t.wave] += 1
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        ids = [t.id for t in self.tasks]
+        if ids != list(range(len(ids))):
+            raise ValueError("task ids must be 0..n-1 in order")
+        for t in self.tasks:
+            for c in t.children:
+                if not 0 <= c < len(self.tasks):
+                    raise ValueError(f"task {t.id} has out-of-range child {c}")
+                cw = self.tasks[c].wave
+                if cw < t.wave:
+                    raise ValueError(
+                        f"task {t.id} (wave {t.wave}) spawns child {c} in earlier wave {cw}"
+                    )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[TraceTask]:
+        return iter(self.tasks)
+
+    def task(self, task_id: int) -> TraceTask:
+        return self.tasks[task_id]
+
+    def duration(self, task_id: int) -> float:
+        """Simulated CPU seconds of a task."""
+        return self.tasks[task_id].work * self.sec_per_unit
+
+    def wave_size(self, wave: int) -> int:
+        return self._wave_sizes[wave]
+
+    def wave_tasks(self, wave: int) -> list[TraceTask]:
+        return [t for t in self.tasks if t.wave == wave]
+
+    # ------------------------------------------------------------------
+    # aggregate measures used by the experiments
+    # ------------------------------------------------------------------
+    def total_work_seconds(self, wave: Optional[int] = None) -> float:
+        """Sequential execution time Ts (per wave, or whole trace)."""
+        if wave is None:
+            return sum(t.work for t in self.tasks) * self.sec_per_unit
+        return sum(t.work for t in self.tasks if t.wave == wave) * self.sec_per_unit
+
+    def max_task_seconds(self, wave: Optional[int] = None) -> float:
+        """Largest single task (the granularity bound on speedup)."""
+        works = [t.work for t in self.tasks if wave is None or t.wave == wave]
+        return max(works, default=0.0) * self.sec_per_unit
+
+    def critical_path_seconds(self) -> float:
+        """Longest spawn chain in seconds (+ wave serialization).
+
+        Lower bound on parallel time: a task can only start after its
+        spawning ancestor chain, and a wave after all prior waves.
+        """
+        n = len(self.tasks)
+        finish = [0.0] * n
+        # tasks are ids 0..n-1; children have larger... not guaranteed.
+        # Process in topological order via DFS over the forest.
+        order: list[int] = []
+        seen = [False] * n
+        child_ids = {c for t in self.tasks for c in t.children}
+        stack = [t.id for t in self.tasks if t.id not in child_ids]
+        while stack:
+            tid = stack.pop()
+            if seen[tid]:
+                continue
+            seen[tid] = True
+            order.append(tid)
+            stack.extend(self.tasks[tid].children)
+        wave_cp = [0.0] * self.num_waves
+        for tid in order:
+            t = self.tasks[tid]
+            finish[tid] += t.work * self.sec_per_unit
+            wave_cp[t.wave] = max(wave_cp[t.wave], finish[tid])
+            for c in t.children:
+                # chains reset at wave boundaries: the wave barrier already
+                # serializes, so only the intra-wave chain counts per wave.
+                carried = finish[tid] if self.tasks[c].wave == t.wave else 0.0
+                finish[c] = max(finish[c], carried)
+        return sum(wave_cp)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadTrace({self.name!r}, tasks={len(self.tasks)}, "
+            f"waves={self.num_waves}, Ts={self.total_work_seconds():.3f}s)"
+        )

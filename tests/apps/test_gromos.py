@@ -1,0 +1,132 @@
+"""Tests for the synthetic molecule and the GROMOS workload."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gromos import GromosConfig, gromos_trace, pair_counts
+from repro.apps.molecule import Molecule, synthetic_sod
+
+
+def small_molecule(n_atoms=600, n_groups=200, seed=5):
+    return synthetic_sod(n_atoms=n_atoms, n_groups=n_groups, seed=seed)
+
+
+def test_molecule_shape_and_partition():
+    mol = small_molecule()
+    assert mol.n_atoms == 600
+    assert mol.n_groups == 200
+    assert mol.positions.shape == (600, 3)
+    assert np.all(mol.positions >= 0) and np.all(mol.positions <= mol.box)
+    # every group non-empty
+    counts = np.bincount(mol.group_index, minlength=200)
+    assert counts.min() >= 1
+
+
+def test_group_centers_are_inside_box():
+    mol = small_molecule()
+    centers = mol.group_centers()
+    assert centers.shape == (200, 3)
+    assert np.all(centers >= 0) and np.all(centers <= mol.box)
+
+
+def test_molecule_determinism():
+    a = small_molecule(seed=9)
+    b = small_molecule(seed=9)
+    assert np.array_equal(a.positions, b.positions)
+    c = small_molecule(seed=10)
+    assert not np.array_equal(a.positions, c.positions)
+
+
+def test_perturb_keeps_shape_and_moves_atoms():
+    mol = small_molecule()
+    rng = np.random.default_rng(0)
+    moved = mol.perturb(0.5, rng)
+    assert moved.positions.shape == mol.positions.shape
+    assert not np.array_equal(moved.positions, mol.positions)
+    assert np.array_equal(moved.group_index, mol.group_index)
+
+
+def test_molecule_validation():
+    with pytest.raises(ValueError):
+        Molecule(np.zeros((4, 2)), np.zeros(4, dtype=np.int64), 10.0)
+    with pytest.raises(ValueError):
+        Molecule(np.zeros((4, 3)), np.zeros(3, dtype=np.int64), 10.0)
+    with pytest.raises(ValueError):
+        synthetic_sod(n_atoms=10, n_groups=20)
+
+
+def brute_pair_counts(mol, cutoff):
+    centers = mol.group_centers()
+    pos = mol.positions
+    out = np.zeros(centers.shape[0], dtype=np.int64)
+    for g in range(centers.shape[0]):
+        d = pos - centers[g]
+        d -= mol.box * np.round(d / mol.box)  # minimum image
+        out[g] = np.count_nonzero((d * d).sum(axis=1) <= cutoff * cutoff)
+    return out
+
+
+def test_pair_counts_match_brute_force_periodic():
+    mol = small_molecule(n_atoms=300, n_groups=60)
+    for cutoff in (6.0, 9.0):
+        fast = pair_counts(mol, cutoff, periodic=True)
+        brute = brute_pair_counts(mol, cutoff)
+        assert np.array_equal(fast, brute)
+
+
+def test_pair_counts_nonperiodic_smaller_at_borders():
+    mol = small_molecule(n_atoms=400, n_groups=80)
+    per = pair_counts(mol, 8.0, periodic=True)
+    non = pair_counts(mol, 8.0, periodic=False)
+    assert np.all(non <= per)
+
+
+def test_pair_counts_grow_with_cutoff():
+    mol = small_molecule()
+    c8 = pair_counts(mol, 8.0)
+    c16 = pair_counts(mol, 16.0)
+    assert np.all(c16 >= c8)
+    # roughly cubic growth of the neighborhood volume
+    assert 4 <= c16.sum() / max(c8.sum(), 1) <= 12
+
+
+def test_gromos_trace_single_wave_preplaced():
+    trace = gromos_trace(8.0, num_nodes=8, n_atoms=600, n_groups=200,
+                         use_cache=False)
+    assert len(trace) == 200
+    assert trace.num_waves == 1
+    homes = [t.home for t in trace]
+    assert min(homes) == 0 and max(homes) == 7
+    # block placement: homes are non-decreasing with group index
+    assert homes == sorted(homes)
+
+
+def test_gromos_trace_multistep_chains_groups():
+    trace = gromos_trace(8.0, num_nodes=4, timesteps=3, n_atoms=400,
+                         n_groups=100, use_cache=False)
+    assert len(trace) == 300
+    assert trace.num_waves == 3
+    for t in trace:
+        if t.wave < 2:
+            assert len(t.children) == 1
+            child = trace.task(t.children[0])
+            assert child.wave == t.wave + 1
+        else:
+            assert t.children == ()
+
+
+def test_gromos_config_validation():
+    with pytest.raises(ValueError):
+        GromosConfig(cutoff=0.0)
+    with pytest.raises(ValueError):
+        GromosConfig(timesteps=0)
+    with pytest.raises(ValueError):
+        GromosConfig(num_nodes=0)
+
+
+def test_gromos_work_varies_with_density():
+    trace = gromos_trace(8.0, num_nodes=8, n_atoms=2000, n_groups=500,
+                         use_cache=False)
+    works = np.array([t.work for t in trace])
+    assert works.std() / works.mean() > 0.15  # imbalance exists
+    assert works.min() >= 1

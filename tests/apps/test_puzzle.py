@@ -1,0 +1,80 @@
+"""Tests for the 15-puzzle board and heuristic."""
+
+import pytest
+
+from repro.apps.puzzle import (
+    GOAL,
+    apply_move,
+    is_solvable,
+    manhattan,
+    neighbors,
+    random_walk_instance,
+)
+
+
+def test_goal_heuristic_zero():
+    assert manhattan(GOAL) == 0
+
+
+def test_manhattan_simple_cases():
+    # swap blank with tile 15 (one slide): h = 1
+    b = apply_move(GOAL, 15, 14)
+    assert manhattan(b) == 1
+
+
+def test_manhattan_is_admissible_along_walks():
+    board = GOAL
+    prev_blank = -1
+    moves = 0
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    for _ in range(30):
+        blank = board.index(0)
+        opts = [d for (nb, d) in [] ] # placeholder
+        nbrs = list(neighbors(board))
+        board, moved_from = nbrs[int(rng.integers(len(nbrs)))]
+        moves += 1
+        # heuristic can never exceed the number of moves made
+        assert manhattan(board) <= moves
+
+
+def test_neighbors_counts():
+    # corner blank: 2 moves; center blank: 4 moves
+    assert len(list(neighbors(GOAL))) == 2  # blank at index 15 (corner)
+    b = apply_move(GOAL, 15, 11)
+    b = apply_move(b, 11, 10)
+    assert len(list(neighbors(b))) == 4
+
+
+def test_neighbors_differ_by_single_swap():
+    for nb, moved_from in neighbors(GOAL):
+        diff = [i for i in range(16) if nb[i] != GOAL[i]]
+        assert len(diff) == 2
+        assert 0 in (nb[diff[0]], nb[diff[1]])
+
+
+def test_goal_is_solvable_and_walks_stay_solvable():
+    assert is_solvable(GOAL)
+    for seed in range(5):
+        assert is_solvable(random_walk_instance(25, seed))
+
+
+def test_unsolvable_configuration_detected():
+    # swapping two adjacent tiles (not the blank) flips parity
+    b = list(GOAL)
+    b[0], b[1] = b[1], b[0]
+    assert not is_solvable(tuple(b))
+
+
+def test_random_walk_deterministic_by_seed():
+    a = random_walk_instance(30, 7)
+    b = random_walk_instance(30, 7)
+    c = random_walk_instance(30, 8)
+    assert a == b
+    assert a != c
+
+
+def test_random_walk_moves_away_from_goal():
+    b = random_walk_instance(40, 3)
+    assert manhattan(b) >= 8

@@ -1,0 +1,100 @@
+"""Shared fixtures: small deterministic traces and machines."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine, MeshTopology
+from repro.tasks.trace import TraceTask, WorkloadTrace
+
+# Tests always run at small scale unless a test overrides explicitly.
+os.environ.setdefault("REPRO_SCALE", "small")
+
+
+def make_tree_trace(
+    seed: int = 42,
+    n_children: int = 40,
+    max_grandchildren: int = 8,
+    sec_per_unit: float = 1e-4,
+) -> WorkloadTrace:
+    """An irregular three-level spawn tree (N-Queens-shaped)."""
+    rng = np.random.default_rng(seed)
+    spec: list[tuple[float, tuple[int, ...]]] = []
+    grand: list[float] = []
+    next_id = 1 + n_children
+    child_children: list[tuple[int, ...]] = []
+    for _ in range(n_children):
+        k = int(rng.integers(0, max_grandchildren + 1))
+        ids = tuple(range(next_id, next_id + k))
+        next_id += k
+        child_children.append(ids)
+        grand.extend(float(rng.integers(50, 500)) for _ in range(k))
+    tasks = [TraceTask(0, 10.0, 0, tuple(range(1, 1 + n_children)))]
+    for i in range(n_children):
+        tasks.append(
+            TraceTask(1 + i, float(rng.integers(20, 200)), 0, child_children[i])
+        )
+    for j, w in enumerate(grand):
+        tasks.append(TraceTask(1 + n_children + j, w, 0, ()))
+    return WorkloadTrace("tree", tasks, sec_per_unit=sec_per_unit)
+
+
+def make_wave_trace(waves: int = 3, per_wave: int = 30, seed: int = 3) -> WorkloadTrace:
+    """A GROMOS-shaped multi-wave trace: same tasks each wave, chained."""
+    rng = np.random.default_rng(seed)
+    works = rng.integers(50, 300, size=per_wave).astype(float)
+    tasks: list[TraceTask] = []
+    for w in range(waves):
+        base = w * per_wave
+        for i in range(per_wave):
+            children = (base + per_wave + i,) if w + 1 < waves else ()
+            home = i % 4 if w == 0 else None
+            tasks.append(
+                TraceTask(base + i, float(works[i]), wave=w, children=children,
+                          home=home)
+            )
+    return WorkloadTrace("waves", tasks, sec_per_unit=1e-4)
+
+
+def make_pinned_trace() -> WorkloadTrace:
+    """Wave-chained driver pinned to rank 0 spawning a small fan-out
+    (IDA*-shaped)."""
+    tasks = [
+        TraceTask(0, 5.0, 0, (1, 2, 3, 4), pinned=0),
+        TraceTask(1, 100.0, 0),
+        TraceTask(2, 150.0, 0),
+        TraceTask(3, 120.0, 0),
+        TraceTask(4, 80.0, 0, (5,)),
+        TraceTask(5, 5.0, 1, (6, 7), pinned=0),
+        TraceTask(6, 200.0, 1),
+        TraceTask(7, 90.0, 1),
+    ]
+    return WorkloadTrace("pinned", tasks, sec_per_unit=1e-4)
+
+
+@pytest.fixture
+def tree_trace() -> WorkloadTrace:
+    return make_tree_trace()
+
+
+@pytest.fixture
+def wave_trace() -> WorkloadTrace:
+    return make_wave_trace()
+
+
+@pytest.fixture
+def pinned_trace() -> WorkloadTrace:
+    return make_pinned_trace()
+
+
+@pytest.fixture
+def mesh16() -> Machine:
+    return Machine(MeshTopology(4, 4), seed=99)
+
+
+@pytest.fixture
+def mesh32() -> Machine:
+    return Machine(MeshTopology(8, 4), seed=99)

@@ -1,0 +1,119 @@
+"""Unit tests for the array-level Mesh Walking Algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.mwa import MWAResult, mwa_schedule, quotas_row_major
+
+
+def test_quotas_row_major_divisible():
+    q = quotas_row_major(2, 3, 12)
+    assert q.tolist() == [[2, 2, 2], [2, 2, 2]]
+
+
+def test_quotas_row_major_remainder_goes_to_first_nodes():
+    q = quotas_row_major(2, 3, 14)
+    assert q.tolist() == [[3, 3, 2], [2, 2, 2]]
+    assert q.sum() == 14
+
+
+def test_already_balanced_mesh_moves_nothing():
+    w = np.full((4, 4), 5)
+    res = mwa_schedule(w)
+    assert res.cost == 0
+    assert res.nonlocal_tasks == 0
+    assert res.transfers == []
+    assert np.array_equal(res.quotas, w)
+
+
+def test_single_hot_node_spreads():
+    w = np.zeros((2, 2), dtype=int)
+    w[0, 0] = 8
+    res = mwa_schedule(w)
+    assert np.array_equal(res.quotas, np.full((2, 2), 2))
+    assert res.nonlocal_tasks == 6
+    # minimum cost on 4 nodes (Lemma 2): 2 direct + 2 direct + 2 two-hop = 8
+    assert res.cost == 8
+
+
+def test_vertical_then_horizontal_flow_directions():
+    w = np.array([[4, 0], [0, 0]])
+    res = mwa_schedule(w)
+    # quotas all 1
+    assert res.quotas.tolist() == [[1, 1], [1, 1]]
+    # two tasks cross the row boundary (down), one crosses each row edge
+    assert int(np.abs(res.vflow).sum()) == 2
+    assert int(np.abs(res.hflow).sum()) >= 1
+
+
+def test_transfers_conserve_and_come_from_overloaded():
+    rng = np.random.default_rng(5)
+    w = rng.integers(0, 10, size=(4, 6))
+    res = mwa_schedule(w)
+    q = res.quotas
+    sent = np.zeros(24, dtype=int)
+    received = np.zeros(24, dtype=int)
+    for s, d, c in res.transfers:
+        assert c > 0 and s != d
+        sent[s] += c
+        received[d] += c
+    flat_w, flat_q = w.ravel(), q.ravel()
+    for r in range(24):
+        assert flat_w[r] - sent[r] + received[r] == flat_q[r]
+        if sent[r]:
+            assert flat_w[r] > flat_q[r]  # only overloaded nodes ship
+        if received[r]:
+            assert flat_w[r] < flat_q[r]
+
+
+def test_single_row_mesh():
+    w = np.array([[6, 0, 0]])
+    res = mwa_schedule(w)
+    assert res.quotas.tolist() == [[2, 2, 2]]
+    assert res.cost == 2 + 2 * 2  # 2 to middle, 2 moving two hops
+
+
+def test_single_column_mesh():
+    w = np.array([[6], [0], [0]])
+    res = mwa_schedule(w)
+    assert res.quotas.tolist() == [[2], [2], [2]]
+    assert res.cost == 6
+
+
+def test_single_node():
+    res = mwa_schedule(np.array([[7]]))
+    assert res.quotas.tolist() == [[7]]
+    assert res.cost == 0
+
+
+def test_comm_steps_bound():
+    res = mwa_schedule(np.zeros((8, 4), dtype=int))
+    assert res.comm_steps == 3 * (8 + 4)
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        mwa_schedule(np.array([1, 2, 3]))  # 1-D
+    with pytest.raises(ValueError):
+        mwa_schedule(np.array([[1, -2]]))
+    with pytest.raises(ValueError):
+        mwa_schedule(np.array([[1.5, 2.0]]))
+    with pytest.raises(ValueError):
+        mwa_schedule(np.zeros((0, 3)))
+
+
+def test_float_integral_loads_accepted():
+    res = mwa_schedule(np.array([[2.0, 4.0]]))
+    assert res.quotas.tolist() == [[3, 3]]
+
+
+def test_input_not_mutated():
+    w = np.array([[5, 1], [0, 2]])
+    w_copy = w.copy()
+    mwa_schedule(w)
+    assert np.array_equal(w, w_copy)
+
+
+def test_result_is_mwa_result():
+    res = mwa_schedule(np.array([[1, 2], [3, 4]]))
+    assert isinstance(res, MWAResult)

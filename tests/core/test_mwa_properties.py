@@ -1,0 +1,132 @@
+"""Property-based tests of the paper's MWA theorems.
+
+* Theorem 1 — after MWA every pair of nodes differs by at most one task;
+* Theorem 2 — the number of non-local tasks is the Lemma-1 minimum;
+* Lemma 2  — on systems of <= 4 processors the transfer cost is optimal;
+* general  — MWA cost is never below the min-cost-flow optimum, and the
+  transfer plan's end-to-end cost is consistent with the edge flows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mwa import mwa_schedule
+from repro.machine.topology import MeshTopology
+from repro.optimal import min_nonlocal_tasks, optimal_redistribution
+
+mesh_dims = st.tuples(st.integers(1, 6), st.integers(1, 6))
+
+
+@st.composite
+def load_matrices(draw, max_load: int = 30):
+    n1, n2 = draw(mesh_dims)
+    flat = draw(
+        st.lists(
+            st.integers(0, max_load),
+            min_size=n1 * n2,
+            max_size=n1 * n2,
+        )
+    )
+    return np.array(flat, dtype=np.int64).reshape(n1, n2)
+
+
+@settings(max_examples=200, deadline=None)
+@given(load_matrices())
+def test_theorem1_balance_within_one(w):
+    res = mwa_schedule(w)
+    assert int(res.quotas.max()) - int(res.quotas.min()) <= 1
+    assert int(res.quotas.sum()) == int(w.sum())
+
+
+@settings(max_examples=200, deadline=None)
+@given(load_matrices())
+def test_theorem2_locality_is_minimal(w):
+    res = mwa_schedule(w)
+    expected = min_nonlocal_tasks(w.ravel(), res.quotas.ravel())
+    assert res.nonlocal_tasks == expected
+    # and the transfer plan ships exactly that many tasks
+    assert sum(c for _, _, c in res.transfers) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.tuples(st.integers(1, 2), st.integers(1, 4)).filter(
+        lambda d: d[0] * d[1] <= 4
+    ),
+    st.data(),
+)
+def test_lemma2_optimal_on_up_to_four_processors(dims, data):
+    n1, n2 = dims
+    flat = data.draw(
+        st.lists(st.integers(0, 20), min_size=n1 * n2, max_size=n1 * n2)
+    )
+    w = np.array(flat, dtype=np.int64).reshape(n1, n2)
+    res = mwa_schedule(w)
+    opt = optimal_redistribution(MeshTopology(n1, n2), w.ravel(), res.quotas.ravel())
+    assert res.cost == opt.cost
+
+
+@settings(max_examples=100, deadline=None)
+@given(load_matrices())
+def test_cost_never_beats_the_optimum(w):
+    n1, n2 = w.shape
+    res = mwa_schedule(w)
+    opt = optimal_redistribution(MeshTopology(n1, n2), w.ravel(), res.quotas.ravel())
+    assert res.cost >= opt.cost
+
+
+@settings(max_examples=100, deadline=None)
+@given(load_matrices())
+def test_transfer_plan_cost_matches_edge_flows(w):
+    """Flow decomposition preserves total task-hops."""
+    n1, n2 = w.shape
+    mesh = MeshTopology(n1, n2)
+    res = mwa_schedule(w)
+    # each decomposed transfer travelled along flow edges; summing the
+    # per-transfer path lengths must reproduce sum |flows| exactly when
+    # paths follow the flow field, and can never be less than the
+    # topological distance
+    assert res.cost >= sum(
+        mesh.distance(s, d) * c for s, d, c in res.transfers
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(load_matrices())
+def test_row_major_remainder_rule(w):
+    res = mwa_schedule(w)
+    total = int(w.sum())
+    n = w.size
+    wavg, r = divmod(total, n)
+    flat_q = res.quotas.ravel()
+    assert all(int(q) == wavg + 1 for q in flat_q[:r])
+    assert all(int(q) == wavg for q in flat_q[r:])
+
+
+def test_paper_example_scale():
+    """An 8x4 mesh (the paper's 32-processor machine) with a skewed
+    load balances within one and stays near the optimum."""
+    rng = np.random.default_rng(0)
+    w = rng.integers(0, 40, size=(8, 4))
+    res = mwa_schedule(w)
+    opt = optimal_redistribution(MeshTopology(8, 4), w.ravel(), res.quotas.ravel())
+    assert int(res.quotas.max()) - int(res.quotas.min()) <= 1
+    assert opt.cost <= res.cost <= 2 * opt.cost + 10
+
+
+@pytest.mark.parametrize("n1,n2", [(4, 2), (4, 4), (8, 4)])
+def test_small_mesh_costs_close_to_optimal_on_average(n1, n2):
+    """Figure 4(a): for small meshes MWA is nearly optimal (< 10%)."""
+    rng = np.random.default_rng(123)
+    ratios = []
+    for _ in range(30):
+        w = rng.integers(0, 20, size=(n1, n2))
+        res = mwa_schedule(w)
+        opt = optimal_redistribution(
+            MeshTopology(n1, n2), w.ravel(), res.quotas.ravel()
+        )
+        if opt.cost:
+            ratios.append((res.cost - opt.cost) / opt.cost)
+    assert np.mean(ratios) < 0.10

@@ -1,0 +1,122 @@
+"""Tests for the experiment harness (small scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    STRATEGY_ORDER,
+    current_scale,
+    fig4_point,
+    fig5_text,
+    quality_factor,
+    run_fig5,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_workload,
+    strategy_factories,
+    table1_text,
+    table2_text,
+    table3_text,
+    workload,
+    workloads,
+)
+
+
+def test_scale_selection(monkeypatch):
+    assert current_scale("paper") == "paper"
+    monkeypatch.setenv("REPRO_SCALE", "small")
+    assert current_scale() == "small"
+    with pytest.raises(ValueError):
+        current_scale("huge")
+
+
+def test_nine_workloads_defined():
+    specs = workloads("small")
+    assert len(specs) == 9
+    kinds = [s.kind for s in specs]
+    assert kinds.count("queens") == 3
+    assert kinds.count("ida") == 3
+    assert kinds.count("gromos") == 3
+    assert workload("ida-2", "small").kind == "ida"
+    with pytest.raises(KeyError):
+        workload("nope", "small")
+
+
+def test_strategy_factories_tuning():
+    small = strategy_factories("ida", 32)
+    large = strategy_factories("ida", 128)
+    assert small["RID"]().update_factor == pytest.approx(0.4)
+    assert large["RID"]().update_factor == pytest.approx(0.7)
+    assert set(small) == set(STRATEGY_ORDER)
+
+
+def test_fig4_point_small():
+    p = fig4_point(8, 10, cases=10, seed=1)
+    assert p.normalized_cost >= 0.0
+    assert p.mean_cost_mwa >= p.mean_cost_opt > 0
+
+
+def test_fig4_shape_small_vs_large_mesh():
+    small = fig4_point(8, 10, cases=15, seed=2)
+    large = fig4_point(64, 10, cases=15, seed=2)
+    assert large.normalized_cost > small.normalized_cost
+
+
+def test_run_workload_single_cell():
+    spec = workload("gromos-8", "small")
+    m = run_workload(spec, "RIPS", num_nodes=16, seed=7)
+    assert m.num_tasks > 0
+    assert m.extra["workload_label"] == spec.label
+
+
+def test_table1_restricted_grid_and_text():
+    ms = run_table1(
+        num_nodes=16, scale="small",
+        strategies=("random", "RIPS"),
+        workload_keys=("queens-10", "gromos-8"),
+    )
+    assert len(ms) == 4
+    text = table1_text(ms, 16)
+    assert "Table I" in text and "10-Queens" in text
+
+
+def test_table2_values_in_range():
+    vals = run_table2(num_nodes=16, scale="small")
+    assert len(vals) == 9
+    for v in vals.values():
+        assert 0 < v <= 1.0
+    text = table2_text(vals, 16)
+    assert "Table II" in text
+
+
+def test_quality_factor_definition():
+    assert quality_factor(0.99, 0.65, 0.65) == pytest.approx(1.0)
+    assert quality_factor(0.99, 0.65, 0.82) > 1.0
+    assert quality_factor(0.99, 0.65, 0.50) < 1.0
+    assert quality_factor(0.9, 0.5, 0.9) == float("inf")
+
+
+def test_fig5_reuses_table1_metrics():
+    ms = run_table1(
+        num_nodes=16, scale="small",
+        strategies=("random", "RIPS"),
+        workload_keys=("queens-11",),
+    )
+    opt = {"queens-11": 0.99}
+    factors = run_fig5(num_nodes=16, scale="small", metrics=ms, opt=opt)
+    assert set(factors) == {"queens-11"}
+    assert factors["queens-11"]["random"] == pytest.approx(1.0)
+    assert "RIPS" in factors["queens-11"]
+    text = fig5_text(factors)
+    assert "Figure 5" in text
+
+
+def test_table3_speedups():
+    ms = run_table3(num_nodes_list=(16,), scale="small",
+                    strategies=("random", "RIPS"))
+    assert len(ms) == 6  # 3 workloads x 1 size x 2 strategies
+    for m in ms:
+        assert m.speedup > 1.0
+    text = table3_text(ms)
+    assert "Table III" in text and "speedup@16" in text

@@ -1,0 +1,37 @@
+"""Tests for the cross-topology experiment."""
+
+import pytest
+
+from repro.experiments.topologies import (
+    TopologyCase,
+    run_topology_comparison,
+    topology_cases,
+)
+
+from ..conftest import make_tree_trace
+
+
+def test_cases_cover_paper_topologies():
+    names = [c.name for c in topology_cases()]
+    assert any("mesh" in n for n in names)
+    assert any("tree" in n for n in names)
+    assert any("hypercube" in n for n in names)
+
+
+def test_comparison_runs_all_cases(tree_trace):
+    results = run_topology_comparison(tree_trace, num_nodes=8)
+    assert set(results) == {c.name for c in topology_cases()}
+    for name, m in results.items():
+        assert m.num_tasks == len(tree_trace), name
+        assert m.extra["topology_case"] == name
+
+
+def test_comparison_rejects_non_power_of_two(tree_trace):
+    with pytest.raises(ValueError):
+        run_topology_comparison(tree_trace, num_nodes=12)
+
+
+def test_comparison_with_case_subset(tree_trace):
+    cases = [c for c in topology_cases() if c.name == "mesh+MWA"]
+    results = run_topology_comparison(tree_trace, num_nodes=4, cases=cases)
+    assert list(results) == ["mesh+MWA"]

@@ -1,0 +1,103 @@
+"""Tests for the collective protocols (gather tree, binomial broadcast)."""
+
+import operator
+
+import pytest
+
+from repro.machine import (
+    BinomialBroadcast,
+    GatherTree,
+    Machine,
+    MeshTopology,
+    TreeTopology,
+    modeled_barrier_latency,
+)
+
+
+def test_gather_tree_sums_all_contributions():
+    m = Machine(MeshTopology(4, 4), seed=0)
+    results = []
+    g = GatherTree(m, "g", operator.add, lambda rnd, v: results.append((rnd, v)))
+    for r in range(16):
+        g.contribute(r, 1, r)
+    m.run()
+    assert results == [(1, sum(range(16)))]
+
+
+def test_gather_tree_rounds_are_independent():
+    m = Machine(MeshTopology(2, 2), seed=0)
+    results = {}
+    g = GatherTree(m, "g", operator.add, results.__setitem__)
+    # interleave two rounds
+    for r in range(4):
+        g.contribute(r, 7, 10 + r)
+    for r in range(4):
+        g.contribute(r, 8, 100 + r)
+    m.run()
+    assert results == {7: 46, 8: 406}
+
+
+def test_gather_tree_dict_merge_combine():
+    m = Machine(MeshTopology(8, 4), seed=0)
+    results = []
+    g = GatherTree(m, "g", lambda a, b: {**a, **b},
+                   lambda rnd, v: results.append(v))
+    for r in range(32):
+        g.contribute(r, 0, {r: r * r})
+    m.run()
+    assert results[0] == {r: r * r for r in range(32)}
+
+
+def test_gather_waits_for_stragglers():
+    m = Machine(MeshTopology(2, 2), seed=0)
+    results = []
+    g = GatherTree(m, "g", operator.add, lambda rnd, v: results.append(v))
+    for r in range(3):
+        g.contribute(r, 0, 1)
+    m.run()
+    assert results == []  # rank 3 has not contributed
+    g.contribute(3, 0, 1)
+    m.run()
+    assert results == [4]
+
+
+@pytest.mark.parametrize("root", [0, 3, 13])
+def test_binomial_broadcast_reaches_everyone(root):
+    m = Machine(MeshTopology(4, 4), seed=0)
+    got = []
+    b = BinomialBroadcast(m, "b", lambda rank, p: got.append((rank, p)))
+    b.broadcast(root, "hello")
+    m.run()
+    assert sorted(r for r, _ in got) == list(range(16))
+    assert all(p == "hello" for _, p in got)
+
+
+def test_binomial_broadcast_multiple_rounds():
+    m = Machine(MeshTopology(2, 2), seed=0)
+    got = []
+    b = BinomialBroadcast(m, "b", lambda rank, p: got.append(p))
+    b.broadcast(0, 1)
+    b.broadcast(2, 2)
+    m.run()
+    assert sorted(got) == [1] * 4 + [2] * 4
+
+
+def test_broadcast_cost_is_logarithmic_messages():
+    m = Machine(MeshTopology(4, 4), seed=0)
+    b = BinomialBroadcast(m, "b", lambda rank, p: None)
+    b.broadcast(0, None)
+    m.run()
+    assert m.network.stats.messages == 15  # N-1 sends total
+
+
+def test_modeled_barrier_latency_positive_and_scales():
+    small = Machine(MeshTopology(2, 2), seed=0)
+    large = Machine(MeshTopology(16, 16), seed=0)
+    a = modeled_barrier_latency(small)
+    b = modeled_barrier_latency(large)
+    assert 0 < a < b
+
+
+def test_modeled_barrier_latency_single_node():
+    m = Machine(TreeTopology(1), seed=0)
+    assert modeled_barrier_latency(m) == 0.0

@@ -1,0 +1,41 @@
+"""Tests for the table/series formatting helpers."""
+
+from repro.metrics import format_series, format_table, percent, seconds
+
+
+def test_percent_and_seconds():
+    assert percent(0.934) == "93.4%"
+    assert seconds(1.2345) == "1.23"
+
+
+def test_format_table_basic():
+    rows = [
+        {"a": 1, "b": "x"},
+        {"a": 22, "b": "yy"},
+    ]
+    out = format_table(rows, title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_column_subset_and_missing():
+    rows = [{"a": 1, "b": 2}]
+    out = format_table(rows, columns=["b", "c"])
+    assert "b" in out and "a" not in out
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([], title="x")
+
+
+def test_format_table_floats_formatted():
+    out = format_table([{"v": 1.23456}])
+    assert "1.235" in out
+
+
+def test_format_series():
+    s = format_series("mwa", [2, 5], [0.01, 0.02])
+    assert "2=1.0%" in s and "5=2.0%" in s
+    assert s.strip().startswith("mwa:")

@@ -1,0 +1,145 @@
+"""Tests for optimal redistribution and the scheduling lower bounds."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.machine.topology import MeshTopology, TreeTopology
+from repro.optimal import (
+    min_nonlocal_tasks,
+    optimal_efficiency,
+    optimal_parallel_time,
+    optimal_redistribution,
+)
+from repro.tasks.trace import TraceTask, WorkloadTrace
+
+
+def brute_force_cost(topology, loads, quotas):
+    """Exhaustive optimal transfer cost on tiny instances: assign each
+    surplus unit to a deficit slot, minimizing total distance."""
+    surplus_units = []
+    deficit_units = []
+    for r, (w, q) in enumerate(zip(loads, quotas)):
+        surplus_units.extend([r] * max(0, w - q))
+        deficit_units.extend([r] * max(0, q - w))
+    assert len(surplus_units) == len(deficit_units)
+    if not surplus_units:
+        return 0
+    best = None
+    for perm in itertools.permutations(range(len(deficit_units))):
+        cost = sum(
+            topology.distance(surplus_units[i], deficit_units[p])
+            for i, p in enumerate(perm)
+        )
+        best = cost if best is None else min(best, cost)
+    return best
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_optimal_matches_brute_force_on_tiny_meshes(seed):
+    rng = np.random.default_rng(seed)
+    topo = MeshTopology(2, 3)
+    loads = rng.integers(0, 4, size=6)
+    total = int(loads.sum())
+    q = np.full(6, total // 6)
+    q[: total % 6] += 1
+    plan = optimal_redistribution(topo, loads, q)
+    assert plan.cost == brute_force_cost(topo, loads.tolist(), q.tolist())
+
+
+def test_optimal_zero_when_balanced():
+    topo = MeshTopology(2, 2)
+    plan = optimal_redistribution(topo, [3, 3, 3, 3])
+    assert plan.cost == 0
+    assert all(t == 0 for t in plan.edge_transfers)
+
+
+def test_optimal_default_quota_rule():
+    topo = MeshTopology(1, 3)
+    plan = optimal_redistribution(topo, [7, 0, 0])
+    assert plan.quotas.tolist() == [3, 2, 2]
+
+
+def test_optimal_validation():
+    topo = MeshTopology(2, 2)
+    with pytest.raises(ValueError):
+        optimal_redistribution(topo, [1, 2, 3])
+    with pytest.raises(ValueError):
+        optimal_redistribution(topo, [1, 2, 3, -1])
+    with pytest.raises(ValueError):
+        optimal_redistribution(topo, [1, 1, 1, 1], [1, 1, 1, 2])
+
+
+def test_optimal_on_tree_topology():
+    topo = TreeTopology(7)
+    plan = optimal_redistribution(topo, [14, 0, 0, 0, 0, 0, 0])
+    assert plan.quotas.sum() == 14
+    assert plan.cost > 0
+
+
+# ---------------------------------------------------------------------------
+# Lemma 1 / Table II bounds
+# ---------------------------------------------------------------------------
+
+
+def test_min_nonlocal_matches_lemma1():
+    # wavg = 3; underloaded nodes need 2 + 1 = 3 tasks
+    assert min_nonlocal_tasks([6, 3, 1, 2]) == 3
+
+
+def test_min_nonlocal_with_quotas():
+    assert min_nonlocal_tasks([5, 0], quotas=[2, 3]) == 3
+
+
+def test_min_nonlocal_requires_divisible_total():
+    with pytest.raises(ValueError):
+        min_nonlocal_tasks([1, 2])
+    with pytest.raises(ValueError):
+        min_nonlocal_tasks([1, 2, 3], quotas=[1, 2])
+
+
+def test_optimal_parallel_time_work_bound():
+    tasks = [TraceTask(i, 100.0) for i in range(8)]
+    trace = WorkloadTrace("flat", tasks, sec_per_unit=1e-2)
+    # 8 seconds of work on 4 nodes: bound is 2s
+    assert optimal_parallel_time(trace, 4) == pytest.approx(2.0)
+    assert optimal_efficiency(trace, 4) == pytest.approx(1.0)
+
+
+def test_optimal_parallel_time_chain_bound():
+    # a spawn chain longer than work/N dominates
+    tasks = [
+        TraceTask(0, 100.0, 0, (1,)),
+        TraceTask(1, 100.0, 0, (2,)),
+        TraceTask(2, 100.0, 0),
+    ]
+    trace = WorkloadTrace("chain", tasks, sec_per_unit=1e-2)
+    assert optimal_parallel_time(trace, 8) == pytest.approx(3.0)
+    assert optimal_efficiency(trace, 8) == pytest.approx(3.0 / 24.0)
+
+
+def test_optimal_parallel_time_wave_serialization():
+    tasks = [
+        TraceTask(0, 100.0, 0),
+        TraceTask(1, 100.0, 0),
+        TraceTask(2, 100.0, 1),
+        TraceTask(3, 100.0, 1),
+    ]
+    # roots must be wave 0: chain the waves
+    tasks[0] = TraceTask(0, 100.0, 0, (2,))
+    tasks[1] = TraceTask(1, 100.0, 0, (3,))
+    trace = WorkloadTrace("waves", tasks, sec_per_unit=1e-2)
+    # each wave: max(2s/2nodes, 1s) = 1s; two waves = 2s
+    assert optimal_parallel_time(trace, 2) == pytest.approx(2.0)
+
+
+def test_optimal_efficiency_empty_trace():
+    trace = WorkloadTrace("empty", [], sec_per_unit=1.0)
+    assert optimal_efficiency(trace, 4) == 1.0
+
+
+def test_optimal_parallel_time_validation():
+    trace = WorkloadTrace("t", [TraceTask(0, 1.0)], 1.0)
+    with pytest.raises(ValueError):
+        optimal_parallel_time(trace, 0)

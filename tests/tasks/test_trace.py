@@ -1,0 +1,87 @@
+"""Tests for the workload-trace model."""
+
+import pytest
+
+from repro.tasks.trace import TraceTask, WorkloadTrace
+
+
+def simple_trace():
+    tasks = [
+        TraceTask(0, 10.0, 0, (1, 2)),
+        TraceTask(1, 5.0, 0, (3,)),
+        TraceTask(2, 20.0, 0),
+        TraceTask(3, 2.0, 1),
+    ]
+    return WorkloadTrace("t", tasks, sec_per_unit=0.1)
+
+
+def test_basic_properties():
+    tr = simple_trace()
+    assert len(tr) == 4
+    assert tr.num_waves == 2
+    assert [t.id for t in tr.roots] == [0]
+    assert tr.wave_size(0) == 3 and tr.wave_size(1) == 1
+    assert [t.id for t in tr.wave_tasks(1)] == [3]
+
+
+def test_durations_and_totals():
+    tr = simple_trace()
+    assert tr.duration(2) == pytest.approx(2.0)
+    assert tr.total_work_seconds() == pytest.approx(3.7)
+    assert tr.total_work_seconds(0) == pytest.approx(3.5)
+    assert tr.max_task_seconds() == pytest.approx(2.0)
+    assert tr.max_task_seconds(1) == pytest.approx(0.2)
+
+
+def test_critical_path_includes_wave_serialization():
+    tr = simple_trace()
+    # wave 0 chain: 0 -> 2 = 3.0s; wave 1 chain resets: just task 3 = 0.2s
+    assert tr.critical_path_seconds() == pytest.approx(3.2)
+
+
+def test_negative_work_rejected():
+    with pytest.raises(ValueError):
+        TraceTask(0, -1.0)
+
+
+def test_ids_must_be_dense_and_ordered():
+    with pytest.raises(ValueError):
+        WorkloadTrace("bad", [TraceTask(1, 1.0)], 1.0)
+    with pytest.raises(ValueError):
+        WorkloadTrace(
+            "bad", [TraceTask(0, 1.0), TraceTask(2, 1.0)], 1.0
+        )
+
+
+def test_child_references_validated():
+    with pytest.raises(ValueError):
+        WorkloadTrace("bad", [TraceTask(0, 1.0, 0, (5,))], 1.0)
+
+
+def test_children_cannot_go_to_earlier_wave():
+    tasks = [TraceTask(0, 1.0, 1, (1,)), TraceTask(1, 1.0, 0)]
+    with pytest.raises(ValueError):
+        WorkloadTrace("bad", tasks, 1.0)
+
+
+def test_roots_must_be_wave_zero():
+    tasks = [TraceTask(0, 1.0, 0), TraceTask(1, 1.0, 1)]
+    with pytest.raises(ValueError):
+        WorkloadTrace("bad", tasks, 1.0)
+
+
+def test_sec_per_unit_positive():
+    with pytest.raises(ValueError):
+        WorkloadTrace("bad", [TraceTask(0, 1.0)], 0.0)
+
+
+def test_multiple_roots():
+    tasks = [TraceTask(0, 1.0), TraceTask(1, 2.0)]
+    tr = WorkloadTrace("forest", tasks, 1.0)
+    assert sorted(t.id for t in tr.roots) == [0, 1]
+
+
+def test_repr_contains_name_and_counts():
+    tr = simple_trace()
+    s = repr(tr)
+    assert "t" in s and "tasks=4" in s and "waves=2" in s

@@ -1,0 +1,40 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_workloads_listing(capsys):
+    assert main(["workloads", "--scale", "small"]) == 0
+    out = capsys.readouterr().out
+    assert "queens-10" in out and "gromos-16" in out
+
+
+def test_run_single_cell(capsys):
+    assert main(["run", "queens-10", "RIPS", "--nodes", "16",
+                 "--scale", "small"]) == 0
+    out = capsys.readouterr().out
+    assert "10-Queens" in out and "RIPS" in out
+
+
+def test_fig4_series(capsys):
+    assert main(["fig4", "--cases", "3", "--sizes", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "8 procs" in out
+
+
+def test_table2(capsys):
+    assert main(["table2", "--nodes", "16", "--scale", "small"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])
+
+
+def test_unknown_workload_key():
+    with pytest.raises(KeyError):
+        main(["run", "bogus-42", "RIPS", "--scale", "small"])
