@@ -3,16 +3,25 @@
 Commands
 --------
 ``table1`` / ``table2`` / ``table3`` / ``fig5``
-    Regenerate the paper's tables/figure from scratch and print them.
+    Regenerate the paper's tables/figure and print them.
 ``fig4``
     Print the Figure-4 normalized-cost series.
 ``run``
     Run one workload under one strategy and print the metrics row.
+``topologies``
+    RIPS across mesh/tree/hypercube/crossbar for one workload.
 ``workloads``
     List the available workload keys at the chosen scale.
+``cache``
+    Inspect or clear the trace and result caches.
+``bench``
+    Event-loop microbenchmark; writes ``BENCH_events_per_sec.json``.
 
-All commands accept ``--scale {small,paper}`` (default: the
-``REPRO_SCALE`` environment variable, or ``small``).
+All experiment commands accept ``--scale {small,paper}`` (default: the
+``REPRO_SCALE`` environment variable, or ``small``).  Grid commands
+(``table1``, ``table3``, ``topologies``) also accept ``--jobs N``
+(default ``$REPRO_JOBS`` or serial; 0 = one worker per CPU) and
+``--no-cache`` to bypass the on-disk result cache.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from repro.experiments import (
     workload,
     workloads,
 )
+from repro.experiments import run_topology_grid
 from repro.experiments.fig4 import PAPER_SIZES, PAPER_WEIGHTS
 from repro.metrics import format_series, format_table, percent, seconds
 
@@ -44,8 +54,30 @@ def _add_scale(p: argparse.ArgumentParser) -> None:
                    help="workload sizes (default: $REPRO_SCALE or small)")
 
 
+def _jobs_arg(value: str) -> str:
+    from repro.runner import resolve_jobs
+
+    try:
+        resolve_jobs(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid jobs value {value!r} (want an integer or 'auto')")
+    return value
+
+
+def _add_grid_opts(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", default=None, type=_jobs_arg,
+                   help="parallel grid cells (int, or 'auto' = one per CPU; "
+                        "default: $REPRO_JOBS or serial)")
+    p.add_argument("--no-cache", dest="cache", action="store_false",
+                   default=True,
+                   help="re-simulate every cell instead of reusing the "
+                        "on-disk result cache")
+
+
 def _cmd_table1(args) -> int:
-    ms = run_table1(num_nodes=args.nodes, scale=args.scale)
+    ms = run_table1(num_nodes=args.nodes, scale=args.scale,
+                    jobs=args.jobs, cache=args.cache)
     print(table1_text(ms, args.nodes))
     return 0
 
@@ -57,8 +89,65 @@ def _cmd_table2(args) -> int:
 
 
 def _cmd_table3(args) -> int:
-    ms = run_table3(num_nodes_list=tuple(args.nodes), scale=args.scale)
+    ms = run_table3(num_nodes_list=tuple(args.nodes), scale=args.scale,
+                    jobs=args.jobs, cache=args.cache)
     print(table3_text(ms))
+    return 0
+
+
+def _cmd_topologies(args) -> int:
+    out = run_topology_grid(args.workload, num_nodes=args.nodes,
+                            seed=args.seed, scale=args.scale,
+                            jobs=args.jobs, cache=args.cache)
+    rows = [
+        {
+            "case": name,
+            "nonlocal": m.nonlocal_tasks,
+            "Th": seconds(m.Th),
+            "Ti": seconds(m.Ti),
+            "T": seconds(m.T),
+            "mu": percent(m.efficiency),
+            "phases": m.system_phases or "-",
+        }
+        for name, m in out.items()
+    ]
+    print(format_table(
+        rows, title=f"RIPS across topologies: {args.workload} on {args.nodes} nodes"
+    ))
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.apps.cache import clear_trace_cache, trace_cache_stats
+    from repro.runner import ResultCache
+
+    if args.action == "clear":
+        removed_results = ResultCache().clear()
+        removed_traces = clear_trace_cache() if args.traces else 0
+        print(f"removed {removed_results} cached results"
+              + (f", {removed_traces} cached traces" if args.traces else ""))
+        return 0
+    rows = []
+    rs = ResultCache().stats()
+    rows.append({"cache": "results", "dir": rs["dir"],
+                 "entries": rs["entries"], "bytes": rs["bytes"],
+                 "version": rs["version"]})
+    ts = trace_cache_stats()
+    rows.append({"cache": "traces", "dir": ts["dir"],
+                 "entries": ts["entries"], "bytes": ts["bytes"],
+                 "version": ts["format_version"]})
+    print(format_table(rows, title="On-disk caches"))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.runner.bench import emit_bench
+
+    report = emit_bench(path=args.out, events=args.events, reps=args.reps)
+    rates = report["events_per_sec"]
+    speed = report["speedup_vs_seed"]
+    print(f"chain : {rates['chain']:>9,} events/sec ({speed['chain']}x seed)")
+    print(f"loaded: {rates['loaded']:>9,} events/sec ({speed['loaded']}x seed)")
     return 0
 
 
@@ -119,6 +208,7 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("table1", help="strategy comparison (Table I)")
     _add_scale(p)
     p.add_argument("--nodes", type=int, default=32)
+    _add_grid_opts(p)
     p.set_defaults(fn=_cmd_table1)
 
     p = sub.add_parser("table2", help="optimal efficiencies (Table II)")
@@ -129,7 +219,32 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("table3", help="speedups on larger machines (Table III)")
     _add_scale(p)
     p.add_argument("--nodes", type=int, nargs="+", default=[64, 128])
+    _add_grid_opts(p)
     p.set_defaults(fn=_cmd_table3)
+
+    p = sub.add_parser("topologies",
+                       help="RIPS across mesh/tree/hypercube/crossbar")
+    _add_scale(p)
+    p.add_argument("workload", help="workload key, e.g. queens-11")
+    p.add_argument("--nodes", type=int, default=32,
+                   help="node count (power of two)")
+    p.add_argument("--seed", type=int, default=77)
+    _add_grid_opts(p)
+    p.set_defaults(fn=_cmd_topologies)
+
+    p = sub.add_parser("cache", help="inspect or clear the on-disk caches")
+    p.add_argument("action", choices=("stats", "clear"))
+    p.add_argument("--traces", action="store_true",
+                   help="on clear: also drop cached workload traces")
+    p.set_defaults(fn=_cmd_cache)
+
+    p = sub.add_parser("bench",
+                       help="event-loop microbenchmark -> BENCH_events_per_sec.json")
+    p.add_argument("--events", type=int, default=200_000)
+    p.add_argument("--reps", type=int, default=5)
+    p.add_argument("--out", default=None,
+                   help="output path (default: repo-root BENCH_events_per_sec.json)")
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("fig4", help="MWA vs optimal transfer cost (Figure 4)")
     p.add_argument("--cases", type=int, default=25)

@@ -11,6 +11,7 @@ directory defaults to ``<repo>/.trace_cache`` and can be moved with the
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 from pathlib import Path
@@ -18,9 +19,20 @@ from typing import Callable
 
 from repro.tasks.trace import WorkloadTrace
 
-__all__ = ["trace_cache_dir", "cached_trace", "clear_trace_cache"]
+__all__ = [
+    "trace_cache_dir",
+    "cached_trace",
+    "clear_trace_cache",
+    "trace_cache_stats",
+    "TRACE_FORMAT_VERSION",
+]
 
 _ENV_VAR = "REPRO_TRACE_CACHE"
+
+#: Bump when the pickled trace layout (or its generation semantics)
+#: changes; it is part of the cache key, so stale pickles from older code
+#: simply stop being found instead of being unpickled into wrong shapes.
+TRACE_FORMAT_VERSION = 2
 
 
 def trace_cache_dir() -> Path:
@@ -35,7 +47,16 @@ def trace_cache_dir() -> Path:
 
 
 def _key(name: str, params: dict) -> str:
-    blob = repr(sorted(params.items())).encode()
+    # Canonical JSON, not repr: repr-based keys collide whenever two
+    # distinct values render identically once embedded in a string (and
+    # conversely split the cache for values with unstable reprs).  JSON
+    # keeps 1 vs "1" distinct; ``default=repr`` covers non-JSON values.
+    blob = json.dumps(
+        {"name": name, "params": params, "format": TRACE_FORMAT_VERSION},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=repr,
+    ).encode()
     return f"{name}-{hashlib.sha256(blob).hexdigest()[:16]}"
 
 
@@ -53,7 +74,9 @@ def cached_trace(
         except Exception:
             path.unlink(missing_ok=True)  # corrupt cache entry: rebuild
     trace = build()
-    tmp = path.with_suffix(".tmp")
+    # unique tmp per writer: parallel grid workers may build the same trace
+    # concurrently, and a shared tmp path would interleave their writes
+    tmp = Path(f"{path}.{os.getpid()}.tmp")
     with tmp.open("wb") as fh:
         pickle.dump(trace, fh, protocol=pickle.HIGHEST_PROTOCOL)
     tmp.replace(path)
@@ -67,3 +90,14 @@ def clear_trace_cache() -> int:
         p.unlink()
         removed += 1
     return removed
+
+
+def trace_cache_stats() -> dict:
+    """Entry count and total bytes of the on-disk trace cache."""
+    entries = list(trace_cache_dir().glob("*.pkl"))
+    return {
+        "dir": str(trace_cache_dir()),
+        "entries": len(entries),
+        "bytes": sum(p.stat().st_size for p in entries),
+        "format_version": TRACE_FORMAT_VERSION,
+    }

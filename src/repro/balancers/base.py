@@ -152,7 +152,7 @@ class Worker:
         cfg = self.driver.config
         self.node.exec_cpu(cfg.task_start_overhead, "overhead")
         self.node.exec_cpu(
-            self.driver.trace.duration(tid), "task", lambda: self._complete(tid)
+            self.driver.trace.duration(tid), "task", self._complete, tid
         )
 
     def _complete(self, tid: int) -> None:
@@ -332,7 +332,7 @@ class Driver:
             # and wrongly conclude the node has drained.
             cost = self.config.spawn_overhead * len(same_wave)
             node.exec_cpu(cost, "overhead",
-                          lambda: self._finish_completion(rank, tid, same_wave))
+                          self._finish_completion, rank, tid, same_wave)
         else:
             self._finish_completion(rank, tid, [])
 

@@ -22,10 +22,16 @@ from .common import (
 )
 from .fig4 import Fig4Point, fig4_point, fig4_series
 from .fig5 import fig5_text, quality_factor, run_fig5
-from .table1 import run_table1, table1_rows, table1_text
+from .table1 import run_table1, table1_requests, table1_rows, table1_text
 from .table2 import run_table2, table2_text
-from .table3 import TABLE3_WORKLOADS, run_table3, table3_text
-from .topologies import TopologyCase, run_topology_comparison, topology_cases
+from .table3 import TABLE3_WORKLOADS, run_table3, table3_requests, table3_text
+from .topologies import (
+    TopologyCase,
+    run_topology_comparison,
+    run_topology_grid,
+    topology_cases,
+    topology_grid_requests,
+)
 
 __all__ = [
     "Fig4Point",
@@ -44,7 +50,11 @@ __all__ = [
     "run_table3",
     "run_workload",
     "run_topology_comparison",
+    "run_topology_grid",
     "strategy_factories",
+    "table1_requests",
+    "table3_requests",
+    "topology_grid_requests",
     "table1_rows",
     "table1_text",
     "table2_text",

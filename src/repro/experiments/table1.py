@@ -8,13 +8,38 @@ time Ti, execution time T, and efficiency mu.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.balancers import RunMetrics
 from repro.metrics import format_table, percent, seconds
-from .common import STRATEGY_ORDER, current_scale, run_workload, workloads
+from repro.runner import ResultCache, RunRequest, run_requests
+from .common import STRATEGY_ORDER, current_scale, workloads
 
-__all__ = ["table1_rows", "table1_text", "run_table1"]
+__all__ = ["table1_requests", "table1_rows", "table1_text", "run_table1"]
+
+
+def table1_requests(
+    num_nodes: int = 32,
+    scale: Optional[str] = None,
+    strategies: Sequence[str] = STRATEGY_ORDER,
+    workload_keys: Optional[Sequence[str]] = None,
+    seed: int = 1234,
+) -> list[RunRequest]:
+    """The (possibly restricted) Table-I grid as runner requests, in the
+    paper's row order: workloads outer, strategies inner."""
+    scale = current_scale(scale)
+    return [
+        RunRequest(
+            workload=spec.key,
+            strategy=strat,
+            num_nodes=num_nodes,
+            seed=seed,
+            scale=scale,
+        )
+        for spec in workloads(scale)
+        if workload_keys is None or spec.key in workload_keys
+        for strat in strategies
+    ]
 
 
 def run_table1(
@@ -23,16 +48,23 @@ def run_table1(
     strategies: Sequence[str] = STRATEGY_ORDER,
     workload_keys: Optional[Sequence[str]] = None,
     seed: int = 1234,
+    jobs: Optional[Union[int, str]] = None,
+    cache: Union[ResultCache, bool, None] = None,
 ) -> list[RunMetrics]:
-    """Run the full (or restricted) Table-I grid; returns all metrics."""
-    scale = current_scale(scale)
-    out: list[RunMetrics] = []
-    for spec in workloads(scale):
-        if workload_keys is not None and spec.key not in workload_keys:
-            continue
-        for strat in strategies:
-            out.append(run_workload(spec, strat, num_nodes=num_nodes, seed=seed))
-    return out
+    """Run the full (or restricted) Table-I grid; returns all metrics.
+
+    ``jobs`` fans the independent cells out across local cores (default:
+    ``$REPRO_JOBS`` or serial); result order is identical either way.
+    ``cache=True`` reuses results from previous invocations.
+    """
+    reqs = table1_requests(
+        num_nodes=num_nodes,
+        scale=scale,
+        strategies=strategies,
+        workload_keys=workload_keys,
+        seed=seed,
+    )
+    return run_requests(reqs, jobs=jobs, cache=cache)
 
 
 def table1_rows(metrics: Sequence[RunMetrics]) -> list[dict]:

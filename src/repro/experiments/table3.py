@@ -9,13 +9,14 @@ IDA* on the larger machines, as the paper describes
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.balancers import RunMetrics
 from repro.metrics import format_table
-from .common import STRATEGY_ORDER, current_scale, run_workload, workloads
+from repro.runner import ResultCache, RunRequest, run_requests
+from .common import STRATEGY_ORDER, current_scale, workloads
 
-__all__ = ["TABLE3_WORKLOADS", "run_table3", "table3_text"]
+__all__ = ["TABLE3_WORKLOADS", "table3_requests", "run_table3", "table3_text"]
 
 #: workload keys of Table III at paper scale (the last of each group)
 TABLE3_WORKLOADS = {
@@ -24,21 +25,42 @@ TABLE3_WORKLOADS = {
 }
 
 
+def table3_requests(
+    num_nodes_list: Sequence[int] = (64, 128),
+    scale: Optional[str] = None,
+    strategies: Sequence[str] = STRATEGY_ORDER,
+    seed: int = 1234,
+) -> list[RunRequest]:
+    """The Table-III grid as runner requests."""
+    scale = current_scale(scale)
+    keys = TABLE3_WORKLOADS[scale]
+    return [
+        RunRequest(
+            workload=spec.key,
+            strategy=strat,
+            num_nodes=n,
+            seed=seed,
+            scale=scale,
+        )
+        for spec in workloads(scale)
+        if spec.key in keys
+        for n in num_nodes_list
+        for strat in strategies
+    ]
+
+
 def run_table3(
     num_nodes_list: Sequence[int] = (64, 128),
     scale: Optional[str] = None,
     strategies: Sequence[str] = STRATEGY_ORDER,
     seed: int = 1234,
+    jobs: Optional[Union[int, str]] = None,
+    cache: Union[ResultCache, bool, None] = None,
 ) -> list[RunMetrics]:
-    scale = current_scale(scale)
-    keys = TABLE3_WORKLOADS[scale]
-    specs = [s for s in workloads(scale) if s.key in keys]
-    out: list[RunMetrics] = []
-    for spec in specs:
-        for n in num_nodes_list:
-            for strat in strategies:
-                out.append(run_workload(spec, strat, num_nodes=n, seed=seed))
-    return out
+    reqs = table3_requests(
+        num_nodes_list=num_nodes_list, scale=scale, strategies=strategies, seed=seed
+    )
+    return run_requests(reqs, jobs=jobs, cache=cache)
 
 
 def table3_text(metrics: Sequence[RunMetrics]) -> str:

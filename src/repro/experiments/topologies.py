@@ -18,6 +18,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.balancers import RunMetrics, run_trace
 from repro.core import RIPS
+from repro.runner import ResultCache, RunRequest, run_requests
 from repro.core.schedulers import (
     DimensionExchangePlanner,
     MeshWalkPlanner,
@@ -36,7 +37,13 @@ from repro.machine import (
 )
 from repro.tasks.trace import WorkloadTrace
 
-__all__ = ["TopologyCase", "topology_cases", "run_topology_comparison"]
+__all__ = [
+    "TopologyCase",
+    "topology_cases",
+    "topology_grid_requests",
+    "run_topology_comparison",
+    "run_topology_grid",
+]
 
 
 @dataclass(frozen=True)
@@ -103,3 +110,60 @@ def run_topology_comparison(
         metrics.extra["topology_case"] = case.name
         out[case.name] = metrics
     return out
+
+
+def topology_grid_requests(
+    workload_key: str,
+    num_nodes: int = 32,
+    case_names: Optional[Sequence[str]] = None,
+    seed: int = 77,
+    scale: Optional[str] = None,
+) -> list[RunRequest]:
+    """The cross-topology comparison as runner requests (one per case)."""
+    from .common import current_scale
+
+    if num_nodes & (num_nodes - 1):
+        raise ValueError("num_nodes must be a power of two for this comparison")
+    scale = current_scale(scale)
+    names = (
+        list(case_names)
+        if case_names is not None
+        else [c.name for c in topology_cases()]
+    )
+    return [
+        RunRequest(
+            workload=workload_key,
+            strategy="RIPS",
+            num_nodes=num_nodes,
+            seed=seed,
+            scale=scale,
+            topology_case=name,
+        )
+        for name in names
+    ]
+
+
+def run_topology_grid(
+    workload_key: str,
+    num_nodes: int = 32,
+    case_names: Optional[Sequence[str]] = None,
+    seed: int = 77,
+    scale: Optional[str] = None,
+    jobs: Optional[int] = None,
+    cache: "ResultCache | bool | None" = None,
+) -> dict[str, RunMetrics]:
+    """:func:`run_topology_comparison` routed through the parallel runner.
+
+    Cases fan out across cores like any other grid (workers rebuild the
+    trace from ``workload_key`` via the disk trace cache); results keep
+    the case-name keying of the serial API.
+    """
+    reqs = topology_grid_requests(
+        workload_key,
+        num_nodes=num_nodes,
+        case_names=case_names,
+        seed=seed,
+        scale=scale,
+    )
+    metrics = run_requests(reqs, jobs=jobs, cache=cache)
+    return {req.topology_case: m for req, m in zip(reqs, metrics)}

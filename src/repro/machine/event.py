@@ -11,9 +11,21 @@ Design notes
 ------------
 * Events are ordered by ``(time, priority, seq)``.  ``seq`` is a global
   monotone counter so that events scheduled earlier at the same timestamp
-  fire first; this gives a total, platform-independent order.
+  fire first; this gives a total, platform-independent order.  The key
+  tuple is built once at schedule time; ``heapq`` sift comparisons reduce
+  to a single tuple comparison instead of the attribute-by-attribute
+  dance a ``dataclass(order=True)`` generates.
+* The heap entry *is* the handle: one ``__slots__`` object per scheduled
+  action, allocated without a Python-level ``__init__`` frame.  The event
+  loop is the hottest code in the repository — a full Table-I grid is
+  hundreds of millions of events — so per-event allocations are kept to
+  the handle itself plus its key tuple.
 * Cancellation is lazy: :meth:`EventHandle.cancel` marks the event dead
   and the main loop skips it.  This is O(1) and avoids heap surgery.
+  Dead events are *compacted* away once they dominate the queue, so
+  protocols that cancel heavily (retry timers, refresh ticks) cannot grow
+  the heap without bound: the queue length is bounded by ~2x the live
+  event count.
 * The simulator itself knows nothing about processors or messages; those
   live in :mod:`repro.machine.node` and :mod:`repro.machine.network`.
 """
@@ -22,49 +34,61 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 __all__ = ["EventHandle", "Simulator", "SimulationError"]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Compaction trigger: rebuild the heap when at least this many events are
+#: dead *and* they make up at least half the queue.  The floor keeps tiny
+#: queues from compacting on every cancel; the ratio makes compaction
+#: amortized O(1) per cancellation.
+_COMPACT_MIN_DEAD = 64
 
 
 class SimulationError(RuntimeError):
     """Raised on invalid simulator usage (negative delays, time travel)."""
 
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    priority: int
-    seq: int
-    fn: Callable[..., Any] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-
-
 class EventHandle:
-    """Opaque handle returned by :meth:`Simulator.schedule`.
+    """A scheduled event; also the handle :meth:`Simulator.schedule` returns.
 
-    Only supports cancellation; a cancelled event silently never fires.
+    ``key`` is the prebuilt ``(time, priority, seq)`` ordering tuple.
+    ``fn`` is cleared once the event has fired or been cancelled, freeing
+    the callback closure and payload immediately.  Public surface:
+    :meth:`cancel`, :attr:`cancelled`, :attr:`time`.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("key", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, event: _Event) -> None:
-        self._event = event
+    def __lt__(self, other: "EventHandle") -> bool:
+        return self.key < other.key
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self._event.cancelled = True
-
-    @property
-    def cancelled(self) -> bool:
-        return self._event.cancelled
+        if self.cancelled:
+            return
+        self.cancelled = True
+        if self.fn is None:
+            # already executed: nothing left in the queue to account for
+            return
+        self.fn = None
+        self.args = ()
+        sim = self._sim
+        sim._dead += 1
+        if sim._dead >= _COMPACT_MIN_DEAD and sim._dead * 2 >= len(sim._queue):
+            sim._compact()
 
     @property
     def time(self) -> float:
         """Virtual time at which the event is (was) due."""
-        return self._event.time
+        return self.key[0]
+
+
+#: Backwards-compatible alias: the heap entry used to be a separate class.
+_Event = EventHandle
 
 
 class Simulator:
@@ -82,11 +106,12 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: list[_Event] = []
+        self._queue: list[EventHandle] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._events_processed = 0
         self._running = False
+        self._dead = 0  # cancelled events still sitting in the queue
 
     # ------------------------------------------------------------------
     # clock
@@ -102,8 +127,8 @@ class Simulator:
         return self._events_processed
 
     def pending(self) -> int:
-        """Number of scheduled, not-yet-cancelled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of scheduled, not-yet-cancelled events.  O(1)."""
+        return len(self._queue) - self._dead
 
     # ------------------------------------------------------------------
     # scheduling
@@ -124,9 +149,15 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        ev = _Event(self._now + delay, priority, next(self._seq), fn, args)
-        heapq.heappush(self._queue, ev)
-        return EventHandle(ev)
+        # Allocation-lean construction: skip the __init__ frame entirely.
+        ev = EventHandle.__new__(EventHandle)
+        ev.key = (self._now + delay, priority, next(self._seq))
+        ev.fn = fn
+        ev.args = args
+        ev.cancelled = False
+        ev._sim = self
+        _heappush(self._queue, ev)
+        return ev
 
     def schedule_at(
         self,
@@ -145,45 +176,95 @@ class Simulator:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _compact(self) -> None:
+        """Drop cancelled events and re-heapify.  Mutates the queue in
+        place (``run`` holds a local alias to it)."""
+        self._queue[:] = [ev for ev in self._queue if not ev.cancelled]
+        heapq.heapify(self._queue)
+        self._dead = 0
+
+    def _peek_live(self) -> Optional[EventHandle]:
+        """Next runnable event, popping any dead ones off the top."""
+        q = self._queue
+        while q:
+            ev = q[0]
+            if not ev.cancelled:
+                return ev
+            _heappop(q)
+            self._dead -= 1
+        return None
+
     def step(self) -> bool:
         """Execute the single next event.  Returns False if queue is empty."""
-        while self._queue:
-            ev = heapq.heappop(self._queue)
-            if ev.cancelled:
-                continue
-            if ev.time < self._now:  # pragma: no cover - defensive
-                raise SimulationError("event queue time went backwards")
-            self._now = ev.time
-            self._events_processed += 1
-            ev.fn(*ev.args)
-            return True
-        return False
+        ev = self._peek_live()
+        if ev is None:
+            return False
+        _heappop(self._queue)
+        t = ev.key[0]
+        if t < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event queue time went backwards")
+        self._now = t
+        self._events_processed += 1
+        fn, args = ev.fn, ev.args
+        ev.fn = None
+        ev.args = ()
+        fn(*args)
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the event queue drains, ``until`` is reached, or
         ``max_events`` additional events have been executed.
 
-        ``until`` is inclusive: events at exactly ``until`` still fire, and
-        the clock is advanced to ``until`` even if the queue drains earlier
-        (mirroring how a real machine would sit idle until the deadline).
+        ``until`` is inclusive: events at exactly ``until`` still fire.
+        On exit — whether the queue drained or ``max_events`` stopped the
+        loop — the clock is advanced to ``until`` if and only if no live
+        event remains at or before ``until`` (mirroring how a real machine
+        would sit idle until the deadline; a run stopped mid-stream by
+        ``max_events`` with work still due must *not* jump the clock past
+        that work).
         """
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
+        q = self._queue
+        executed = 0
         try:
-            executed = 0
-            while self._queue:
-                nxt = self._queue[0]
-                if nxt.cancelled:
-                    heapq.heappop(self._queue)
+            if until is None and max_events is None:
+                # Hot path: drain the queue with no per-event bound checks.
+                while q:
+                    ev = _heappop(q)
+                    if ev.cancelled:
+                        self._dead -= 1
+                        continue
+                    self._now = ev.key[0]
+                    fn, args = ev.fn, ev.args
+                    ev.fn = None
+                    ev.args = ()
+                    fn(*args)
+                    executed += 1
+                return
+            while q:
+                ev = q[0]
+                if ev.cancelled:
+                    _heappop(q)
+                    self._dead -= 1
                     continue
-                if until is not None and nxt.time > until:
+                t = ev.key[0]
+                if until is not None and t > until:
                     break
                 if max_events is not None and executed >= max_events:
-                    return
-                self.step()
+                    break
+                _heappop(q)
+                self._now = t
+                fn, args = ev.fn, ev.args
+                ev.fn = None
+                ev.args = ()
+                fn(*args)
                 executed += 1
             if until is not None and self._now < until:
-                self._now = until
+                nxt = self._peek_live()
+                if nxt is None or nxt.key[0] > until:
+                    self._now = until
         finally:
+            self._events_processed += executed
             self._running = False

@@ -30,7 +30,7 @@ crossing the 8x4 mesh.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from .message import Message
@@ -100,6 +100,9 @@ class NetworkStats:
     message_hops: int = 0
     task_messages: int = 0  # messages that carried at least one task
     tasks_carried: int = 0  # total tasks shipped (for packing ratios)
+    #: per-directed-link traversal counts (contention network only; the
+    #: ideal wormhole network does not model individual links)
+    link_uses: dict = field(default_factory=dict)
 
     def record(self, msg: Message, hops: int, tasks_carried: int = 0) -> None:
         self.messages += 1
@@ -109,6 +112,15 @@ class NetworkStats:
         if tasks_carried > 0:
             self.task_messages += 1
             self.tasks_carried += tasks_carried
+
+    def record_link(self, link: tuple) -> None:
+        """Count one message traversal of directed link ``(u, v)``."""
+        self.link_uses[link] = self.link_uses.get(link, 0) + 1
+
+    @property
+    def links_used(self) -> int:
+        """Number of distinct directed links that carried any traffic."""
+        return len(self.link_uses)
 
     @property
     def packing_ratio(self) -> float:
@@ -170,6 +182,10 @@ class ContentionNetwork:
         self.stats = NetworkStats()
         # earliest free time of each directed link
         self._link_free: dict[tuple[int, int], float] = {}
+        self._transmits_since_prune = 0
+
+    #: prune the link-free table every this many transmissions
+    _PRUNE_INTERVAL = 256
 
     def transmit(self, msg: Message, tasks_carried: int = 0) -> None:
         if msg.src == msg.dest:
@@ -184,7 +200,25 @@ class ContentionNetwork:
             start = max(t, self._link_free.get(link, 0.0))
             t = start + occupancy
             self._link_free[link] = t
+            self.stats.record_link(link)
         self.sim.schedule_at(t, self._deliver, msg)
+        self._transmits_since_prune += 1
+        if self._transmits_since_prune >= self._PRUNE_INTERVAL:
+            self._prune_links()
+
+    def _prune_links(self) -> None:
+        """Drop link-free entries already in the past.
+
+        An entry whose free time is ``<= sim.now`` can never delay a future
+        message (``start = max(t, free)`` with ``t >= sim.now``), so the
+        table would otherwise grow monotonically with every link ever
+        touched over a long run.
+        """
+        now = self.sim.now
+        self._link_free = {
+            link: free for link, free in self._link_free.items() if free > now
+        }
+        self._transmits_since_prune = 0
 
     def busiest_link_queue(self) -> float:
         """Latest link-free horizon minus now (diagnostic)."""

@@ -43,7 +43,9 @@ class Node:
         self.rank = rank
         self.machine = machine
         self.sim = machine.sim
-        self._cpu_queue: deque[tuple[float, str, Optional[Callable[[], None]]]] = deque()
+        self._cpu_queue: deque[
+            tuple[float, str, Optional[Callable[..., None]], tuple]
+        ] = deque()
         self._cpu_busy = False
         self.cpu_time: dict[str, float] = {c: 0.0 for c in CATEGORIES}
         self._handlers: dict[str, Callable[[Message], None]] = {}
@@ -76,7 +78,7 @@ class Node:
                 f"node {self.rank}: no handler for message kind {msg.kind!r}"
             ) from None
         self.exec_cpu(self.machine.latency.endpoint_cpu(msg.size), "overhead",
-                      lambda: handler(msg))
+                      handler, msg)
 
     def send(
         self,
@@ -100,7 +102,9 @@ class Node:
         self.exec_cpu(
             self.machine.latency.endpoint_cpu(msg.size),
             "overhead",
-            lambda: self.machine.network.transmit(msg, tasks_carried),
+            self.machine.network.transmit,
+            msg,
+            tasks_carried,
         )
 
     # ------------------------------------------------------------------
@@ -110,14 +114,21 @@ class Node:
         self,
         duration: float,
         category: str,
-        fn: Optional[Callable[[], None]] = None,
+        fn: Optional[Callable[..., None]] = None,
+        *args: Any,
     ) -> None:
-        """Queue a CPU burst of ``duration`` seconds; run ``fn`` when done."""
+        """Queue a CPU burst of ``duration`` seconds; run ``fn(*args)`` when
+        done.
+
+        Passing the callback's arguments positionally (instead of baking
+        them into a closure) keeps the hot path allocation-free: one tuple
+        on the CPU queue, no lambda cell objects per message or task.
+        """
         if duration < 0:
             raise ValueError("duration must be >= 0")
         if category not in self.cpu_time:
             raise ValueError(f"unknown CPU category {category!r}")
-        self._cpu_queue.append((duration, category, fn))
+        self._cpu_queue.append((duration, category, fn, args))
         if not self._cpu_busy:
             self._start_next()
 
@@ -135,18 +146,22 @@ class Node:
         self._idle_callbacks.append(fn)
 
     def _start_next(self) -> None:
-        duration, category, fn = self._cpu_queue.popleft()
+        duration, category, fn, args = self._cpu_queue.popleft()
         self._cpu_busy = True
-        self.sim.schedule(duration, self._finish, duration, category, fn)
+        self.sim.schedule(duration, self._finish, duration, category, fn, args)
 
     def _finish(
-        self, duration: float, category: str, fn: Optional[Callable[[], None]]
+        self,
+        duration: float,
+        category: str,
+        fn: Optional[Callable[..., None]],
+        args: tuple,
     ) -> None:
         self.cpu_time[category] += duration
         self.last_active = self.sim.now
         self._cpu_busy = False
         if fn is not None:
-            fn()
+            fn(*args)
         # fn may have queued more work (re-entrancy safe: _cpu_busy is False
         # so exec_cpu inside fn starts immediately and sets it True again).
         if not self._cpu_busy and self._cpu_queue:

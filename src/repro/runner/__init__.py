@@ -1,0 +1,35 @@
+"""Parallel experiment runner with on-disk result caching.
+
+The paper's evaluation is a grid of *independent* simulation cells —
+workloads x strategies x machine sizes x seeds.  This subsystem is the
+grid's execution engine:
+
+* :mod:`repro.runner.spec` — :class:`RunRequest`, a hashable/serializable
+  description of one cell, and :func:`execute_request`, the pure function
+  that turns a request into a :class:`~repro.balancers.base.RunMetrics`;
+* :mod:`repro.runner.result_cache` — content-addressed on-disk store of
+  finished cells, so a re-invocation of a table re-simulates nothing;
+* :mod:`repro.runner.executor` — fans cells out over local cores with a
+  ``ProcessPoolExecutor`` (``jobs`` argument / ``REPRO_JOBS`` env var),
+  falling back to in-process serial execution at ``jobs=1``; results come
+  back in request order regardless of completion order, so parallel and
+  serial runs are interchangeable;
+* :mod:`repro.runner.bench` — the event-loop microbenchmark emitter
+  behind ``python -m repro bench`` (perf trajectory across PRs).
+"""
+
+from .executor import RunReport, resolve_jobs, run_requests, run_requests_report
+from .result_cache import RESULT_CACHE_VERSION, ResultCache, result_cache_dir
+from .spec import RunRequest, execute_request
+
+__all__ = [
+    "RESULT_CACHE_VERSION",
+    "ResultCache",
+    "RunReport",
+    "RunRequest",
+    "execute_request",
+    "resolve_jobs",
+    "result_cache_dir",
+    "run_requests",
+    "run_requests_report",
+]

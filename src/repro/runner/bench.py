@@ -1,0 +1,97 @@
+"""Event-loop microbenchmark emitter (``python -m repro bench``).
+
+Measures raw simulator throughput in events/sec with two shapes:
+
+* ``chain`` — a single self-rescheduling event: the heap stays near-empty,
+  so the number isolates per-event fixed costs (allocation, push/pop,
+  dispatch);
+* ``loaded`` — the same workload on top of a ~1000-event heap, so heap
+  sift comparisons dominate.
+
+Results are written to ``BENCH_events_per_sec.json`` (stdlib only,
+``time.perf_counter``), giving future PRs a perf trajectory to compare
+against.  ``seed_reference`` pins the numbers measured on the *seed*
+kernel (dataclass events, O(n) ``pending``) on the same reference
+machine, so the file itself documents the speedup of the current kernel.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.machine.event import Simulator
+
+__all__ = ["bench_events_per_sec", "emit_bench", "DEFAULT_BENCH_PATH"]
+
+DEFAULT_BENCH_PATH = Path(__file__).resolve().parents[3] / "BENCH_events_per_sec.json"
+
+#: events/sec of the pre-optimization kernel (commit c25fa61) on the
+#: reference machine, same benchmark bodies.  Kept static: the seed code
+#: no longer exists in-tree to re-measure.
+SEED_REFERENCE = {"chain": 1_057_240, "loaded": 372_679}
+
+
+def _bench_chain(sim_cls, n: int) -> float:
+    sim = sim_cls()
+    count = [0]
+
+    def tick() -> None:
+        count[0] += 1
+        if count[0] < n:
+            sim.schedule(1e-6, tick)
+
+    sim.schedule(0.0, tick)
+    t0 = time.perf_counter()
+    sim.run()
+    return n / (time.perf_counter() - t0)
+
+
+def _bench_loaded(sim_cls, n: int, fanout: int = 1000) -> float:
+    sim = sim_cls()
+    count = [0]
+
+    def tick() -> None:
+        count[0] += 1
+        if count[0] < n:
+            sim.schedule(1e-6 * ((count[0] % 7) + 1), tick)
+
+    for i in range(fanout):
+        sim.schedule(1e-6 * i, tick)
+    t0 = time.perf_counter()
+    sim.run()
+    return count[0] / (time.perf_counter() - t0)
+
+
+def bench_events_per_sec(events: int = 200_000, reps: int = 5) -> dict:
+    """Run both shapes ``reps`` times; report the best rate of each
+    (best-of filters scheduler noise, the standard microbenchmark move)."""
+    chain = max(_bench_chain(Simulator, events) for _ in range(reps))
+    loaded = max(_bench_loaded(Simulator, events) for _ in range(reps))
+    return {
+        "benchmark": "simulator_event_throughput",
+        "events": events,
+        "reps": reps,
+        "events_per_sec": {"chain": round(chain), "loaded": round(loaded)},
+        "seed_reference": dict(SEED_REFERENCE),
+        "speedup_vs_seed": {
+            "chain": round(chain / SEED_REFERENCE["chain"], 2),
+            "loaded": round(loaded / SEED_REFERENCE["loaded"], 2),
+        },
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }
+
+
+def emit_bench(
+    path: Optional[Path | str] = None, events: int = 200_000, reps: int = 5
+) -> dict:
+    """Run the benchmark and write the JSON report; returns the report."""
+    out = Path(path) if path is not None else DEFAULT_BENCH_PATH
+    report = bench_events_per_sec(events=events, reps=reps)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    return report

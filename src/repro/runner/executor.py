@@ -1,0 +1,190 @@
+"""Grid executor: independent cells, local cores, deterministic output.
+
+The experiment grid is embarrassingly parallel — each cell is one
+deterministic simulation, seeded independently — so the executor's whole
+job is mechanics:
+
+* ``jobs=1`` (the default, and the pytest default) runs cells in-process,
+  in request order, with no pool at all;
+* ``jobs>1`` fans cells out over a ``ProcessPoolExecutor``.  Workers
+  share the *trace* disk cache (:mod:`repro.apps.cache`), so each trace
+  is built at most once per machine, not once per worker;
+* results always come back **in request order**, whatever the completion
+  order, so a parallel table is byte-identical to a serial one;
+* an optional :class:`~repro.runner.result_cache.ResultCache` short-cuts
+  cells that were simulated by any previous invocation;
+* each cell gets a wall-clock ``timeout``, and cells lost to a worker
+  crash (``BrokenProcessPool``) or timeout are retried once in a fresh
+  pool before the run fails.
+
+``REPRO_JOBS`` sets the default parallelism (``0`` or ``auto`` = one
+worker per CPU).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.balancers import RunMetrics
+
+from .result_cache import ResultCache
+from .spec import RunRequest, execute_request
+
+__all__ = ["RunReport", "resolve_jobs", "run_requests", "run_requests_report"]
+
+_ENV_JOBS = "REPRO_JOBS"
+
+#: Default per-cell wall-clock limit (seconds) in parallel mode.  Paper-scale
+#: cells run minutes; this is a hang backstop, not a budget.
+DEFAULT_CELL_TIMEOUT = 3600.0
+
+
+@dataclass
+class RunReport:
+    """Outcome of one executor invocation (results in request order)."""
+
+    results: list[RunMetrics] = field(default_factory=list)
+    jobs: int = 1
+    cache_hits: int = 0
+    #: cells actually simulated by this invocation
+    executed: int = 0
+    #: cells that needed the crash/timeout retry pass
+    retried: int = 0
+
+
+def resolve_jobs(jobs: Optional[Union[int, str]] = None) -> int:
+    """Resolve the parallelism knob: argument > ``$REPRO_JOBS`` > 1.
+
+    ``0`` or ``"auto"`` means one worker per CPU.
+    """
+    if jobs is None:
+        jobs = os.environ.get(_ENV_JOBS, "1")
+    if isinstance(jobs, str):
+        if jobs.strip().lower() == "auto":
+            jobs = 0
+        else:
+            try:
+                jobs = int(jobs)
+            except ValueError:
+                raise ValueError(f"invalid jobs value {jobs!r}") from None
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def run_requests(
+    requests: Sequence[RunRequest],
+    jobs: Optional[Union[int, str]] = None,
+    cache: Union[ResultCache, bool, None] = None,
+    timeout: Optional[float] = DEFAULT_CELL_TIMEOUT,
+) -> list[RunMetrics]:
+    """Execute ``requests`` and return metrics in request order."""
+    return run_requests_report(requests, jobs=jobs, cache=cache, timeout=timeout).results
+
+
+def run_requests_report(
+    requests: Sequence[RunRequest],
+    jobs: Optional[Union[int, str]] = None,
+    cache: Union[ResultCache, bool, None] = None,
+    timeout: Optional[float] = DEFAULT_CELL_TIMEOUT,
+) -> RunReport:
+    """Like :func:`run_requests`, but also report cache/retry accounting.
+
+    ``cache``: ``None``/``False`` disables result caching, ``True`` uses
+    the default on-disk store, or pass a :class:`ResultCache` instance
+    (e.g. rooted in a temp directory for tests).
+    """
+    requests = list(requests)
+    njobs = resolve_jobs(jobs)
+    store: Optional[ResultCache]
+    if cache is True:
+        store = ResultCache()
+    elif cache is False or cache is None:
+        store = None
+    else:
+        store = cache
+
+    report = RunReport(results=[None] * len(requests), jobs=njobs)  # type: ignore[list-item]
+
+    pending: list[tuple[int, RunRequest]] = []
+    for i, req in enumerate(requests):
+        hit = store.get(req) if store is not None else None
+        if hit is not None:
+            report.results[i] = hit
+            report.cache_hits += 1
+        else:
+            pending.append((i, req))
+
+    if njobs <= 1 or len(pending) <= 1:
+        for i, req in pending:
+            metrics = execute_request(req)
+            report.results[i] = metrics
+            report.executed += 1
+            if store is not None:
+                store.put(req, metrics)
+        return report
+
+    failed = _run_pool(pending, njobs, timeout, store, report)
+    if failed:
+        # Retry pass: one fresh pool for cells lost to a crash or timeout.
+        report.retried += len(failed)
+        still_failed = _run_pool(failed, min(njobs, len(failed)), timeout, store, report)
+        if still_failed:
+            labels = ", ".join(req.label() for _i, req in still_failed)
+            raise RuntimeError(
+                f"{len(still_failed)} grid cell(s) failed twice "
+                f"(worker crash or timeout): {labels}"
+            )
+    return report
+
+
+def _run_pool(
+    pending: Sequence[tuple[int, RunRequest]],
+    njobs: int,
+    timeout: Optional[float],
+    store: Optional[ResultCache],
+    report: RunReport,
+) -> list[tuple[int, RunRequest]]:
+    """One process-pool pass; returns the cells lost to crash/timeout.
+
+    Application-level exceptions from :func:`execute_request` (bad
+    workload key, strategy deadlock, ...) propagate immediately — only
+    infrastructure failures are considered retryable.
+    """
+    failed: list[tuple[int, RunRequest]] = []
+    pool = ProcessPoolExecutor(max_workers=njobs)
+    try:
+        futures = [(i, req, pool.submit(execute_request, req)) for i, req in pending]
+        broken = False
+        for i, req, fut in futures:
+            if broken:
+                fut.cancel()
+                failed.append((i, req))
+                continue
+            try:
+                metrics = fut.result(timeout=timeout)
+            except FutureTimeoutError:
+                fut.cancel()
+                failed.append((i, req))
+                continue
+            except BrokenProcessPool:
+                # every not-yet-finished future in this pool is lost
+                failed.append((i, req))
+                broken = True
+                continue
+            report.results[i] = metrics
+            report.executed += 1
+            if store is not None:
+                store.put(req, metrics)
+    finally:
+        # wait=False: a timed-out (hung) worker must not block shutdown —
+        # the retry pass runs in a fresh pool while the orphan winds down.
+        pool.shutdown(wait=False, cancel_futures=True)
+    return failed

@@ -1,0 +1,119 @@
+"""On-disk cache of finished experiment cells.
+
+Where :mod:`repro.apps.cache` memoizes *trace generation* (the expensive
+application run), this store memoizes the *simulation itself*: one pickle
+per :class:`~repro.runner.spec.RunRequest`, keyed by a content hash of
+the request's canonical JSON plus :data:`RESULT_CACHE_VERSION`.  Bump the
+version whenever simulation semantics change (cost model, strategy
+behavior, metric definitions) — old entries then simply stop being found
+instead of serving stale numbers.
+
+Writes are atomic (unique tmp file, then ``rename``), so concurrent pool
+workers and interrupted runs can never leave a torn entry; a corrupt or
+unreadable entry is treated as a miss and deleted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.balancers import RunMetrics
+
+    from .spec import RunRequest
+
+__all__ = ["RESULT_CACHE_VERSION", "ResultCache", "result_cache_dir"]
+
+_ENV_VAR = "REPRO_RESULT_CACHE"
+
+#: Code-version salt baked into every cache key.  Bump on any change that
+#: alters what a given RunRequest would compute.
+RESULT_CACHE_VERSION = 1
+
+
+def result_cache_dir() -> Path:
+    """Default cache directory (``$REPRO_RESULT_CACHE`` or
+    ``<repo>/.result_cache``), created on first use."""
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        path = Path(env)
+    else:
+        path = Path(__file__).resolve().parents[3] / ".result_cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+class ResultCache:
+    """Content-addressed RunMetrics store with session hit/miss counters."""
+
+    def __init__(self, root: Optional[Path | str] = None) -> None:
+        self.root = Path(root) if root is not None else result_cache_dir()
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: get() calls served from disk this session
+        self.hits = 0
+        #: get() calls that found nothing usable this session
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def key(self, req: "RunRequest") -> str:
+        blob = f"{req.canonical_json()}|v{RESULT_CACHE_VERSION}".encode()
+        return hashlib.sha256(blob).hexdigest()[:24]
+
+    def path(self, req: "RunRequest") -> Path:
+        return self.root / f"{req.workload}-{req.strategy}-{self.key(req)}.pkl"
+
+    # ------------------------------------------------------------------
+    def get(self, req: "RunRequest") -> Optional["RunMetrics"]:
+        """Cached metrics for ``req``, or None.  Corrupt entries are
+        deleted and reported as misses."""
+        from repro.balancers import RunMetrics
+
+        path = self.path(req)
+        if path.exists():
+            try:
+                with path.open("rb") as fh:
+                    metrics = pickle.load(fh)
+                if isinstance(metrics, RunMetrics):
+                    self.hits += 1
+                    return metrics
+            except Exception:
+                pass
+            path.unlink(missing_ok=True)  # corrupt/wrong-type entry
+        self.misses += 1
+        return None
+
+    def put(self, req: "RunRequest", metrics: "RunMetrics") -> None:
+        path = self.path(req)
+        # unique tmp per writer: concurrent workers filling the same cell
+        # must not interleave into one file
+        tmp = Path(f"{path}.{os.getpid()}.tmp")
+        with tmp.open("wb") as fh:
+            pickle.dump(metrics, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+
+    # ------------------------------------------------------------------
+    # maintenance (python -m repro cache ...)
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete all cached results; returns the number removed."""
+        removed = 0
+        for p in self.root.glob("*.pkl"):
+            p.unlink()
+            removed += 1
+        return removed
+
+    def stats(self) -> dict:
+        """On-disk totals plus this session's hit/miss counters."""
+        entries = list(self.root.glob("*.pkl"))
+        return {
+            "dir": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "version": RESULT_CACHE_VERSION,
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+        }

@@ -1,0 +1,109 @@
+"""One experiment cell: what to run, described as pure data.
+
+A :class:`RunRequest` pins down everything that determines a cell's
+outcome — workload key, strategy, machine size, seed, scale, execution
+cost knobs, and (for the cross-topology experiment) a topology case.  It
+is frozen, hashable, picklable, and has a canonical JSON form, which is
+what makes both process-pool dispatch and content-addressed result
+caching possible.
+
+:func:`execute_request` is the *only* way a request becomes a result; the
+serial path, the process-pool workers, and the cache-fill path all call
+it, so the three are bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.balancers import ExecutionConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.balancers import RunMetrics
+
+__all__ = ["RunRequest", "execute_request"]
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """A single cell of the experiment grid.
+
+    ``topology_case`` is ``None`` for the Table-I/III strategy grid; set
+    it to a case name from
+    :func:`repro.experiments.topologies.topology_cases` to run the
+    cross-topology RIPS comparison instead (``strategy`` is then fixed to
+    RIPS by that experiment).
+    """
+
+    workload: str
+    strategy: str
+    num_nodes: int = 32
+    seed: int = 1234
+    scale: str = "small"
+    config: ExecutionConfig = field(default_factory=ExecutionConfig)
+    topology_case: Optional[str] = None
+
+    def canonical(self) -> dict:
+        """Canonical, JSON-ready form (stable field order via sort_keys)."""
+        return {
+            "workload": self.workload,
+            "strategy": self.strategy,
+            "num_nodes": self.num_nodes,
+            "seed": self.seed,
+            "scale": self.scale,
+            "config": asdict(self.config),
+            "topology_case": self.topology_case,
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":"), default=repr
+        )
+
+    def content_hash(self) -> str:
+        """Hex digest identifying this request's semantics (no version salt
+        — the result cache adds its own)."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable cell label for logs and errors."""
+        case = f"/{self.topology_case}" if self.topology_case else ""
+        return (
+            f"{self.workload}:{self.strategy}{case}"
+            f"@{self.num_nodes}n/seed{self.seed}/{self.scale}"
+        )
+
+
+def execute_request(req: RunRequest) -> "RunMetrics":
+    """Simulate one cell.  Pure: the result depends only on ``req``.
+
+    Imports are deferred so that :mod:`repro.runner` can be imported from
+    inside :mod:`repro.experiments` modules without a cycle, and so pool
+    workers pay the import cost once per process, not per module load.
+    """
+    from repro.experiments.common import run_workload, workload
+
+    spec = workload(req.workload, req.scale)
+    if req.topology_case is None:
+        return run_workload(
+            spec,
+            req.strategy,
+            num_nodes=req.num_nodes,
+            seed=req.seed,
+            config=req.config,
+        )
+    from repro.experiments.topologies import run_topology_comparison, topology_cases
+
+    cases = [c for c in topology_cases() if c.name == req.topology_case]
+    if not cases:
+        raise KeyError(f"unknown topology case {req.topology_case!r}")
+    trace = spec.build(req.num_nodes)
+    out = run_topology_comparison(
+        trace, num_nodes=req.num_nodes, cases=cases, seed=req.seed
+    )
+    metrics = out[req.topology_case]
+    metrics.extra["workload_label"] = spec.label
+    return metrics

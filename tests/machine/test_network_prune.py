@@ -1,0 +1,72 @@
+"""ContentionNetwork link-table pruning and link-utilization stats."""
+
+from __future__ import annotations
+
+from repro.machine import Machine, MeshTopology
+
+
+def _ring_machine(n_msgs: int) -> Machine:
+    m = Machine(MeshTopology(4, 4), contention=True, seed=1)
+    for r in range(16):
+        m.node(r).on("ping", lambda msg: None)
+    for i in range(n_msgs):
+        src = i % 16
+        dest = (i * 7 + 3) % 16
+        if src != dest:
+            m.node(src).send(dest, "ping")
+    return m
+
+
+def test_link_uses_matches_message_hops():
+    m = _ring_machine(64)
+    m.run()
+    stats = m.network.stats
+    assert stats.links_used > 0
+    assert sum(stats.link_uses.values()) == stats.message_hops
+    # a 4x4 mesh has 2*(3*4)*2 = 48 directed links at most
+    assert stats.links_used <= 48
+
+
+def test_link_free_pruned_after_horizon_passes():
+    m = _ring_machine(64)
+    m.run()
+    net = m.network
+    assert net._link_free  # traffic happened
+    # all deliveries done: every link-free horizon is <= now
+    net._prune_links()
+    assert net._link_free == {}
+    assert net.busiest_link_queue() == 0.0
+
+
+def test_prune_preserves_future_constraints():
+    m = Machine(MeshTopology(4, 4), contention=True, seed=1)
+    got = []
+    for r in range(16):
+        m.node(r).on("ping", lambda msg: got.append(msg.msg_id))
+    # two messages over the same route: the second must queue behind the
+    # first even if a prune runs between the transmits
+    m.node(0).send(3, "ping", size=4096)
+    m.run(max_events=1)  # sender CPU finishes -> transmit reserves links
+    m.network._prune_links()
+    before = dict(m.network._link_free)
+    assert before  # future reservations survive the prune
+    m.node(0).send(3, "ping", size=4096)
+    m.run()
+    assert len(got) == 2
+
+
+def test_auto_prune_triggers_after_interval():
+    m = _ring_machine(300)  # > _PRUNE_INTERVAL transmits
+    m.run()
+    net = m.network
+    assert net._transmits_since_prune < net._PRUNE_INTERVAL
+    # after the run drained, any surviving entries must still be future-dated
+    assert all(ft > 0.0 for ft in net._link_free.values())
+
+
+def test_ideal_network_has_no_link_uses():
+    m = Machine(MeshTopology(4, 4), seed=1)
+    m.node(1).on("ping", lambda msg: None)
+    m.node(0).send(1, "ping")
+    m.run()
+    assert m.network.stats.links_used == 0

@@ -1,0 +1,76 @@
+"""Result cache: hit/miss accounting, atomicity, corruption recovery."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.runner import RESULT_CACHE_VERSION, ResultCache, RunRequest, execute_request
+
+
+def _req(**kw) -> RunRequest:
+    base = dict(workload="queens-10", strategy="random", num_nodes=8,
+                seed=3, scale="small")
+    base.update(kw)
+    return RunRequest(**base)
+
+
+def test_miss_then_hit(tmp_path):
+    cache = ResultCache(tmp_path)
+    req = _req()
+    assert cache.get(req) is None
+    metrics = execute_request(req)
+    cache.put(req, metrics)
+    again = cache.get(req)
+    assert again == metrics
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_distinct_requests_do_not_collide(tmp_path):
+    cache = ResultCache(tmp_path)
+    req_a, req_b = _req(seed=3), _req(seed=4)
+    metrics = execute_request(req_a)
+    cache.put(req_a, metrics)
+    assert cache.get(req_b) is None
+    assert cache.path(req_a) != cache.path(req_b)
+
+
+def test_corrupt_entry_recovers(tmp_path):
+    cache = ResultCache(tmp_path)
+    req = _req()
+    metrics = execute_request(req)
+    cache.put(req, metrics)
+    cache.path(req).write_bytes(b"not a pickle at all")
+    assert cache.get(req) is None  # corrupt -> miss
+    assert not cache.path(req).exists()  # and the bad entry is gone
+    cache.put(req, metrics)
+    assert cache.get(req) == metrics
+
+
+def test_wrong_type_entry_treated_as_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    req = _req()
+    with cache.path(req).open("wb") as fh:
+        pickle.dump({"not": "RunMetrics"}, fh)
+    assert cache.get(req) is None
+    assert not cache.path(req).exists()
+
+
+def test_clear_and_stats(tmp_path):
+    cache = ResultCache(tmp_path)
+    req = _req()
+    cache.put(req, execute_request(req))
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["bytes"] > 0
+    assert stats["version"] == RESULT_CACHE_VERSION
+    assert cache.clear() == 1
+    assert cache.stats()["entries"] == 0
+
+
+def test_key_includes_version_salt(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    req = _req()
+    k1 = cache.key(req)
+    import repro.runner.result_cache as rc
+    monkeypatch.setattr(rc, "RESULT_CACHE_VERSION", RESULT_CACHE_VERSION + 1)
+    assert cache.key(req) != k1  # version bump invalidates everything

@@ -1,0 +1,63 @@
+"""RunRequest: hashability, canonical form, content hashing."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.balancers import ExecutionConfig
+from repro.runner import RunRequest, execute_request
+
+
+def test_request_is_hashable_and_usable_as_dict_key():
+    a = RunRequest("queens-10", "RIPS")
+    b = RunRequest("queens-10", "RIPS")
+    c = RunRequest("queens-10", "random")
+    assert a == b and hash(a) == hash(b)
+    assert {a: 1, c: 2}[b] == 1
+
+
+def test_request_pickles_roundtrip():
+    req = RunRequest("ida-2", "RID", num_nodes=64, seed=7, scale="small")
+    assert pickle.loads(pickle.dumps(req)) == req
+
+
+def test_canonical_json_is_stable_and_complete():
+    req = RunRequest("queens-10", "RIPS", num_nodes=32, seed=9)
+    blob = req.canonical_json()
+    assert blob == RunRequest("queens-10", "RIPS", num_nodes=32, seed=9).canonical_json()
+    for fragment in ('"queens-10"', '"RIPS"', '"num_nodes":32', '"seed":9',
+                     '"spawn_overhead"'):
+        assert fragment in blob
+
+
+def test_content_hash_differs_per_field():
+    base = RunRequest("queens-10", "RIPS")
+    variants = [
+        RunRequest("queens-11", "RIPS"),
+        RunRequest("queens-10", "RID"),
+        RunRequest("queens-10", "RIPS", num_nodes=64),
+        RunRequest("queens-10", "RIPS", seed=2),
+        RunRequest("queens-10", "RIPS", topology_case="mesh+MWA"),
+        RunRequest("queens-10", "RIPS",
+                   config=ExecutionConfig(spawn_overhead=7e-6)),
+    ]
+    hashes = {base.content_hash()} | {v.content_hash() for v in variants}
+    assert len(hashes) == 1 + len(variants)
+
+
+def test_execute_request_matches_direct_run_workload():
+    from repro.experiments.common import run_workload, workload
+
+    req = RunRequest("queens-10", "RIPS", num_nodes=16, seed=5, scale="small")
+    via_runner = execute_request(req)
+    direct = run_workload(workload("queens-10", "small"), "RIPS",
+                          num_nodes=16, seed=5)
+    assert via_runner == direct
+
+
+def test_execute_request_topology_case():
+    req = RunRequest("queens-10", "RIPS", num_nodes=16, seed=77,
+                     scale="small", topology_case="crossbar+optimal")
+    m = execute_request(req)
+    assert m.extra["topology_case"] == "crossbar+optimal"
+    assert m.num_nodes == 16
