@@ -8,6 +8,10 @@ Commands
     Print the Figure-4 normalized-cost series.
 ``run``
     Run one workload under one strategy and print the metrics row.
+``trace``
+    Run one workload with the tracer attached and write a Chrome/
+    Perfetto JSON (or raw JSONL) trace; ``--report`` adds the per-node
+    phase-breakdown text.
 ``topologies``
     RIPS across mesh/tree/hypercube/crossbar for one workload.
 ``workloads``
@@ -16,44 +20,47 @@ Commands
     Inspect or clear the trace and result caches.
 ``bench``
     Event-loop microbenchmark; writes ``BENCH_events_per_sec.json``.
+    ``--check`` compares against the committed baseline instead (exit 1
+    on a >10% regression) and never rewrites it.
 
-All experiment commands accept ``--scale {small,paper}`` (default: the
-``REPRO_SCALE`` environment variable, or ``small``).  Grid commands
-(``table1``, ``table3``, ``topologies``) also accept ``--jobs N``
-(default ``$REPRO_JOBS`` or serial; 0 = one worker per CPU) and
-``--no-cache`` to bypass the on-disk result cache.
+Shared flags come from parent parsers: every experiment command accepts
+``--scale {small,paper}`` (default: ``$REPRO_SCALE`` or ``small``), and
+grid commands (``table1``-``table3``, ``fig4``, ``fig5``,
+``topologies``) accept ``--jobs N`` (default ``$REPRO_JOBS`` or serial;
+0 = one worker per CPU) and ``--no-cache``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.experiments import (
     STRATEGY_ORDER,
-    fig4_point,
+    current_scale,
     fig5_text,
+    run_fig4,
     run_fig5,
     run_table1,
     run_table2,
     run_table3,
+    run_topology_grid,
     run_workload,
     table1_text,
     table2_text,
     table3_text,
+    topologies_text,
     workload,
     workloads,
 )
-from repro.experiments import run_topology_grid
 from repro.experiments.fig4 import PAPER_SIZES, PAPER_WEIGHTS
 from repro.metrics import format_series, format_table, percent, seconds
 
 
-def _add_scale(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--scale", choices=("small", "paper"), default=None,
-                   help="workload sizes (default: $REPRO_SCALE or small)")
-
-
+# ----------------------------------------------------------------------
+# shared parent parsers (argparse parents=: one definition per flag)
+# ----------------------------------------------------------------------
 def _jobs_arg(value: str) -> str:
     from repro.runner import resolve_jobs
 
@@ -65,7 +72,29 @@ def _jobs_arg(value: str) -> str:
     return value
 
 
-def _add_grid_opts(p: argparse.ArgumentParser) -> None:
+def _scale_parent() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--scale", choices=("small", "paper"), default=None,
+                   help="workload sizes (default: $REPRO_SCALE or small)")
+    return p
+
+
+def _nodes_parent(default: int = 32) -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--nodes", type=int, default=default,
+                   help=f"machine size (default {default})")
+    return p
+
+
+def _seed_parent(default: int = 1234) -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--seed", type=int, default=default,
+                   help=f"simulation seed (default {default})")
+    return p
+
+
+def _grid_parent() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(add_help=False)
     p.add_argument("--jobs", default=None, type=_jobs_arg,
                    help="parallel grid cells (int, or 'auto' = one per CPU; "
                         "default: $REPRO_JOBS or serial)")
@@ -73,8 +102,39 @@ def _add_grid_opts(p: argparse.ArgumentParser) -> None:
                    default=True,
                    help="re-simulate every cell instead of reusing the "
                         "on-disk result cache")
+    return p
 
 
+# ----------------------------------------------------------------------
+# lenient name resolution (trace/run accept near-miss spellings)
+# ----------------------------------------------------------------------
+def _resolve_workload_key(name: str, scale: str | None) -> str:
+    keys = [s.key for s in workloads(scale)]
+    if name in keys:
+        return name
+    norm = name.lower()
+    if norm.startswith("nqueens"):
+        norm = norm[1:]  # nqueens[-N] -> queens[-N]
+    matches = [k for k in keys if k == norm or k.startswith(norm)]
+    if matches:
+        if matches[0] != name:
+            print(f"note: workload {name!r} -> {matches[0]}", file=sys.stderr)
+        return matches[0]
+    raise SystemExit(
+        f"unknown workload {name!r}; available: {', '.join(keys)}")
+
+
+def _resolve_strategy(name: str) -> str:
+    for s in STRATEGY_ORDER:
+        if s.lower() == name.lower():
+            return s
+    raise SystemExit(
+        f"unknown strategy {name!r}; available: {', '.join(STRATEGY_ORDER)}")
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
 def _cmd_table1(args) -> int:
     ms = run_table1(num_nodes=args.nodes, scale=args.scale,
                     jobs=args.jobs, cache=args.cache)
@@ -83,8 +143,9 @@ def _cmd_table1(args) -> int:
 
 
 def _cmd_table2(args) -> int:
-    print(table2_text(run_table2(num_nodes=args.nodes, scale=args.scale),
-                      args.nodes))
+    values = run_table2(num_nodes=args.nodes, scale=args.scale,
+                        jobs=args.jobs, cache=args.cache)
+    print(table2_text(values, args.nodes))
     return 0
 
 
@@ -99,21 +160,7 @@ def _cmd_topologies(args) -> int:
     out = run_topology_grid(args.workload, num_nodes=args.nodes,
                             seed=args.seed, scale=args.scale,
                             jobs=args.jobs, cache=args.cache)
-    rows = [
-        {
-            "case": name,
-            "nonlocal": m.nonlocal_tasks,
-            "Th": seconds(m.Th),
-            "Ti": seconds(m.Ti),
-            "T": seconds(m.T),
-            "mu": percent(m.efficiency),
-            "phases": m.system_phases or "-",
-        }
-        for name, m in out.items()
-    ]
-    print(format_table(
-        rows, title=f"RIPS across topologies: {args.workload} on {args.nodes} nodes"
-    ))
+    print(topologies_text(list(out.values())))
     return 0
 
 
@@ -141,9 +188,25 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.runner.bench import emit_bench
+    from repro.runner.bench import check_bench, emit_bench
 
-    report = emit_bench(path=args.out, events=args.events, reps=args.reps)
+    if args.check:
+        result = check_bench(path=args.out, events=args.events, reps=args.reps)
+        for k in sorted(result["ratios"]):
+            flag = " REGRESSION" if k in result["failures"] else ""
+            print(f"{k:>6s}: {result['measured'][k]:>9,} events/sec "
+                  f"({result['ratios'][k]:.2f}x baseline "
+                  f"{result['baseline'][k]:,}){flag}")
+        if not result["ok"]:
+            tol = result["tolerance"]
+            print(f"FAIL: throughput regressed more than {tol:.0%} below "
+                  f"the committed baseline", file=sys.stderr)
+            return 1
+        print("OK: within tolerance of the committed baseline")
+        return 0
+    report = emit_bench(path=args.out,
+                        events=args.events or 200_000,
+                        reps=args.reps or 5)
     rates = report["events_per_sec"]
     speed = report["speedup_vs_seed"]
     print(f"chain : {rates['chain']:>9,} events/sec ({speed['chain']}x seed)")
@@ -152,24 +215,28 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_fig5(args) -> int:
-    print(fig5_text(run_fig5(num_nodes=args.nodes, scale=args.scale)))
+    print(fig5_text(run_fig5(num_nodes=args.nodes, scale=args.scale,
+                             jobs=args.jobs, cache=args.cache)))
     return 0
 
 
 def _cmd_fig4(args) -> int:
     sizes = args.sizes or list(PAPER_SIZES)
+    series = run_fig4(sizes=sizes, weights=PAPER_WEIGHTS, cases=args.cases,
+                      seed=args.seed, jobs=args.jobs, cache=args.cache)
     print("Figure 4: normalized communication cost of MWA, "
           f"{args.cases} cases per point")
     for n in sizes:
-        points = [fig4_point(n, w, cases=args.cases) for w in PAPER_WEIGHTS]
+        points = series[n]
         print(format_series(f"{n} procs", PAPER_WEIGHTS,
                             [p.normalized_cost for p in points]))
     return 0
 
 
 def _cmd_run(args) -> int:
-    spec = workload(args.workload, args.scale)
-    m = run_workload(spec, args.strategy, num_nodes=args.nodes, seed=args.seed)
+    spec = workload(_resolve_workload_key(args.workload, args.scale), args.scale)
+    strategy = _resolve_strategy(args.strategy)
+    m = run_workload(spec, strategy, num_nodes=args.nodes, seed=args.seed)
     rows = [
         {
             "workload": spec.label,
@@ -189,6 +256,44 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.metrics import phase_breakdown_text
+    from repro.obs import Tracer, write_chrome_trace, write_jsonl_trace
+    from repro.runner import RunRequest, execute_request
+
+    key = _resolve_workload_key(args.workload, args.scale)
+    strategy = _resolve_strategy(args.strategy)
+    req = RunRequest(
+        workload=key,
+        strategy=strategy,
+        num_nodes=args.nodes,
+        seed=args.seed,
+        scale=current_scale(args.scale),
+        trace=True,
+    )
+    metrics = execute_request(req)
+    tracer = Tracer.from_records(
+        metrics.extra.pop("trace_records"),
+        metrics.extra.pop("trace_dropped", 0),
+    )
+    out = Path(args.out)
+    if args.format == "chrome":
+        write_chrome_trace(tracer, out, label=req.label())
+        hint = "chrome; open in ui.perfetto.dev"
+    else:
+        write_jsonl_trace(tracer, out)
+        hint = "jsonl; one record per line, sim seconds"
+    print(f"wrote {len(tracer)} trace records to {out} ({hint})")
+    print(f"{key} under {strategy} on {args.nodes} nodes: "
+          f"T={seconds(metrics.T)} Th={seconds(metrics.Th)} "
+          f"Ti={seconds(metrics.Ti)} mu={percent(metrics.efficiency)} "
+          f"phases={metrics.system_phases or '-'}")
+    if args.report:
+        print()
+        print(phase_breakdown_text(tracer, metrics))
+    return 0
+
+
 def _cmd_workloads(args) -> int:
     rows = [
         {"key": s.key, "label": s.label, "kind": s.kind}
@@ -204,32 +309,25 @@ def main(argv: list[str] | None = None) -> int:
         description="RIPS (Wu & Shu, SC'95) reproduction harness",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    scale, grid = _scale_parent(), _grid_parent()
 
-    p = sub.add_parser("table1", help="strategy comparison (Table I)")
-    _add_scale(p)
-    p.add_argument("--nodes", type=int, default=32)
-    _add_grid_opts(p)
+    p = sub.add_parser("table1", help="strategy comparison (Table I)",
+                       parents=[scale, _nodes_parent(32), grid])
     p.set_defaults(fn=_cmd_table1)
 
-    p = sub.add_parser("table2", help="optimal efficiencies (Table II)")
-    _add_scale(p)
-    p.add_argument("--nodes", type=int, default=32)
+    p = sub.add_parser("table2", help="optimal efficiencies (Table II)",
+                       parents=[scale, _nodes_parent(32), grid])
     p.set_defaults(fn=_cmd_table2)
 
-    p = sub.add_parser("table3", help="speedups on larger machines (Table III)")
-    _add_scale(p)
+    p = sub.add_parser("table3", help="speedups on larger machines (Table III)",
+                       parents=[scale, grid])
     p.add_argument("--nodes", type=int, nargs="+", default=[64, 128])
-    _add_grid_opts(p)
     p.set_defaults(fn=_cmd_table3)
 
     p = sub.add_parser("topologies",
-                       help="RIPS across mesh/tree/hypercube/crossbar")
-    _add_scale(p)
+                       help="RIPS across mesh/tree/hypercube/crossbar",
+                       parents=[scale, _nodes_parent(32), _seed_parent(77), grid])
     p.add_argument("workload", help="workload key, e.g. queens-11")
-    p.add_argument("--nodes", type=int, default=32,
-                   help="node count (power of two)")
-    p.add_argument("--seed", type=int, default=77)
-    _add_grid_opts(p)
     p.set_defaults(fn=_cmd_topologies)
 
     p = sub.add_parser("cache", help="inspect or clear the on-disk caches")
@@ -240,32 +338,51 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("bench",
                        help="event-loop microbenchmark -> BENCH_events_per_sec.json")
-    p.add_argument("--events", type=int, default=200_000)
-    p.add_argument("--reps", type=int, default=5)
+    p.add_argument("--events", type=int, default=None,
+                   help="events per rep (default 200000; --check defaults to "
+                        "what the baseline was measured with)")
+    p.add_argument("--reps", type=int, default=None,
+                   help="best-of reps (default 5; --check mirrors baseline)")
     p.add_argument("--out", default=None,
-                   help="output path (default: repo-root BENCH_events_per_sec.json)")
+                   help="baseline path (default: repo-root BENCH_events_per_sec.json)")
+    p.add_argument("--check", action="store_true",
+                   help="compare against the baseline instead of rewriting it; "
+                        "exit 1 on a >10%% regression")
     p.set_defaults(fn=_cmd_bench)
 
-    p = sub.add_parser("fig4", help="MWA vs optimal transfer cost (Figure 4)")
+    p = sub.add_parser("fig4", help="MWA vs optimal transfer cost (Figure 4)",
+                       parents=[_seed_parent(7), grid])
     p.add_argument("--cases", type=int, default=25)
     p.add_argument("--sizes", type=int, nargs="*", default=None)
     p.set_defaults(fn=_cmd_fig4)
 
-    p = sub.add_parser("fig5", help="normalized quality factors (Figure 5)")
-    _add_scale(p)
-    p.add_argument("--nodes", type=int, default=32)
+    p = sub.add_parser("fig5", help="normalized quality factors (Figure 5)",
+                       parents=[scale, _nodes_parent(32), grid])
     p.set_defaults(fn=_cmd_fig5)
 
-    p = sub.add_parser("run", help="one workload under one strategy")
-    _add_scale(p)
+    p = sub.add_parser("run", help="one workload under one strategy",
+                       parents=[scale, _nodes_parent(32), _seed_parent(1234)])
     p.add_argument("workload", help="workload key, e.g. queens-13 (see `workloads`)")
-    p.add_argument("strategy", choices=STRATEGY_ORDER)
-    p.add_argument("--nodes", type=int, default=32)
-    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("strategy",
+                   help=f"strategy ({', '.join(STRATEGY_ORDER)}; case-insensitive)")
     p.set_defaults(fn=_cmd_run)
 
-    p = sub.add_parser("workloads", help="list workload keys")
-    _add_scale(p)
+    p = sub.add_parser("trace",
+                       help="traced run -> Chrome/Perfetto JSON or JSONL",
+                       parents=[scale, _nodes_parent(32), _seed_parent(1234)])
+    p.add_argument("workload", help="workload key (lenient, e.g. nqueens)")
+    p.add_argument("--strategy", default="RIPS",
+                   help="strategy (default RIPS; case-insensitive)")
+    p.add_argument("--out", default="trace.json",
+                   help="output path (default trace.json)")
+    p.add_argument("--format", choices=("chrome", "jsonl"), default="chrome",
+                   help="chrome = Perfetto-loadable trace_event JSON; "
+                        "jsonl = one raw record per line, sim seconds")
+    p.add_argument("--report", action="store_true",
+                   help="also print the per-node phase-breakdown report")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("workloads", help="list workload keys", parents=[scale])
     p.set_defaults(fn=_cmd_workloads)
 
     args = parser.parse_args(argv)

@@ -12,6 +12,17 @@ tasks go*:
 * :meth:`Strategy.on_task_complete` / :meth:`Strategy.on_idle` — hooks
   where dynamic balancers (gradient, RID) and RIPS phase detection live.
 
+Strategy lifecycle
+------------------
+A strategy joins a run through exactly one hook: :meth:`Strategy.attach`.
+The driver calls ``strategy.attach(driver)`` once at construction;
+subclasses override it, call ``super().attach(driver)`` first (which
+stores the driver and registers the shared ``task`` message handler), and
+then set up their own per-node state and protocol handlers.  The decision
+hooks share one signature vocabulary: ``node`` is a rank, ``task`` a task
+id.  The pre-observability ``bind()``/``setup()`` pair still works but is
+deprecated and warns.
+
 Metric definitions (matching Table I of the paper)
 ---------------------------------------------------
 ``T``   makespan in simulated seconds;
@@ -25,7 +36,8 @@ Metric definitions (matching Table I of the paper)
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+import warnings
+from abc import ABC
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
@@ -157,6 +169,11 @@ class Worker:
 
     def _complete(self, tid: int) -> None:
         self.outstanding = None
+        tr = self.node.tracer
+        if tr is not None:
+            dur = self.driver.trace.duration(tid)
+            tr.complete(self.rank, "task", f"task:{tid}",
+                        self.node.sim.now - dur, dur)
         self.driver._task_finished(self.rank, tid)
 
 
@@ -172,14 +189,43 @@ class Strategy(ABC):
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def bind(self, driver: "Driver") -> None:
+    def attach(self, driver: "Driver") -> None:
+        """The single setup hook: wire this strategy to ``driver``.
+
+        Subclasses override this, call ``super().attach(driver)`` first,
+        then build their per-node state and register protocol message
+        handlers.  The base implementation stores the driver, registers
+        the shared ``task`` migration handler on every node, and — for
+        backward compatibility — invokes a legacy ``setup()`` override
+        with a :class:`DeprecationWarning`.
+        """
         self.driver = driver
         for node in driver.machine.nodes:
             node.on("task", self._on_task_message)
-        self.setup()
+        if type(self).setup is not Strategy.setup:
+            warnings.warn(
+                f"{type(self).__name__}.setup() is deprecated; override "
+                "attach(driver) and call super().attach(driver) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.setup()
+
+    def bind(self, driver: "Driver") -> None:
+        """Deprecated alias of :meth:`attach` (the pre-observability name)."""
+        warnings.warn(
+            "Strategy.bind(driver) is deprecated; use attach(driver)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.attach(driver)
 
     def setup(self) -> None:
-        """Register protocol message handlers; override as needed."""
+        """Deprecated: override :meth:`attach` instead.
+
+        Kept so pre-existing subclasses that only know ``setup()`` keep
+        working (it is called from :meth:`attach`, with a warning).
+        """
 
     # ------------------------------------------------------------------
     # shared helpers
@@ -188,6 +234,12 @@ class Strategy(ABC):
     def machine(self) -> Machine:
         assert self.driver is not None
         return self.driver.machine
+
+    @property
+    def tracer(self):
+        """The machine's attached tracer, or None (read dynamically so a
+        tracer attached after construction is still honored)."""
+        return self.driver.machine.tracer if self.driver is not None else None
 
     def worker(self, rank: int) -> Worker:
         assert self.driver is not None
@@ -221,34 +273,35 @@ class Strategy(ABC):
         w.try_start()
 
     # ------------------------------------------------------------------
-    # decision hooks
+    # decision hooks — uniform vocabulary: ``node`` is a rank, ``task``
+    # a task id, across every strategy in the tree.
     # ------------------------------------------------------------------
-    def place_root(self, rank: int, tid: int) -> None:
-        """Place a wave-0 root that materialized on ``rank``.
+    def place_root(self, node: int, task: int) -> None:
+        """Place a wave-0 root that materialized on ``node``.
 
         Default: run where it lives.
         """
-        w = self.worker(rank)
-        w.enqueue(tid)
+        w = self.worker(node)
+        w.enqueue(task)
         w.try_start()
 
-    def place_child(self, rank: int, tid: int) -> None:
-        """Place a task freshly spawned on ``rank``.  Default: local."""
-        w = self.worker(rank)
-        w.enqueue(tid)
+    def place_child(self, node: int, task: int) -> None:
+        """Place a task freshly spawned on ``node``.  Default: local."""
+        w = self.worker(node)
+        w.enqueue(task)
 
-    def place_released(self, rank: int, tid: int) -> None:
-        """Place a wave-barrier-released task residing on ``rank``."""
-        self.place_child(rank, tid)
+    def place_released(self, node: int, task: int) -> None:
+        """Place a wave-barrier-released task residing on ``node``."""
+        self.place_child(node, task)
 
-    def on_task_complete(self, rank: int, tid: int) -> None:
+    def on_task_complete(self, node: int, task: int) -> None:
         """Called after a task finished and its children were placed."""
 
-    def on_tasks_received(self, rank: int, tids: Sequence[int]) -> None:
+    def on_tasks_received(self, node: int, tasks: Sequence[int]) -> None:
         """Called when migrated tasks arrive (before execution resumes)."""
 
-    def on_idle(self, rank: int) -> None:
-        """Called whenever ``rank`` has nothing to execute."""
+    def on_idle(self, node: int) -> None:
+        """Called whenever ``node`` has nothing to execute."""
 
     def on_wave_released(self, wave: int) -> None:
         """Called after all tasks of ``wave`` were made runnable."""
@@ -287,7 +340,7 @@ class Driver:
             [] for _ in range(trace.num_waves)
         ]  # per wave: list of (node, tid)
         self.finished = False
-        strategy.bind(self)
+        strategy.attach(self)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -358,9 +411,16 @@ class Driver:
         # The wave barrier: charge one up-down tree synchronization before
         # the next wave's tasks become runnable anywhere.
         delay = modeled_barrier_latency(self.machine)
+        tr = self.machine.tracer
+        if tr is not None:
+            tr.begin(0, "phase", f"wave-barrier:{wave}",
+                     self.machine.sim.now, {"released": len(held)})
         self.machine.sim.schedule(delay, self._release_wave, wave, held)
 
     def _release_wave(self, wave: int, held: list[tuple[int, int]]) -> None:
+        tr = self.machine.tracer
+        if tr is not None:
+            tr.end(0, "phase", f"wave-barrier:{wave}", self.machine.sim.now)
         for rank, tid in held:
             self.created_at[tid] = rank
             self.strategy.place_released(rank, tid)
@@ -422,6 +482,16 @@ def run_trace(
     strategy: Strategy,
     machine: Machine,
     config: ExecutionConfig = ExecutionConfig(),
+    tracer=None,
 ) -> RunMetrics:
-    """Convenience one-shot runner."""
+    """Convenience one-shot runner.
+
+    ``tracer``: an optional :class:`repro.obs.Tracer`; when given it is
+    attached to ``machine`` before the run so CPU segments, task spans,
+    messages, and system-phase sub-steps are all recorded.  Tracing never
+    changes the simulation: a traced run produces bit-identical metrics
+    to an untraced one.
+    """
+    if tracer is not None:
+        machine.attach_tracer(tracer)
     return Driver(machine, trace, strategy, config).run()

@@ -41,7 +41,8 @@ class GradientModel(Strategy):
         self.proximity_updates = 0
 
     # ------------------------------------------------------------------
-    def setup(self) -> None:
+    def attach(self, driver) -> None:
+        super().attach(driver)
         machine = self.machine
         n = machine.num_nodes
         self.cap = max(machine.topology.diameter(), 1)
@@ -59,19 +60,19 @@ class GradientModel(Strategy):
     # ------------------------------------------------------------------
     # load-event hooks
     # ------------------------------------------------------------------
-    def place_root(self, rank: int, tid: int) -> None:
-        super().place_root(rank, tid)
-        self._load_changed(rank)
+    def place_root(self, node: int, task: int) -> None:
+        super().place_root(node, task)
+        self._load_changed(node)
 
-    def place_child(self, rank: int, tid: int) -> None:
-        super().place_child(rank, tid)
-        self._load_changed(rank)
+    def place_child(self, node: int, task: int) -> None:
+        super().place_child(node, task)
+        self._load_changed(node)
 
-    def on_task_complete(self, rank: int, tid: int) -> None:
-        self._load_changed(rank)
+    def on_task_complete(self, node: int, task: int) -> None:
+        self._load_changed(node)
 
-    def on_tasks_received(self, rank: int, tids: Sequence[int]) -> None:
-        self._load_changed(rank)
+    def on_tasks_received(self, node: int, tasks: Sequence[int]) -> None:
+        self._load_changed(node)
 
     # ------------------------------------------------------------------
     def _is_light(self, rank: int) -> bool:

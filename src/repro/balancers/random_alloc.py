@@ -22,20 +22,20 @@ class RandomAllocation(Strategy):
 
     name = "random"
 
-    def place_root(self, rank: int, tid: int) -> None:
-        self._scatter(rank, tid)
+    def place_root(self, node: int, task: int) -> None:
+        self._scatter(node, task)
 
-    def place_child(self, rank: int, tid: int) -> None:
-        self._scatter(rank, tid)
+    def place_child(self, node: int, task: int) -> None:
+        self._scatter(node, task)
 
-    def place_released(self, rank: int, tid: int) -> None:
-        self._scatter(rank, tid)
+    def place_released(self, node: int, task: int) -> None:
+        self._scatter(node, task)
 
-    def _scatter(self, rank: int, tid: int) -> None:
-        if self.driver.trace.task(tid).pinned is not None:
-            w = self.worker(rank)
-            w.enqueue(tid)
+    def _scatter(self, node: int, task: int) -> None:
+        if self.driver.trace.task(task).pinned is not None:
+            w = self.worker(node)
+            w.enqueue(task)
             w.try_start()
             return
         dest = int(self.machine.rng.integers(self.machine.num_nodes))
-        self.send_tasks(rank, dest, [tid])
+        self.send_tasks(node, dest, [task])

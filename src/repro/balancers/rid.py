@@ -55,7 +55,8 @@ class ReceiverInitiatedDiffusion(Strategy):
         self.grants = 0
 
     # ------------------------------------------------------------------
-    def setup(self) -> None:
+    def attach(self, driver) -> None:
+        super().attach(driver)
         machine = self.machine
         n = machine.num_nodes
         self.nbr_load = [
@@ -70,23 +71,23 @@ class ReceiverInitiatedDiffusion(Strategy):
     # ------------------------------------------------------------------
     # load events
     # ------------------------------------------------------------------
-    def place_root(self, rank: int, tid: int) -> None:
-        super().place_root(rank, tid)
-        self._load_changed(rank)
+    def place_root(self, node: int, task: int) -> None:
+        super().place_root(node, task)
+        self._load_changed(node)
 
-    def place_child(self, rank: int, tid: int) -> None:
-        super().place_child(rank, tid)
-        self._load_changed(rank)
+    def place_child(self, node: int, task: int) -> None:
+        super().place_child(node, task)
+        self._load_changed(node)
 
-    def on_task_complete(self, rank: int, tid: int) -> None:
-        self._load_changed(rank)
+    def on_task_complete(self, node: int, task: int) -> None:
+        self._load_changed(node)
 
-    def on_tasks_received(self, rank: int, tids: Sequence[int]) -> None:
-        self.requesting[rank] = False
-        self._load_changed(rank)
+    def on_tasks_received(self, node: int, tasks: Sequence[int]) -> None:
+        self.requesting[node] = False
+        self._load_changed(node)
 
-    def on_idle(self, rank: int) -> None:
-        self._maybe_request(rank)
+    def on_idle(self, node: int) -> None:
+        self._maybe_request(node)
 
     # ------------------------------------------------------------------
     def _load_changed(self, rank: int) -> None:

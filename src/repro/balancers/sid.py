@@ -37,7 +37,8 @@ class SenderInitiatedDiffusion(Strategy):
         self.pushes = 0
 
     # ------------------------------------------------------------------
-    def setup(self) -> None:
+    def attach(self, driver) -> None:
+        super().attach(driver)
         machine = self.machine
         n = machine.num_nodes
         self.nbr_load = [
@@ -49,19 +50,19 @@ class SenderInitiatedDiffusion(Strategy):
             node.on("sid.load", self._on_load_update)
 
     # ------------------------------------------------------------------
-    def place_root(self, rank: int, tid: int) -> None:
-        super().place_root(rank, tid)
-        self._load_changed(rank)
+    def place_root(self, node: int, task: int) -> None:
+        super().place_root(node, task)
+        self._load_changed(node)
 
-    def place_child(self, rank: int, tid: int) -> None:
-        super().place_child(rank, tid)
-        self._load_changed(rank)
+    def place_child(self, node: int, task: int) -> None:
+        super().place_child(node, task)
+        self._load_changed(node)
 
-    def on_task_complete(self, rank: int, tid: int) -> None:
-        self._load_changed(rank)
+    def on_task_complete(self, node: int, task: int) -> None:
+        self._load_changed(node)
 
-    def on_tasks_received(self, rank: int, tids: Sequence[int]) -> None:
-        self._load_changed(rank)
+    def on_tasks_received(self, node: int, tasks: Sequence[int]) -> None:
+        self._load_changed(node)
 
     # ------------------------------------------------------------------
     def _load_changed(self, rank: int) -> None:

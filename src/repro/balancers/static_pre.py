@@ -37,7 +37,8 @@ class StaticPreschedule(Strategy):
         self._planner = planner
         self.plan_cost = 0
 
-    def setup(self) -> None:
+    def attach(self, driver) -> None:
+        super().attach(driver)
         if self._planner is None:
             self._planner = default_planner(self.machine.topology)
         self._pools: list[list[int]] = [[] for _ in range(self.machine.num_nodes)]
@@ -46,13 +47,13 @@ class StaticPreschedule(Strategy):
             node.on("static.plan", self._on_plan)
 
     # ------------------------------------------------------------------
-    def place_root(self, rank: int, tid: int) -> None:
-        if self.driver.trace.task(tid).pinned is not None:
-            w = self.worker(rank)
-            w.enqueue(tid)
+    def place_root(self, node: int, task: int) -> None:
+        if self.driver.trace.task(task).pinned is not None:
+            w = self.worker(node)
+            w.enqueue(task)
             w.try_start()
             return
-        self._pools[rank].append(tid)
+        self._pools[node].append(task)
         if not self._kickoff_scheduled:
             self._kickoff_scheduled = True
             # driver.start() materializes every root synchronously before

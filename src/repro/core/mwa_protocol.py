@@ -115,6 +115,7 @@ class _MWAProtocol:
         ]
         self.vflow = np.zeros((max(self.n1 - 1, 0), self.n2), dtype=np.int64)
         self.hflow = np.zeros((self.n1, max(self.n2 - 1, 0)), dtype=np.int64)
+        self._tracer = machine.tracer
         for node in machine.nodes:
             node.on("mwa.rowscan", self._on_rowscan)
             node.on("mwa.colscan", self._on_colscan)
@@ -140,6 +141,11 @@ class _MWAProtocol:
         self.machine.node(self.rank(i, j)).send(
             self.rank(i + di, j + dj), kind, payload, size=CTRL_BYTES
         )
+
+    def _mark(self, rank: int, step: str, args=None) -> None:
+        tr = self._tracer
+        if tr is not None:
+            tr.instant(rank, "mwa", step, self.machine.sim.now, args)
 
     # ------------------------------------------------------------------
     # step 1: row scans
@@ -168,6 +174,7 @@ class _MWAProtocol:
     def _row_scan_done(self, i: int) -> None:
         st = self.st(i, self.n2 - 1)
         st.s_i = sum(st.row_prefix)
+        self._mark(self.rank(i, self.n2 - 1), "rowscan-done", {"row": i, "s_i": st.s_i})
         if i == 0:
             st.t_prev = 0
             st.t_i = st.s_i
@@ -197,6 +204,8 @@ class _MWAProtocol:
         st = self.st(i, self.n2 - 1)
         total = st.t_i
         wavg, r = divmod(int(total), self.n1 * self.n2)
+        self._mark(self.rank(i, self.n2 - 1), "corner",
+                   {"total": int(total), "wavg": wavg, "remainder": r})
         # spread (wavg, R) up the last column; each last-column node then
         # spreads leftward along its row together with (s_i, t_i, t_prev)
         self._spread_row(i, wavg, r)
@@ -243,6 +252,7 @@ class _MWAProtocol:
         return st.wavg * upto + min(upto, st.remainder)
 
     def _enter_step4(self, i: int, j: int) -> None:
+        self._mark(self.rank(i, j), "step4-enter")
         st = self.st(i, j)
         y_here = st.t_i - self._Q(i, st)
         y_above = (st.t_prev - self._Q(i - 1, st)) if i > 0 else 0
@@ -379,6 +389,7 @@ class _MWAProtocol:
         if j > 0 and st.h_prefix is None:
             return  # prefix scan has not reached us yet
         st.step5_started = True
+        self._mark(self.rank(i, j), "step5-start")
         prefix = st.h_prefix or 0
         q = self._quota(i, j)
         # the scan is defined over post-step-4 loads; any step-5 chunks

@@ -124,7 +124,8 @@ class RIPS(Strategy):
     # ------------------------------------------------------------------
     # setup
     # ------------------------------------------------------------------
-    def setup(self) -> None:
+    def attach(self, driver) -> None:
+        super().attach(driver)
         machine = self.machine
         if self._planner is None:
             self._planner = default_planner(machine.topology)
@@ -147,28 +148,28 @@ class RIPS(Strategy):
     # ------------------------------------------------------------------
     # placement hooks (driver side)
     # ------------------------------------------------------------------
-    def place_root(self, rank: int, tid: int) -> None:
+    def place_root(self, node: int, task: int) -> None:
         """Wave-0 roots wait in the pool for the initial system phase
         (Figure 1: a RIPS run *starts* with a system phase)."""
-        st = self.states[rank]
-        if self.driver.trace.task(tid).pinned is not None:
-            self.worker(rank).enqueue(tid)
+        st = self.states[node]
+        if self.driver.trace.task(task).pinned is not None:
+            self.worker(node).enqueue(task)
         else:
-            st.rts.append(tid)
+            st.rts.append(task)
         if not self._initial_phase_requested:
             self._initial_phase_requested = True
             # fire the very first init from rank 0 at t=0
             self.machine.sim.schedule(0.0, self._initiate, 0)
 
-    def place_child(self, rank: int, tid: int) -> None:
-        st = self.states[rank]
-        pinned = self.driver.trace.task(tid).pinned is not None
+    def place_child(self, node: int, task: int) -> None:
+        st = self.states[node]
+        pinned = self.driver.trace.task(task).pinned is not None
         if pinned:
-            self.worker(rank).enqueue(tid)
+            self.worker(node).enqueue(task)
         elif self.local_policy is LocalPolicy.EAGER:
-            st.rts.append(tid)
+            st.rts.append(task)
         else:
-            self.worker(rank).enqueue(tid)
+            self.worker(node).enqueue(task)
         if st.asleep and not pinned:
             # New reschedulable work in a quiescent system: wake everyone
             # with a fresh system phase so the work gets scheduled, not
@@ -177,11 +178,11 @@ class RIPS(Strategy):
             # would still see zero schedulable tasks.)
             st.asleep = False
             if st.mode is _Mode.USER:
-                self._initiate(rank)
+                self._initiate(node)
 
-    def place_released(self, rank: int, tid: int) -> None:
+    def place_released(self, node: int, task: int) -> None:
         # Wave-barrier-released tasks behave like freshly generated ones.
-        self.place_child(rank, tid)
+        self.place_child(node, task)
 
     def on_wave_released(self, wave: int) -> None:
         """A new wave appeared: schedule it with a fresh system phase."""
@@ -190,12 +191,13 @@ class RIPS(Strategy):
     # ------------------------------------------------------------------
     # user-phase triggers
     # ------------------------------------------------------------------
-    def on_task_complete(self, rank: int, tid: int) -> None:
-        st = self.states[rank]
-        if st.mode is _Mode.STOPPING and self.worker(rank).outstanding is None:
-            self._enter_system_phase(rank)
+    def on_task_complete(self, node: int, task: int) -> None:
+        st = self.states[node]
+        if st.mode is _Mode.STOPPING and self.worker(node).outstanding is None:
+            self._enter_system_phase(node)
 
-    def on_idle(self, rank: int) -> None:
+    def on_idle(self, node: int) -> None:
+        rank = node
         st = self.states[rank]
         if st.mode is not _Mode.USER or st.asleep:
             return
@@ -275,6 +277,10 @@ class RIPS(Strategy):
             return
         st.mode = _Mode.STOPPING
         st.target_phase = phase
+        tr = self.tracer
+        if tr is not None:
+            tr.begin(rank, "phase", "init", self.machine.sim.now,
+                     {"phase": phase})
         worker = self.worker(rank)
         worker.enabled = False
         if worker.outstanding is None:
@@ -299,6 +305,12 @@ class RIPS(Strategy):
                 pool.append(tid)
         st.rts.clear()
         st.pool = pool
+        tr = self.tracer
+        if tr is not None:
+            now = self.machine.sim.now
+            tr.end(rank, "phase", "init", now)
+            tr.begin(rank, "phase", "gather", now,
+                     {"phase": st.target_phase, "pooled": len(pool)})
         self._gather.contribute(rank, st.target_phase, {rank: len(pool)})
 
     # ------------------------------------------------------------------
@@ -329,7 +341,16 @@ class RIPS(Strategy):
             outgoing[s].append((d, c))
             incoming[d] += c
 
+        plan_time = self.plan_compute_per_node * n
+
         def send_plans() -> None:
+            tr = self.tracer
+            if tr is not None:
+                tr.complete(0, "phase", "plan",
+                            self.machine.sim.now - plan_time, plan_time,
+                            {"phase": phase, "total_load": total,
+                             "transfers": len(plan.transfers),
+                             "plan_cost": plan.cost})
             for r in range(n):
                 root.send(
                     r, "rips.plan",
@@ -339,13 +360,17 @@ class RIPS(Strategy):
 
         # planner computation charged at the root (the array-level stand-in
         # for the distributed 3(n1+n2)-step algorithm; see DESIGN.md)
-        root.exec_cpu(self.plan_compute_per_node * n, "overhead", send_plans)
+        root.exec_cpu(plan_time, "overhead", send_plans)
 
     def _on_ctrl(self, rank: int, payload: tuple[int, str]) -> None:
         phase, kind = payload
         st = self.states[rank]
         if phase < st.target_phase or st.mode is _Mode.DONE:
             return
+        tr = self.tracer
+        if tr is not None:
+            tr.end(rank, "phase", "gather", self.machine.sim.now,
+                   {"outcome": kind})
         if kind == "done":
             st.mode = _Mode.DONE
             st.completed_phase = phase
@@ -367,6 +392,13 @@ class RIPS(Strategy):
             )
         st.plan_received = True
         st.incoming_expected = incoming
+        tr = self.tracer
+        if tr is not None:
+            now = self.machine.sim.now
+            tr.end(rank, "phase", "gather", now, {"outcome": "plan"})
+            tr.begin(rank, "phase", "transfer", now,
+                     {"phase": phase, "outgoing": len(outgoing),
+                      "incoming": incoming})
         created_at = self.driver.created_at
         # Prefer forwarding tasks that are already non-local so that local
         # tasks stay local (this realizes Theorem 2's bound end-to-end).
@@ -379,11 +411,11 @@ class RIPS(Strategy):
             self.send_tasks(rank, dest, batch)
         self._maybe_resume(rank)
 
-    def on_tasks_received(self, rank: int, tids: Sequence[int]) -> None:
-        st = self.states[rank]
+    def on_tasks_received(self, node: int, tasks: Sequence[int]) -> None:
+        st = self.states[node]
         if st.mode is _Mode.SYSTEM:
-            st.incoming_got += len(tids)
-            self._maybe_resume(rank)
+            st.incoming_got += len(tasks)
+            self._maybe_resume(node)
         else:
             st.asleep = False
 
@@ -397,6 +429,11 @@ class RIPS(Strategy):
     def _resume(self, rank: int, phase: int) -> None:
         st = self.states[rank]
         worker = self.worker(rank)
+        tr = self.tracer
+        if tr is not None:
+            now = self.machine.sim.now
+            tr.end(rank, "phase", "transfer", now)
+            tr.instant(rank, "phase", "resume", now, {"phase": phase})
         # Everything left in the pool plus pinned tasks re-enter the RTE
         # queue; migrated-in tasks were enqueued on arrival.
         for tid in st.pinned_hold:

@@ -20,30 +20,39 @@ from .common import (
     workload,
     workloads,
 )
-from .fig4 import Fig4Point, fig4_point, fig4_series
+from .fig4 import Fig4Point, fig4_point, fig4_requests, fig4_series, run_fig4
 from .fig5 import fig5_text, quality_factor, run_fig5
 from .table1 import run_table1, table1_requests, table1_rows, table1_text
-from .table2 import run_table2, table2_text
+from .table2 import run_table2, table2_requests, table2_text
 from .table3 import TABLE3_WORKLOADS, run_table3, table3_requests, table3_text
 from .topologies import (
     TopologyCase,
     run_topology_comparison,
     run_topology_grid,
+    topologies_text,
     topology_cases,
     topology_grid_requests,
 )
 
+#: The uniform experiment API: every module listed here exposes
+#: ``build_requests(...) -> list[RunRequest]`` and
+#: ``render(results) -> str`` and routes through :mod:`repro.runner`.
+EXPERIMENT_MODULES = ("table1", "table2", "table3", "fig4", "fig5", "topologies")
+
 __all__ = [
+    "EXPERIMENT_MODULES",
     "Fig4Point",
     "STRATEGY_ORDER",
     "TABLE3_WORKLOADS",
     "WorkloadSpec",
     "current_scale",
     "fig4_point",
+    "fig4_requests",
     "fig4_series",
     "fig5_text",
     "make_machine",
     "quality_factor",
+    "run_fig4",
     "run_fig5",
     "run_table1",
     "run_table2",
@@ -53,7 +62,9 @@ __all__ = [
     "run_topology_grid",
     "strategy_factories",
     "table1_requests",
+    "table2_requests",
     "table3_requests",
+    "topologies_text",
     "topology_grid_requests",
     "table1_rows",
     "table1_text",

@@ -174,11 +174,12 @@ def run_workload(
     num_nodes: int = 32,
     seed: int = 1234,
     config: ExecutionConfig = ExecutionConfig(),
+    tracer=None,
 ) -> RunMetrics:
     """One Table-I cell group: one workload under one strategy."""
     trace = spec.build(num_nodes)
     factory = strategy_factories(spec.kind, num_nodes)[strategy_name]
     machine = make_machine(num_nodes, seed=seed)
-    metrics = run_trace(trace, factory(), machine, config)
+    metrics = run_trace(trace, factory(), machine, config, tracer=tracer)
     metrics.extra["workload_label"] = spec.label
     return metrics

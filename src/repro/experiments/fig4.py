@@ -8,11 +8,17 @@ flow optimum toward the *same* quota vector, and report
 
 averaged over ``cases`` random test cases — exactly the measure of the
 paper's Figure 4 (a) for 8/16/32 processors and (b) for 64/128/256.
+
+:func:`fig4_point` is the pure per-cell computation; the grid routes
+through :mod:`repro.runner` (``kind="fig4"`` requests), so points fan
+out across cores and land in the shared result cache like every other
+experiment.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -20,7 +26,17 @@ from repro.core.mwa import mwa_schedule
 from repro.machine.topology import MeshTopology, mesh_shape_for
 from repro.optimal.schedule import optimal_redistribution
 
-__all__ = ["Fig4Point", "fig4_point", "fig4_series", "PAPER_SIZES", "PAPER_WEIGHTS"]
+__all__ = [
+    "Fig4Point",
+    "PAPER_SIZES",
+    "PAPER_WEIGHTS",
+    "build_requests",
+    "fig4_point",
+    "fig4_requests",
+    "fig4_series",
+    "render",
+    "run_fig4",
+]
 
 PAPER_SIZES = (8, 16, 32, 64, 128, 256)
 PAPER_WEIGHTS = (2, 5, 10, 20, 50, 100)
@@ -93,3 +109,83 @@ def fig4_series(
         n: [fig4_point(n, w, cases=cases, seed=seed) for w in weights]
         for n in sizes
     }
+
+
+def fig4_requests(
+    sizes: Sequence[int] = PAPER_SIZES,
+    weights: Sequence[int] = PAPER_WEIGHTS,
+    cases: int = 100,
+    seed: int = 7,
+) -> list["RunRequest"]:
+    """The Figure-4 grid as runner requests (one per size x weight)."""
+    from repro.runner import RunRequest
+
+    return [
+        RunRequest(
+            workload="fig4",
+            strategy="MWA",
+            num_nodes=int(n),
+            seed=seed,
+            kind="fig4",
+            params=(("weight", int(w)), ("cases", int(cases))),
+        )
+        for n in sizes
+        for w in weights
+    ]
+
+
+def run_fig4(
+    sizes: Sequence[int] = PAPER_SIZES,
+    weights: Sequence[int] = PAPER_WEIGHTS,
+    cases: int = 100,
+    seed: int = 7,
+    jobs: Optional[Union[int, str]] = None,
+    cache=None,
+) -> dict[int, list[Fig4Point]]:
+    """:func:`fig4_series` routed through the parallel runner."""
+    from repro.runner import run_requests
+
+    reqs = fig4_requests(sizes=sizes, weights=weights, cases=cases, seed=seed)
+    metrics = run_requests(reqs, jobs=jobs, cache=cache)
+    out: dict[int, list[Fig4Point]] = {}
+    for req, m in zip(reqs, metrics):
+        out.setdefault(req.num_nodes, []).append(
+            Fig4Point(
+                num_nodes=req.num_nodes,
+                weight=m.extra["weight"],
+                cases=m.extra["cases"],
+                normalized_cost=m.extra["normalized_cost"],
+                mean_cost_mwa=m.extra["mean_cost_mwa"],
+                mean_cost_opt=m.extra["mean_cost_opt"],
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# uniform experiment API
+# ----------------------------------------------------------------------
+def build_requests(**kwargs) -> list["RunRequest"]:
+    """The Figure-4 grid (accepts :func:`fig4_requests`'s keywords)."""
+    return fig4_requests(**kwargs)
+
+
+def render(results) -> str:
+    """Render runner results as the Figure-4 normalized-cost series."""
+    from repro.metrics import format_series
+
+    by_n: dict[int, list] = {}
+    for m in results:
+        by_n.setdefault(m.num_nodes, []).append(m)
+    cases = results[0].extra["cases"] if results else 0
+    lines = [
+        "Figure 4: normalized communication cost of MWA, "
+        f"{cases} cases per point"
+    ]
+    for n, ms in sorted(by_n.items()):
+        lines.append(format_series(
+            f"{n} procs",
+            [m.extra["weight"] for m in ms],
+            [m.extra["normalized_cost"] for m in ms],
+        ))
+    return "\n".join(lines)

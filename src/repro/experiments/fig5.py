@@ -17,10 +17,10 @@ from typing import Optional, Sequence
 from repro.balancers import RunMetrics
 from repro.metrics import format_table
 from .common import STRATEGY_ORDER, current_scale, workloads
-from .table1 import run_table1
-from .table2 import run_table2
+from .table1 import run_table1, table1_requests
+from .table2 import run_table2, table2_requests
 
-__all__ = ["quality_factor", "run_fig5", "fig5_text"]
+__all__ = ["build_requests", "fig5_text", "quality_factor", "render", "run_fig5"]
 
 
 def quality_factor(mu_opt: float, mu_rand: float, mu_g: float) -> float:
@@ -37,16 +37,19 @@ def run_fig5(
     scale: Optional[str] = None,
     metrics: Optional[Sequence[RunMetrics]] = None,
     opt: Optional[dict[str, float]] = None,
+    jobs=None,
+    cache=None,
 ) -> dict[str, dict[str, float]]:
     """Quality factor per workload key per strategy.
 
-    Reuses precomputed Table-I metrics / Table-II optima when given.
+    Reuses precomputed Table-I metrics / Table-II optima when given;
+    otherwise both grids run through the parallel runner.
     """
     scale = current_scale(scale)
     if metrics is None:
-        metrics = run_table1(num_nodes=num_nodes, scale=scale)
+        metrics = run_table1(num_nodes=num_nodes, scale=scale, jobs=jobs, cache=cache)
     if opt is None:
-        opt = run_table2(num_nodes=num_nodes, scale=scale)
+        opt = run_table2(num_nodes=num_nodes, scale=scale, jobs=jobs, cache=cache)
     spec_by_label = {}
     for spec in workloads(scale):
         spec_by_label[spec.label] = spec.key
@@ -75,6 +78,31 @@ def fig5_text(factors: dict[str, dict[str, float]]) -> str:
             row[strat] = f"{v:.2f}" if v is not None else "-"
         rows.append(row)
     return format_table(rows, title="Figure 5: Normalized Quality Factors")
+
+
+# ----------------------------------------------------------------------
+# uniform experiment API: Figure 5 needs both the Table-I simulations
+# and the Table-II bounds, so its request list is their concatenation
+# (the ``kind`` field tells them apart in the results).
+# ----------------------------------------------------------------------
+def build_requests(
+    num_nodes: int = 32,
+    scale: Optional[str] = None,
+    seed: int = 1234,
+) -> list:
+    scale = current_scale(scale)
+    return (
+        table1_requests(num_nodes=num_nodes, scale=scale, seed=seed)
+        + table2_requests(num_nodes=num_nodes, scale=scale, seed=seed)
+    )
+
+
+def render(results: Sequence[RunMetrics]) -> str:
+    """Render mixed sim+optimal runner results as the Figure-5 text."""
+    sim = [m for m in results if m.strategy != "optimal"]
+    opt = {m.workload: m.efficiency for m in results if m.strategy == "optimal"}
+    num_nodes = sim[0].num_nodes if sim else 32
+    return fig5_text(run_fig5(num_nodes=num_nodes, metrics=sim, opt=opt))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual driver

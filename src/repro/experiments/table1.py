@@ -15,7 +15,14 @@ from repro.metrics import format_table, percent, seconds
 from repro.runner import ResultCache, RunRequest, run_requests
 from .common import STRATEGY_ORDER, current_scale, workloads
 
-__all__ = ["table1_requests", "table1_rows", "table1_text", "run_table1"]
+__all__ = [
+    "build_requests",
+    "render",
+    "run_table1",
+    "table1_requests",
+    "table1_rows",
+    "table1_text",
+]
 
 
 def table1_requests(
@@ -89,6 +96,21 @@ def table1_text(metrics: Sequence[RunMetrics], num_nodes: int = 32) -> str:
         table1_rows(metrics),
         title=f"Table I: Comparison of Scheduling Algorithms on {num_nodes} Processors",
     )
+
+
+# ----------------------------------------------------------------------
+# uniform experiment API (every module in repro.experiments exposes
+# build_requests(...) -> list[RunRequest] and render(results) -> str)
+# ----------------------------------------------------------------------
+def build_requests(**kwargs) -> list[RunRequest]:
+    """The Table-I grid (accepts :func:`table1_requests`'s keywords)."""
+    return table1_requests(**kwargs)
+
+
+def render(results: Sequence[RunMetrics]) -> str:
+    """Render runner results (in request order) as the Table-I text."""
+    num_nodes = results[0].num_nodes if results else 32
+    return table1_text(results, num_nodes)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual driver

@@ -3,27 +3,60 @@
 The optimal efficiency assumes an ideal scheduler and zero overhead;
 the binding limits are task granularity, spawn chains, and wave
 barriers (see :func:`repro.optimal.bounds.optimal_efficiency`).
+
+The bound computation runs through :mod:`repro.runner` like every other
+experiment (``kind="optimal"`` requests), so it shares the process pool
+and the result cache with the simulation grids.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Union
 
+from repro.balancers import RunMetrics
 from repro.metrics import format_table, percent
-from repro.optimal import optimal_efficiency
+from repro.runner import ResultCache, RunRequest, run_requests
 from .common import current_scale, workloads
 
-__all__ = ["run_table2", "table2_text"]
+__all__ = [
+    "build_requests",
+    "render",
+    "run_table2",
+    "table2_requests",
+    "table2_text",
+]
 
 
-def run_table2(num_nodes: int = 32, scale: Optional[str] = None) -> dict[str, float]:
-    """Optimal efficiency per workload key."""
+def table2_requests(
+    num_nodes: int = 32,
+    scale: Optional[str] = None,
+    seed: int = 1234,
+) -> list[RunRequest]:
+    """One ``kind="optimal"`` request per workload."""
     scale = current_scale(scale)
-    out: dict[str, float] = {}
-    for spec in workloads(scale):
-        trace = spec.build(num_nodes)
-        out[spec.key] = optimal_efficiency(trace, num_nodes)
-    return out
+    return [
+        RunRequest(
+            workload=spec.key,
+            strategy="optimal",
+            num_nodes=num_nodes,
+            seed=seed,
+            scale=scale,
+            kind="optimal",
+        )
+        for spec in workloads(scale)
+    ]
+
+
+def run_table2(
+    num_nodes: int = 32,
+    scale: Optional[str] = None,
+    jobs: Optional[Union[int, str]] = None,
+    cache: Union[ResultCache, bool, None] = None,
+) -> dict[str, float]:
+    """Optimal efficiency per workload key."""
+    reqs = table2_requests(num_nodes=num_nodes, scale=scale)
+    metrics = run_requests(reqs, jobs=jobs, cache=cache)
+    return {m.workload: m.efficiency for m in metrics}
 
 
 def table2_text(values: dict[str, float], num_nodes: int = 32) -> str:
@@ -35,6 +68,20 @@ def table2_text(values: dict[str, float], num_nodes: int = 32) -> str:
         rows,
         title=f"Table II: Optimal Efficiencies for Test Problems ({num_nodes} processors)",
     )
+
+
+# ----------------------------------------------------------------------
+# uniform experiment API
+# ----------------------------------------------------------------------
+def build_requests(**kwargs) -> list[RunRequest]:
+    """The Table-II bound grid (accepts :func:`table2_requests`'s keywords)."""
+    return table2_requests(**kwargs)
+
+
+def render(results: Sequence[RunMetrics]) -> str:
+    """Render runner results as the Table-II text."""
+    num_nodes = results[0].num_nodes if results else 32
+    return table2_text({m.workload: m.efficiency for m in results}, num_nodes)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual driver

@@ -16,7 +16,14 @@ from repro.metrics import format_table
 from repro.runner import ResultCache, RunRequest, run_requests
 from .common import STRATEGY_ORDER, current_scale, workloads
 
-__all__ = ["TABLE3_WORKLOADS", "table3_requests", "run_table3", "table3_text"]
+__all__ = [
+    "TABLE3_WORKLOADS",
+    "build_requests",
+    "render",
+    "run_table3",
+    "table3_requests",
+    "table3_text",
+]
 
 #: workload keys of Table III at paper scale (the last of each group)
 TABLE3_WORKLOADS = {
@@ -80,6 +87,25 @@ def table3_text(metrics: Sequence[RunMetrics]) -> str:
     return format_table(
         rows, title="Table III: Speedup Comparison on 64 and 128 Processors"
     )
+
+
+# ----------------------------------------------------------------------
+# uniform experiment API
+# ----------------------------------------------------------------------
+def build_requests(**kwargs) -> list[RunRequest]:
+    """The Table-III grid (accepts :func:`table3_requests`'s keywords).
+
+    Also accepts the uniform ``num_nodes=N`` spelling as shorthand for
+    ``num_nodes_list=(N,)``.
+    """
+    if "num_nodes" in kwargs:
+        kwargs["num_nodes_list"] = (kwargs.pop("num_nodes"),)
+    return table3_requests(**kwargs)
+
+
+def render(results: Sequence[RunMetrics]) -> str:
+    """Render runner results as the Table-III text."""
+    return table3_text(results)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual driver

@@ -39,10 +39,13 @@ from repro.tasks.trace import WorkloadTrace
 
 __all__ = [
     "TopologyCase",
-    "topology_cases",
-    "topology_grid_requests",
+    "build_requests",
+    "render",
     "run_topology_comparison",
     "run_topology_grid",
+    "topologies_text",
+    "topology_cases",
+    "topology_grid_requests",
 ]
 
 
@@ -91,11 +94,14 @@ def run_topology_comparison(
     num_nodes: int = 32,
     cases: Optional[Sequence[TopologyCase]] = None,
     seed: int = 77,
+    tracer=None,
 ) -> dict[str, RunMetrics]:
     """Run ``trace`` under RIPS (ANY-Lazy) on each topology case.
 
     ``num_nodes`` must be a power of two so the hypercube cases match
-    the other topologies' node count.
+    the other topologies' node count.  A ``tracer`` only makes sense for
+    a single-case run (spans from all cases would share one record
+    stream).
     """
     if num_nodes & (num_nodes - 1):
         raise ValueError("num_nodes must be a power of two for this comparison")
@@ -106,7 +112,9 @@ def run_topology_comparison(
             raise RuntimeError(f"case {case.name} built {topo.num_nodes} nodes")
         planner = case.make_planner(topo) if case.make_planner else None
         machine = Machine(topo, seed=seed)
-        metrics = run_trace(trace, RIPS("lazy", "any", planner=planner), machine)
+        metrics = run_trace(
+            trace, RIPS("lazy", "any", planner=planner), machine, tracer=tracer
+        )
         metrics.extra["topology_case"] = case.name
         out[case.name] = metrics
     return out
@@ -167,3 +175,42 @@ def run_topology_grid(
     )
     metrics = run_requests(reqs, jobs=jobs, cache=cache)
     return {req.topology_case: m for req, m in zip(reqs, metrics)}
+
+
+def topologies_text(metrics: Sequence[RunMetrics]) -> str:
+    """Side-by-side Table-I columns per topology case."""
+    from repro.metrics import format_table, percent, seconds
+
+    rows = [
+        {
+            "case": m.extra.get("topology_case", "?"),
+            "nonlocal": m.nonlocal_tasks,
+            "Th": seconds(m.Th),
+            "Ti": seconds(m.Ti),
+            "T": seconds(m.T),
+            "mu": percent(m.efficiency),
+            "phases": m.system_phases or "-",
+        }
+        for m in metrics
+    ]
+    first = metrics[0] if metrics else None
+    title = (
+        f"RIPS across topologies: {first.workload} on {first.num_nodes} nodes"
+        if first is not None
+        else "RIPS across topologies"
+    )
+    return format_table(rows, title=title)
+
+
+# ----------------------------------------------------------------------
+# uniform experiment API
+# ----------------------------------------------------------------------
+def build_requests(workload_key: str, **kwargs) -> list[RunRequest]:
+    """The cross-topology grid (accepts
+    :func:`topology_grid_requests`'s keywords)."""
+    return topology_grid_requests(workload_key, **kwargs)
+
+
+def render(results: Sequence[RunMetrics]) -> str:
+    """Render runner results as the topology comparison table."""
+    return topologies_text(results)

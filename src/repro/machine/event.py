@@ -112,6 +112,10 @@ class Simulator:
         self._events_processed = 0
         self._running = False
         self._dead = 0  # cancelled events still sitting in the queue
+        # Observability: None means untraced — run() takes the exact
+        # pre-observability hot loop, checked once per call, not per event.
+        self._tracer = None
+        self._trace_stride = 256  # counter sample period (events)
 
     # ------------------------------------------------------------------
     # clock
@@ -129,6 +133,21 @@ class Simulator:
     def pending(self) -> int:
         """Number of scheduled, not-yet-cancelled events.  O(1)."""
         return len(self._queue) - self._dead
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer, stride: int = 256) -> None:
+        """Route :meth:`run` through the instrumented loop.
+
+        The traced loop emits ``sim`` counters (events processed, live
+        queue length) every ``stride`` events.  Passing ``None`` (or a
+        tracer whose ``enabled`` is False) restores the untraced hot
+        loop; the disabled path costs exactly one identity check per
+        ``run()`` call, never per event.
+        """
+        self._tracer = tracer if (tracer is not None and tracer.enabled) else None
+        self._trace_stride = max(1, int(stride))
 
     # ------------------------------------------------------------------
     # scheduling
@@ -229,6 +248,9 @@ class Simulator:
         q = self._queue
         executed = 0
         try:
+            if self._tracer is not None:
+                executed = self._run_traced(until, max_events)
+                return
             if until is None and max_events is None:
                 # Hot path: drain the queue with no per-event bound checks.
                 while q:
@@ -268,3 +290,45 @@ class Simulator:
         finally:
             self._events_processed += executed
             self._running = False
+
+    def _run_traced(self, until: Optional[float], max_events: Optional[int]) -> int:
+        """The instrumented twin of the :meth:`run` loop.
+
+        Identical event semantics (same ordering, same ``until``
+        clock-advance rule), plus periodic ``sim`` counter samples so a
+        trace shows event-loop pressure over simulated time.  Kept
+        separate so the untraced loop carries zero per-event overhead.
+        """
+        q = self._queue
+        tr = self._tracer
+        stride = self._trace_stride
+        executed = 0
+        while q:
+            ev = q[0]
+            if ev.cancelled:
+                _heappop(q)
+                self._dead -= 1
+                continue
+            t = ev.key[0]
+            if until is not None and t > until:
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            _heappop(q)
+            self._now = t
+            fn, args = ev.fn, ev.args
+            ev.fn = None
+            ev.args = ()
+            fn(*args)
+            executed += 1
+            if executed % stride == 0:
+                done = self._events_processed + executed
+                tr.counter(0, "sim", "events_processed", self._now, done)
+                tr.counter(0, "sim", "pending_events", self._now, self.pending())
+        if until is not None and self._now < until:
+            nxt = self._peek_live()
+            if nxt is None or nxt.key[0] > until:
+                self._now = until
+        tr.counter(0, "sim", "events_processed", self._now,
+                   self._events_processed + executed)
+        return executed

@@ -50,6 +50,7 @@ class Machine:
         latency: LatencyModel = PARAGON_LIKE,
         contention: bool = False,
         seed: Optional[int] = None,
+        tracer=None,
     ) -> None:
         if isinstance(topology, str):
             if num_nodes is None:
@@ -62,6 +63,10 @@ class Machine:
         net_cls = ContentionNetwork if contention else IdealNetwork
         self.network = net_cls(self.sim, topology, latency, self._deliver)
         self.nodes = [Node(rank, self) for rank in range(topology.num_nodes)]
+        #: attached observability tracer (None = untraced; see repro.obs)
+        self.tracer = None
+        if tracer is not None:
+            self.attach_tracer(tracer)
 
     # ------------------------------------------------------------------
     @property
@@ -71,7 +76,25 @@ class Machine:
     def node(self, rank: int) -> Node:
         return self.nodes[rank]
 
+    def attach_tracer(self, tracer) -> None:
+        """Thread ``tracer`` (see :class:`repro.obs.Tracer`) through the
+        simulator, network, and every node.  Pass ``None`` — or a tracer
+        whose ``enabled`` is False — to detach; the untraced machine pays
+        no per-event cost.
+        """
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        self.tracer = tracer
+        self.sim.attach_tracer(tracer)
+        self.network.tracer = tracer
+        for node in self.nodes:
+            node.tracer = tracer
+
     def _deliver(self, msg: Message) -> None:
+        tr = self.tracer
+        if tr is not None:
+            tr.instant(msg.dest, "net", f"recv:{msg.kind}", self.sim.now,
+                       {"src": msg.src, "size": msg.size})
         self.nodes[msg.dest].dispatch(msg)
 
     # ------------------------------------------------------------------

@@ -147,6 +147,8 @@ class IdealNetwork:
         self.latency = latency
         self._deliver = deliver
         self.stats = NetworkStats()
+        #: observability: set by Machine.attach_tracer; None = no tracing
+        self.tracer = None
 
     def transmit(self, msg: Message, tasks_carried: int = 0) -> None:
         """Inject ``msg``; it arrives after the modeled wire latency."""
@@ -157,6 +159,11 @@ class IdealNetwork:
             return
         hops = self.topology.distance(msg.src, msg.dest)
         self.stats.record(msg, hops, tasks_carried)
+        tr = self.tracer
+        if tr is not None:
+            tr.instant(msg.src, "net", f"send:{msg.kind}", self.sim.now,
+                       {"dest": msg.dest, "size": msg.size, "hops": hops,
+                        "tasks": tasks_carried})
         self.sim.schedule(self.latency.wormhole_latency(hops, msg.size), self._deliver, msg)
 
 
@@ -180,6 +187,8 @@ class ContentionNetwork:
         self.latency = latency
         self._deliver = deliver
         self.stats = NetworkStats()
+        #: observability: set by Machine.attach_tracer; None = no tracing
+        self.tracer = None
         # earliest free time of each directed link
         self._link_free: dict[tuple[int, int], float] = {}
         self._transmits_since_prune = 0
@@ -201,6 +210,16 @@ class ContentionNetwork:
             t = start + occupancy
             self._link_free[link] = t
             self.stats.record_link(link)
+        tr = self.tracer
+        if tr is not None:
+            tr.instant(msg.src, "net", f"send:{msg.kind}", self.sim.now,
+                       {"dest": msg.dest, "size": msg.size,
+                        "hops": len(path) - 1, "tasks": tasks_carried})
+            # Link occupancy pressure: how far the busiest link's queue
+            # extends beyond the current instant.
+            tr.counter(msg.src, "net", "link_backlog", self.sim.now,
+                       max(0.0, t - self.sim.now
+                           - occupancy * (len(path) - 1)))
         self.sim.schedule_at(t, self._deliver, msg)
         self._transmits_since_prune += 1
         if self._transmits_since_prune >= self._PRUNE_INTERVAL:

@@ -54,6 +54,9 @@ class Node:
         self.last_active = 0.0
         #: scratch storage for protocol state, keyed by protocol name.
         self.state: dict[str, Any] = {}
+        #: observability: set by Machine.attach_tracer; None = no tracing
+        #: (one identity check per finished CPU item, nothing else).
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # message handling
@@ -160,6 +163,12 @@ class Node:
         self.cpu_time[category] += duration
         self.last_active = self.sim.now
         self._cpu_busy = False
+        tr = self.tracer
+        if tr is not None:
+            # One busy segment per CPU item; the gaps between ``cpu``
+            # spans on a node's track are its idle time (Ti).
+            tr.complete(self.rank, "cpu", category,
+                        self.sim.now - duration, duration)
         if fn is not None:
             fn(*args)
         # fn may have queued more work (re-entrancy safe: _cpu_busy is False

@@ -1,0 +1,54 @@
+"""Observability: structured sim-time tracing for the whole stack.
+
+The paper's claims are *time-decomposition* claims — Table I splits the
+makespan into task time, overhead ``Th``, and idle ``Ti``, and the phase
+protocol of Section 2 only makes sense if one can see where a system
+phase spends its steps.  This package provides the instrumentation layer
+that makes those decompositions inspectable per node and per simulated
+instant instead of only as end-of-run aggregates:
+
+* :class:`Tracer` — span/counter/instant records keyed by simulated time
+  and node id, with a zero-cost-when-disabled contract: every producer in
+  the stack guards emission with a single ``tracer is None`` (or
+  ``not tracer.enabled``) check, and the simulator keeps its untraced
+  hot loop byte-for-byte identical;
+* :data:`NULL_TRACER` — the shared disabled singleton (``enabled`` is
+  False, every method is a no-op returning ``None``);
+* :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON and
+  JSONL exporters (open the JSON in https://ui.perfetto.dev).
+
+Span categories
+---------------
+``cpu``    per-node CPU busy segments, named by cost category
+           (``task`` / ``overhead``); the gaps are idle time.
+``task``   one span per executed task, named ``task:<id>``.
+``phase``  RIPS system-phase sub-steps per node per phase: ``init``
+           (stop + drain), ``gather`` (load collection up the tree),
+           ``plan`` (root-side planning), ``transfer`` (plan execution +
+           waiting for migrations), plus a ``resume`` instant; wave
+           barriers appear as ``wave-barrier:<k>`` spans on node 0.
+``net``    message ``send:<kind>`` / ``recv:<kind>`` instants with
+           src/dest/size/hops args; link counters on the contention
+           network.
+``mwa``    distributed Mesh-Walking-Algorithm protocol step instants.
+``sim``    periodic event-loop counters (events processed, pending).
+"""
+
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+from .export import (
+    trace_to_chrome,
+    trace_to_jsonl,
+    write_chrome_trace,
+    write_jsonl_trace,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "trace_to_chrome",
+    "trace_to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl_trace",
+]

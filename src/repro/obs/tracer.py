@@ -1,0 +1,228 @@
+"""The tracer: sim-time-stamped spans, counters, and instants.
+
+Records are plain dicts (picklable, JSON-ready) with times in simulated
+seconds; exporters convert units.  Four record shapes:
+
+* complete span — ``{"ph": "X", "node", "cat", "name", "t", "dur", "args"}``
+* instant       — ``{"ph": "i", "node", "cat", "name", "t", "args"}``
+* counter       — ``{"ph": "C", "node", "cat", "name", "t", "value"}``
+
+``begin``/``end`` are stack-matched per ``(node, cat, name)`` — a DES
+protocol opens a span in one event handler and closes it in another, so
+there is no call-stack to lean on — and emit one complete span on
+``end``.  Nested spans (same key or different) work the way Chrome's
+``B``/``E`` pairs do: innermost ``end`` matches the most recent
+``begin``.
+
+Zero-cost-when-disabled contract
+--------------------------------
+Producers hold either ``None`` (the convention inside the simulator,
+nodes, and strategies: attribute defaults to ``None`` and emission sits
+behind one identity check) or :data:`NULL_TRACER`, the shared disabled
+singleton whose methods are no-ops.  Nothing in the stack allocates,
+formats, or looks anything up on behalf of a disabled tracer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER", "Span", "TRACK_ORDER"]
+
+#: Category -> Chrome thread-id track assignment (stable display order).
+TRACK_ORDER = ("cpu", "task", "phase", "net", "mwa", "sim")
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed span, in simulated seconds (report-friendly view)."""
+
+    node: int
+    cat: str
+    name: str
+    start: float
+    dur: float
+    args: Optional[dict] = None
+
+    @property
+    def end(self) -> float:
+        return self.start + self.dur
+
+
+class Tracer:
+    """Collects trace records; attach via :meth:`Machine.attach_tracer`."""
+
+    enabled = True
+
+    def __init__(self, max_records: Optional[int] = None) -> None:
+        #: raw record dicts, in emission order
+        self.records: list[dict] = []
+        #: open begin() stacks: (node, cat, name) -> [(start, args), ...]
+        self._open: dict[tuple[int, str, str], list] = {}
+        #: optional backstop against runaway traces; None = unbounded
+        self.max_records = max_records
+        #: records discarded after hitting ``max_records``
+        self.dropped = 0
+
+    @classmethod
+    def from_records(cls, records, dropped: int = 0) -> "Tracer":
+        """Rehydrate a tracer from raw records (e.g. the
+        ``metrics.extra["trace_records"]`` a runner request carried back
+        across a process pool) so the exporters and reports apply."""
+        tr = cls()
+        tr.records = list(records)
+        tr.dropped = dropped
+        return tr
+
+    # ------------------------------------------------------------------
+    # emission API
+    # ------------------------------------------------------------------
+    def _emit(self, rec: dict) -> None:
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(rec)
+
+    def complete(
+        self,
+        node: int,
+        cat: str,
+        name: str,
+        start: float,
+        dur: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Emit a finished span (start and duration already known)."""
+        self._emit(
+            {"ph": "X", "node": node, "cat": cat, "name": name,
+             "t": start, "dur": dur, "args": args}
+        )
+
+    def begin(
+        self,
+        node: int,
+        cat: str,
+        name: str,
+        t: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Open a span; close it later with a matching :meth:`end`."""
+        self._open.setdefault((node, cat, name), []).append((t, args))
+
+    def end(
+        self,
+        node: int,
+        cat: str,
+        name: str,
+        t: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Close the most recent matching :meth:`begin` and emit the span.
+
+        An unmatched ``end`` is ignored: protocol code may observe a
+        terminal message (e.g. ``done``) for a phase it never entered.
+        """
+        stack = self._open.get((node, cat, name))
+        if not stack:
+            return
+        start, begin_args = stack.pop()
+        if not stack:
+            del self._open[(node, cat, name)]
+        merged = begin_args
+        if args:
+            merged = {**(begin_args or {}), **args}
+        self.complete(node, cat, name, start, t - start, merged)
+
+    def instant(
+        self,
+        node: int,
+        cat: str,
+        name: str,
+        t: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Emit a zero-duration marker."""
+        self._emit(
+            {"ph": "i", "node": node, "cat": cat, "name": name,
+             "t": t, "args": args}
+        )
+
+    def counter(self, node: int, cat: str, name: str, t: float, value: float) -> None:
+        """Emit one sample of a time series."""
+        self._emit(
+            {"ph": "C", "node": node, "cat": cat, "name": name,
+             "t": t, "value": value}
+        )
+
+    # ------------------------------------------------------------------
+    # consumption API
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def open_spans(self) -> int:
+        """Number of begun-but-not-ended spans (should be 0 after a run)."""
+        return sum(len(s) for s in self._open.values())
+
+    def spans(self, cat: Optional[str] = None) -> Iterator[Span]:
+        """Iterate completed spans, optionally restricted to one category."""
+        for rec in self.records:
+            if rec["ph"] != "X":
+                continue
+            if cat is not None and rec["cat"] != cat:
+                continue
+            yield Span(rec["node"], rec["cat"], rec["name"], rec["t"],
+                       rec["dur"], rec.get("args"))
+
+    def cpu_seconds(self) -> dict[int, dict[str, float]]:
+        """Per-node CPU seconds by cost category, summed from ``cpu`` spans."""
+        out: dict[int, dict[str, float]] = {}
+        for s in self.spans("cpu"):
+            per = out.setdefault(s.node, {})
+            per[s.name] = per.get(s.name, 0.0) + s.dur
+        return out
+
+
+class NullTracer:
+    """The disabled tracer: every method is a no-op, ``enabled`` is False.
+
+    Producers that cannot (or prefer not to) hold ``None`` use the shared
+    :data:`NULL_TRACER` singleton; emitting into it costs one method call
+    and allocates nothing.
+    """
+
+    enabled = False
+    records: tuple = ()
+    dropped = 0
+
+    def complete(self, node, cat, name, start, dur, args=None) -> None:
+        pass
+
+    def begin(self, node, cat, name, t, args=None) -> None:
+        pass
+
+    def end(self, node, cat, name, t, args=None) -> None:
+        pass
+
+    def instant(self, node, cat, name, t, args=None) -> None:
+        pass
+
+    def counter(self, node, cat, name, t, value) -> None:
+        pass
+
+    def open_spans(self) -> int:
+        return 0
+
+    def spans(self, cat=None):
+        return iter(())
+
+    def cpu_seconds(self) -> dict:
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared disabled singleton — compare by identity.
+NULL_TRACER = NullTracer()

@@ -26,7 +26,17 @@ from typing import Optional
 
 from repro.machine.event import Simulator
 
-__all__ = ["bench_events_per_sec", "emit_bench", "DEFAULT_BENCH_PATH"]
+__all__ = [
+    "bench_events_per_sec",
+    "check_bench",
+    "emit_bench",
+    "DEFAULT_BENCH_PATH",
+    "REGRESSION_TOLERANCE",
+]
+
+#: ``bench --check`` fails when a shape regresses more than this fraction
+#: below the committed baseline.
+REGRESSION_TOLERANCE = 0.10
 
 DEFAULT_BENCH_PATH = Path(__file__).resolve().parents[3] / "BENCH_events_per_sec.json"
 
@@ -95,3 +105,44 @@ def emit_bench(
     report = bench_events_per_sec(events=events, reps=reps)
     out.write_text(json.dumps(report, indent=2) + "\n")
     return report
+
+
+def check_bench(
+    path: Optional[Path | str] = None,
+    events: Optional[int] = None,
+    reps: Optional[int] = None,
+    tolerance: float = REGRESSION_TOLERANCE,
+    report: Optional[dict] = None,
+) -> dict:
+    """Compare a fresh measurement against the committed baseline.
+
+    Returns ``{"ok", "tolerance", "baseline", "measured", "ratios",
+    "failures"}``; ``ok`` is False when any shape's measured rate falls
+    more than ``tolerance`` below the baseline.  The baseline file is
+    never rewritten by a check (pass ``report`` to reuse a measurement).
+
+    ``events``/``reps`` default to what the baseline was measured with
+    (throughput depends on event count — the ``loaded`` shape amortizes
+    its 1000-event fan-out over the run — so a mismatched check would
+    flag phantom regressions).
+    """
+    baseline_path = Path(path) if path is not None else DEFAULT_BENCH_PATH
+    doc = json.loads(baseline_path.read_text())
+    baseline = doc["events_per_sec"]
+    if report is None:
+        if events is None:
+            events = doc.get("events", 200_000)
+        if reps is None:
+            reps = doc.get("reps", 5)
+        report = bench_events_per_sec(events=events, reps=reps)
+    measured = report["events_per_sec"]
+    ratios = {k: measured[k] / baseline[k] for k in baseline}
+    failures = [k for k, r in ratios.items() if r < 1.0 - tolerance]
+    return {
+        "ok": not failures,
+        "tolerance": tolerance,
+        "baseline": dict(baseline),
+        "measured": dict(measured),
+        "ratios": {k: round(r, 3) for k, r in ratios.items()},
+        "failures": failures,
+    }

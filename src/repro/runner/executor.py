@@ -115,7 +115,10 @@ def run_requests_report(
 
     pending: list[tuple[int, RunRequest]] = []
     for i, req in enumerate(requests):
-        hit = store.get(req) if store is not None else None
+        # Traced requests bypass the result cache entirely: their value is
+        # the span stream, and stale traces masquerading as fresh ones are
+        # worse than recomputation.
+        hit = store.get(req) if store is not None and not req.trace else None
         if hit is not None:
             report.results[i] = hit
             report.cache_hits += 1
@@ -127,7 +130,7 @@ def run_requests_report(
             metrics = execute_request(req)
             report.results[i] = metrics
             report.executed += 1
-            if store is not None:
+            if store is not None and not req.trace:
                 store.put(req, metrics)
         return report
 
@@ -181,7 +184,7 @@ def _run_pool(
                 continue
             report.results[i] = metrics
             report.executed += 1
-            if store is not None:
+            if store is not None and not req.trace:
                 store.put(req, metrics)
     finally:
         # wait=False: a timed-out (hung) worker must not block shutdown —

@@ -36,6 +36,21 @@ class RunRequest:
     :func:`repro.experiments.topologies.topology_cases` to run the
     cross-topology RIPS comparison instead (``strategy`` is then fixed to
     RIPS by that experiment).
+
+    ``kind`` selects what computation the cell stands for:
+
+    * ``"sim"`` — a scheduled simulation run (Table I/III, topologies);
+    * ``"optimal"`` — the Table-II optimal-efficiency bound for the
+      workload (``strategy`` is conventionally ``"optimal"``);
+    * ``"fig4"`` — one Figure-4 MWA-vs-optimal redistribution cell;
+      ``params`` carries ``(("weight", w), ("cases", c))``.
+
+    ``params`` is a tuple of ``(key, value)`` pairs (hashable, canonical)
+    for kinds that need extra inputs.  ``trace=True`` attaches a
+    :class:`repro.obs.Tracer` to the run and returns its records in
+    ``metrics.extra["trace_records"]``; traced requests bypass the result
+    cache.  All three fields serialize only when non-default, so request
+    hashes from earlier versions are unchanged.
     """
 
     workload: str
@@ -45,10 +60,13 @@ class RunRequest:
     scale: str = "small"
     config: ExecutionConfig = field(default_factory=ExecutionConfig)
     topology_case: Optional[str] = None
+    kind: str = "sim"
+    params: tuple = ()
+    trace: bool = False
 
     def canonical(self) -> dict:
         """Canonical, JSON-ready form (stable field order via sort_keys)."""
-        return {
+        out = {
             "workload": self.workload,
             "strategy": self.strategy,
             "num_nodes": self.num_nodes,
@@ -57,6 +75,20 @@ class RunRequest:
             "config": asdict(self.config),
             "topology_case": self.topology_case,
         }
+        # Non-default-only: keeps pre-existing cache keys stable.
+        if self.kind != "sim":
+            out["kind"] = self.kind
+        if self.params:
+            out["params"] = [list(kv) for kv in self.params]
+        if self.trace:
+            out["trace"] = True
+        return out
+
+    def param(self, key: str, default=None):
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
 
     def canonical_json(self) -> str:
         return json.dumps(
@@ -71,8 +103,9 @@ class RunRequest:
     def label(self) -> str:
         """Short human-readable cell label for logs and errors."""
         case = f"/{self.topology_case}" if self.topology_case else ""
+        kind = f"[{self.kind}]" if self.kind != "sim" else ""
         return (
-            f"{self.workload}:{self.strategy}{case}"
+            f"{self.workload}:{self.strategy}{kind}{case}"
             f"@{self.num_nodes}n/seed{self.seed}/{self.scale}"
         )
 
@@ -84,26 +117,107 @@ def execute_request(req: RunRequest) -> "RunMetrics":
     inside :mod:`repro.experiments` modules without a cycle, and so pool
     workers pay the import cost once per process, not per module load.
     """
+    if req.kind == "optimal":
+        return _execute_optimal(req)
+    if req.kind == "fig4":
+        return _execute_fig4(req)
+    if req.kind != "sim":
+        raise ValueError(f"unknown request kind {req.kind!r}")
+
     from repro.experiments.common import run_workload, workload
+
+    tracer = None
+    if req.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
 
     spec = workload(req.workload, req.scale)
     if req.topology_case is None:
-        return run_workload(
+        metrics = run_workload(
             spec,
             req.strategy,
             num_nodes=req.num_nodes,
             seed=req.seed,
             config=req.config,
+            tracer=tracer,
         )
-    from repro.experiments.topologies import run_topology_comparison, topology_cases
+    else:
+        from repro.experiments.topologies import (
+            run_topology_comparison,
+            topology_cases,
+        )
 
-    cases = [c for c in topology_cases() if c.name == req.topology_case]
-    if not cases:
-        raise KeyError(f"unknown topology case {req.topology_case!r}")
+        cases = [c for c in topology_cases() if c.name == req.topology_case]
+        if not cases:
+            raise KeyError(f"unknown topology case {req.topology_case!r}")
+        trace = spec.build(req.num_nodes)
+        out = run_topology_comparison(
+            trace, num_nodes=req.num_nodes, cases=cases, seed=req.seed,
+            tracer=tracer,
+        )
+        metrics = out[req.topology_case]
+        metrics.extra["workload_label"] = spec.label
+    if tracer is not None:
+        # plain dicts: picklable across the pool, identical serial/parallel
+        metrics.extra["trace_records"] = tracer.records
+        metrics.extra["trace_dropped"] = tracer.dropped
+    return metrics
+
+
+def _execute_optimal(req: RunRequest) -> "RunMetrics":
+    """The Table-II bound as a degenerate metrics row (zero overhead)."""
+    from repro.balancers import RunMetrics
+    from repro.experiments.common import workload
+    from repro.optimal import optimal_efficiency
+
+    spec = workload(req.workload, req.scale)
     trace = spec.build(req.num_nodes)
-    out = run_topology_comparison(
-        trace, num_nodes=req.num_nodes, cases=cases, seed=req.seed
+    mu = optimal_efficiency(trace, req.num_nodes)
+    ts = trace.total_work_seconds()
+    n = req.num_nodes
+    T = ts / (n * mu) if mu > 0 else 0.0
+    metrics = RunMetrics(
+        workload=req.workload,
+        strategy="optimal",
+        num_nodes=n,
+        num_tasks=len(trace),
+        nonlocal_tasks=0,
+        T=T,
+        Th=0.0,
+        Ti=max(0.0, T - ts / n),
+        efficiency=mu,
+        Ts=ts,
     )
-    metrics = out[req.topology_case]
     metrics.extra["workload_label"] = spec.label
+    return metrics
+
+
+def _execute_fig4(req: RunRequest) -> "RunMetrics":
+    """One Figure-4 cell: normalized MWA cost vs the flow optimum."""
+    from repro.balancers import RunMetrics
+    from repro.experiments.fig4 import fig4_point
+
+    weight = int(req.param("weight", 10))
+    cases = int(req.param("cases", 100))
+    point = fig4_point(req.num_nodes, weight, cases=cases, seed=req.seed)
+    metrics = RunMetrics(
+        workload=req.workload,
+        strategy=req.strategy,
+        num_nodes=req.num_nodes,
+        num_tasks=0,
+        nonlocal_tasks=0,
+        T=0.0,
+        Th=0.0,
+        Ti=0.0,
+        efficiency=0.0,
+        Ts=0.0,
+    )
+    metrics.extra.update(
+        weight=point.weight,
+        cases=point.cases,
+        normalized_cost=point.normalized_cost,
+        mean_cost_mwa=point.mean_cost_mwa,
+        mean_cost_opt=point.mean_cost_opt,
+    )
     return metrics

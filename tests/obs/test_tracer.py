@@ -1,0 +1,111 @@
+"""Tracer unit behavior: disabled no-ops, span nesting, aggregation."""
+
+from repro.machine import Machine, MeshTopology
+from repro.obs import NULL_TRACER, NullTracer, Tracer
+
+
+class TestDisabledPath:
+    def test_null_tracer_is_shared_singleton(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert NULL_TRACER.enabled is False
+
+    def test_null_tracer_methods_are_noops(self):
+        before = NULL_TRACER.records
+        NULL_TRACER.complete(0, "cpu", "task", 0.0, 1.0)
+        NULL_TRACER.begin(0, "phase", "gather", 0.0)
+        NULL_TRACER.end(0, "phase", "gather", 1.0)
+        NULL_TRACER.instant(0, "net", "send:x", 0.5)
+        NULL_TRACER.counter(0, "sim", "events", 0.5, 1)
+        # no allocation, no records: the records object is untouched
+        assert NULL_TRACER.records is before
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.open_spans() == 0
+        assert list(NULL_TRACER.spans()) == []
+        assert NULL_TRACER.cpu_seconds() == {}
+
+    def test_machine_normalizes_disabled_tracer_to_none(self):
+        m = Machine(MeshTopology(2, 2))
+        m.attach_tracer(NULL_TRACER)
+        # producers hold None, so the hot paths stay one identity check
+        assert m.tracer is None
+        assert m.sim._tracer is None
+        assert m.network.tracer is None
+        assert all(n.tracer is None for n in m.nodes)
+
+    def test_machine_detach(self):
+        m = Machine(MeshTopology(2, 2), tracer=Tracer())
+        assert m.tracer is not None
+        m.attach_tracer(None)
+        assert m.tracer is None and m.sim._tracer is None
+
+
+class TestSpans:
+    def test_complete_span(self):
+        tr = Tracer()
+        tr.complete(3, "cpu", "task", 1.0, 0.5, {"k": 1})
+        (s,) = list(tr.spans())
+        assert (s.node, s.cat, s.name) == (3, "cpu", "task")
+        assert s.start == 1.0 and s.dur == 0.5 and s.end == 1.5
+        assert s.args == {"k": 1}
+
+    def test_begin_end_nesting_same_key(self):
+        tr = Tracer()
+        tr.begin(0, "phase", "gather", 0.0, {"outer": True})
+        tr.begin(0, "phase", "gather", 1.0, {"outer": False})
+        tr.end(0, "phase", "gather", 2.0)
+        tr.end(0, "phase", "gather", 5.0)
+        inner, outer = list(tr.spans("phase"))
+        assert inner.start == 1.0 and inner.dur == 1.0
+        assert inner.args == {"outer": False}
+        assert outer.start == 0.0 and outer.dur == 5.0
+        assert outer.args == {"outer": True}
+        assert tr.open_spans() == 0
+
+    def test_end_merges_args(self):
+        tr = Tracer()
+        tr.begin(0, "phase", "gather", 0.0, {"phase": 1})
+        tr.end(0, "phase", "gather", 2.0, {"outcome": "plan"})
+        (s,) = list(tr.spans())
+        assert s.args == {"phase": 1, "outcome": "plan"}
+
+    def test_unmatched_end_ignored(self):
+        tr = Tracer()
+        tr.end(0, "phase", "transfer", 1.0)
+        assert len(tr) == 0
+
+    def test_spans_keyed_per_node(self):
+        tr = Tracer()
+        tr.begin(0, "phase", "gather", 0.0)
+        tr.begin(1, "phase", "gather", 1.0)
+        tr.end(0, "phase", "gather", 5.0)
+        assert tr.open_spans() == 1
+        (s,) = list(tr.spans())
+        assert s.node == 0 and s.dur == 5.0
+
+    def test_max_records_backstop(self):
+        tr = Tracer(max_records=2)
+        for i in range(5):
+            tr.instant(0, "net", "send:x", float(i))
+        assert len(tr) == 2
+        assert tr.dropped == 3
+
+    def test_cpu_seconds_aggregation(self):
+        tr = Tracer()
+        tr.complete(0, "cpu", "task", 0.0, 1.0)
+        tr.complete(0, "cpu", "task", 2.0, 0.5)
+        tr.complete(0, "cpu", "overhead", 3.0, 0.25)
+        tr.complete(1, "cpu", "task", 0.0, 2.0)
+        tr.complete(1, "task", "task:7", 0.0, 2.0)  # not cat "cpu"
+        assert tr.cpu_seconds() == {
+            0: {"task": 1.5, "overhead": 0.25},
+            1: {"task": 2.0},
+        }
+
+    def test_from_records_roundtrip(self):
+        tr = Tracer()
+        tr.complete(0, "cpu", "task", 0.0, 1.0)
+        tr.instant(1, "net", "send:x", 0.5)
+        clone = Tracer.from_records(tr.records, dropped=4)
+        assert clone.records == tr.records
+        assert clone.dropped == 4
+        assert len(list(clone.spans("cpu"))) == 1

@@ -1,0 +1,76 @@
+"""``bench --check`` regression gate: comparison logic and CLI exit codes."""
+
+import json
+
+from repro.runner.bench import REGRESSION_TOLERANCE, check_bench
+
+
+def _baseline(tmp_path, chain=1000, loaded=500):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({
+        "benchmark": "simulator_event_throughput",
+        "events_per_sec": {"chain": chain, "loaded": loaded},
+    }))
+    return path
+
+
+def _report(chain, loaded):
+    return {"events_per_sec": {"chain": chain, "loaded": loaded}}
+
+
+def test_within_tolerance_passes(tmp_path):
+    path = _baseline(tmp_path)
+    out = check_bench(path=path, report=_report(chain=950, loaded=460))
+    assert out["ok"] is True
+    assert out["failures"] == []
+    assert out["ratios"] == {"chain": 0.95, "loaded": 0.92}
+    assert out["tolerance"] == REGRESSION_TOLERANCE
+
+
+def test_regression_beyond_tolerance_fails(tmp_path):
+    path = _baseline(tmp_path)
+    out = check_bench(path=path, report=_report(chain=850, loaded=500))
+    assert out["ok"] is False
+    assert out["failures"] == ["chain"]
+
+
+def test_improvement_always_passes(tmp_path):
+    path = _baseline(tmp_path)
+    out = check_bench(path=path, report=_report(chain=2000, loaded=1500))
+    assert out["ok"] is True
+
+
+def test_custom_tolerance(tmp_path):
+    path = _baseline(tmp_path)
+    report = _report(chain=940, loaded=470)
+    assert check_bench(path=path, report=report)["ok"] is True
+    assert check_bench(path=path, report=report, tolerance=0.05)["ok"] is False
+
+
+def test_check_never_rewrites_baseline(tmp_path):
+    path = _baseline(tmp_path)
+    before = path.read_text()
+    check_bench(path=path, report=_report(chain=1, loaded=1))
+    assert path.read_text() == before
+
+
+def test_cli_check_exit_codes(tmp_path, capsys, monkeypatch):
+    import repro.runner.bench as bench_mod
+    from repro.__main__ import main
+
+    monkeypatch.setattr(
+        bench_mod, "bench_events_per_sec",
+        lambda events, reps: _report(chain=990, loaded=495),
+    )
+    path = _baseline(tmp_path)
+    assert main(["bench", "--check", "--out", str(path)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+    monkeypatch.setattr(
+        bench_mod, "bench_events_per_sec",
+        lambda events, reps: _report(chain=500, loaded=495),
+    )
+    assert main(["bench", "--check", "--out", str(path)]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSION" in captured.out
+    assert "FAIL" in captured.err

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -36,5 +38,28 @@ def test_unknown_command_rejected():
 
 
 def test_unknown_workload_key():
-    with pytest.raises(KeyError):
+    with pytest.raises(SystemExit, match="unknown workload"):
         main(["run", "bogus-42", "RIPS", "--scale", "small"])
+
+
+def test_trace_emits_chrome_json(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "nqueens", "--strategy", "rips", "--nodes", "8",
+                 "--seed", "7", "--scale", "small", "--out", str(out)]) == 0
+    captured = capsys.readouterr()
+    assert "queens-10" in captured.err  # lenient-resolution note
+    assert str(out) in captured.out
+    doc = json.loads(out.read_text())
+    events = doc["traceEvents"]
+    cats = {e.get("cat") for e in events}
+    assert "task" in cats and "phase" in cats
+    phase_names = {e["name"] for e in events if e.get("cat") == "phase"}
+    assert {"init", "gather", "plan", "transfer"} <= phase_names
+
+
+def test_trace_jsonl_format(tmp_path):
+    out = tmp_path / "trace.jsonl"
+    assert main(["trace", "queens-10", "--nodes", "8", "--scale", "small",
+                 "--out", str(out), "--format", "jsonl"]) == 0
+    lines = out.read_text().splitlines()
+    assert lines and all(json.loads(line)["ph"] for line in lines)
