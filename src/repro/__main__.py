@@ -22,6 +22,16 @@ Commands
     Event-loop microbenchmark; writes ``BENCH_events_per_sec.json``.
     ``--check`` compares against the committed baseline instead (exit 1
     on a >10% regression) and never rewrites it.
+``faults``
+    Strategy degradation under injected faults (fig_faults): sweeps
+    drop rates and fail-stop crash counts over a Table-I workload;
+    ``--audit`` additionally checks task conservation per cell.
+``selftest``
+    The whole gate in one command: tier-1 tests, ruff (when
+    installed), and the ``bench --check`` regression gate.
+
+Grid commands print the executor's accounting line (cells, cache hits,
+retries) on stderr after the table.
 
 Shared flags come from parent parsers: every experiment command accepts
 ``--scale {small,paper}`` (default: ``$REPRO_SCALE`` or ``small``), and
@@ -33,19 +43,14 @@ grid commands (``table1``-``table3``, ``fig4``, ``fig5``,
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
 from repro.experiments import (
     STRATEGY_ORDER,
     current_scale,
-    fig5_text,
     run_fig4,
-    run_fig5,
-    run_table1,
-    run_table2,
-    run_table3,
-    run_topology_grid,
     run_workload,
     table1_text,
     table2_text,
@@ -55,7 +60,22 @@ from repro.experiments import (
     workloads,
 )
 from repro.experiments.fig4 import PAPER_SIZES, PAPER_WEIGHTS
+from repro.experiments.faults import (
+    DEFAULT_CRASH_AT,
+    DEFAULT_DROP_RATES,
+    DEFAULT_FAULT_SEED,
+)
 from repro.metrics import format_series, format_table, percent, seconds
+
+
+def _run_grid(reqs, args):
+    """Execute a request grid and surface the executor accounting
+    (cache hits / executed / retried / failed) on stderr."""
+    from repro.runner import run_requests_report
+
+    report = run_requests_report(reqs, jobs=args.jobs, cache=args.cache)
+    print(report.summary(), file=sys.stderr)
+    return report
 
 
 # ----------------------------------------------------------------------
@@ -136,31 +156,37 @@ def _resolve_strategy(name: str) -> str:
 # commands
 # ----------------------------------------------------------------------
 def _cmd_table1(args) -> int:
-    ms = run_table1(num_nodes=args.nodes, scale=args.scale,
-                    jobs=args.jobs, cache=args.cache)
-    print(table1_text(ms, args.nodes))
+    from repro.experiments import table1_requests
+
+    rep = _run_grid(table1_requests(num_nodes=args.nodes, scale=args.scale), args)
+    print(table1_text(rep.results, args.nodes))
     return 0
 
 
 def _cmd_table2(args) -> int:
-    values = run_table2(num_nodes=args.nodes, scale=args.scale,
-                        jobs=args.jobs, cache=args.cache)
-    print(table2_text(values, args.nodes))
+    from repro.experiments import table2_requests
+
+    rep = _run_grid(table2_requests(num_nodes=args.nodes, scale=args.scale), args)
+    print(table2_text({m.workload: m.efficiency for m in rep.results}, args.nodes))
     return 0
 
 
 def _cmd_table3(args) -> int:
-    ms = run_table3(num_nodes_list=tuple(args.nodes), scale=args.scale,
-                    jobs=args.jobs, cache=args.cache)
-    print(table3_text(ms))
+    from repro.experiments import table3_requests
+
+    rep = _run_grid(
+        table3_requests(num_nodes_list=tuple(args.nodes), scale=args.scale), args)
+    print(table3_text(rep.results))
     return 0
 
 
 def _cmd_topologies(args) -> int:
-    out = run_topology_grid(args.workload, num_nodes=args.nodes,
-                            seed=args.seed, scale=args.scale,
-                            jobs=args.jobs, cache=args.cache)
-    print(topologies_text(list(out.values())))
+    from repro.experiments import topology_grid_requests
+
+    rep = _run_grid(
+        topology_grid_requests(args.workload, num_nodes=args.nodes,
+                               seed=args.seed, scale=args.scale), args)
+    print(topologies_text(rep.results))
     return 0
 
 
@@ -215,9 +241,93 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_fig5(args) -> int:
-    print(fig5_text(run_fig5(num_nodes=args.nodes, scale=args.scale,
-                             jobs=args.jobs, cache=args.cache)))
+    import repro.experiments.fig5 as fig5_mod
+
+    rep = _run_grid(fig5_mod.build_requests(num_nodes=args.nodes,
+                                            scale=args.scale), args)
+    print(fig5_mod.render(rep.results))
     return 0
+
+
+def _cmd_faults(args) -> int:
+    import repro.experiments.faults as faults_mod
+
+    keys = None
+    if args.workload:
+        keys = [_resolve_workload_key(args.workload, args.scale)]
+    reqs = faults_mod.faults_requests(
+        workload_keys=keys,
+        num_nodes=args.nodes,
+        scale=args.scale,
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        drop_rates=tuple(args.drops),
+        crash_counts=tuple(args.crashes),
+        crash_at=args.crash_at,
+        audit=args.audit,
+    )
+    rep = _run_grid(reqs, args)
+    print(faults_mod.faults_text(rep.results))
+    if args.audit:
+        from repro.faults import audit_conservation
+
+        traces: dict = {}
+        violations = 0
+        for req, m in zip(reqs, rep.results):
+            tkey = (req.workload, req.num_nodes)
+            if tkey not in traces:
+                traces[tkey] = workload(req.workload, req.scale).build(req.num_nodes)
+            audit = audit_conservation(
+                traces[tkey],
+                m.extra.get("trace_records", ()),
+                m.extra.get("lost_task_ids", ()),
+                m.extra.get("crashed_nodes", ()),
+            )
+            if not audit.ok:
+                violations += 1
+                print(f"{req.label()}: {audit.summary()}")
+        print(f"conservation audit: {len(reqs) - violations}/{len(reqs)} cells ok")
+        if violations:
+            return 1
+    return 0
+
+
+def _cmd_selftest(args) -> int:
+    """Tier-1 tests + lint + bench regression gate, one exit code."""
+    import shutil
+    import subprocess
+
+    root = Path(__file__).resolve().parents[2]
+    results: list[tuple[str, bool]] = []
+
+    if args.bench != "only":
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(root / "src")
+        print("[selftest] tests: pytest -x -q", flush=True)
+        proc = subprocess.run([sys.executable, "-m", "pytest", "-x", "-q"],
+                              cwd=root, env=env)
+        results.append(("tests", proc.returncode == 0))
+
+        if shutil.which("ruff"):
+            print("[selftest] lint: ruff check src tests", flush=True)
+            proc = subprocess.run(["ruff", "check", "src", "tests"], cwd=root)
+            results.append(("lint", proc.returncode == 0))
+        else:
+            print("[selftest] lint: ruff not installed, skipped")
+
+    if args.bench != "skip":
+        from repro.runner.bench import check_bench
+
+        print("[selftest] bench: event-loop regression gate", flush=True)
+        outcome = check_bench()
+        for k in sorted(outcome["ratios"]):
+            flag = " REGRESSION" if k in outcome["failures"] else ""
+            print(f"  {k}: {outcome['ratios'][k]:.2f}x baseline{flag}")
+        results.append(("bench", outcome["ok"]))
+
+    for name, ok in results:
+        print(f"[selftest] {name}: {'PASS' if ok else 'FAIL'}")
+    return 0 if all(ok for _name, ok in results) else 1
 
 
 def _cmd_fig4(args) -> int:
@@ -359,6 +469,38 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("fig5", help="normalized quality factors (Figure 5)",
                        parents=[scale, _nodes_parent(32), grid])
     p.set_defaults(fn=_cmd_fig5)
+
+    p = sub.add_parser("faults",
+                       help="strategy degradation under injected faults "
+                            "(fig_faults)",
+                       parents=[scale, _nodes_parent(32), _seed_parent(1234),
+                                grid])
+    p.add_argument("workload", nargs="?", default=None,
+                   help="workload key (default: the middle N-Queens size "
+                        "at the chosen scale)")
+    p.add_argument("--drops", type=float, nargs="*",
+                   default=list(DEFAULT_DROP_RATES),
+                   help="message drop-rate sweep (default: "
+                        f"{' '.join(str(r) for r in DEFAULT_DROP_RATES)})")
+    p.add_argument("--crashes", type=int, nargs="*", default=[1],
+                   help="fail-stop crash-count sweep (default: 1)")
+    p.add_argument("--crash-at", dest="crash_at", type=float,
+                   default=DEFAULT_CRASH_AT,
+                   help=f"sim time of the first crash (default {DEFAULT_CRASH_AT})")
+    p.add_argument("--fault-seed", dest="fault_seed", type=int,
+                   default=DEFAULT_FAULT_SEED,
+                   help=f"fault-RNG seed (default {DEFAULT_FAULT_SEED})")
+    p.add_argument("--audit", action="store_true",
+                   help="trace every cell and audit task conservation "
+                        "(bypasses the result cache; exit 1 on violation)")
+    p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser("selftest",
+                       help="tier-1 tests + ruff + bench --check in one command")
+    p.add_argument("--bench", choices=("run", "skip", "only"), default="run",
+                   help="run the bench regression gate (default), skip it, "
+                        "or run only it")
+    p.set_defaults(fn=_cmd_selftest)
 
     p = sub.add_parser("run", help="one workload under one strategy",
                        parents=[scale, _nodes_parent(32), _seed_parent(1234)])

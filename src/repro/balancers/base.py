@@ -258,10 +258,14 @@ class Strategy(ABC):
             return
         trace = self.driver.trace
         payload_bytes = sum(trace.task(t).data_bytes for t in tids)
+        # reliable is free on a fault-free machine; under a fault plan it
+        # puts every migration inside the ack/retransmit envelope, which
+        # is what makes task conservation provable (see repro.faults).
         self.machine.node(src).send(
             dest, "task", (list(tids), front),
             size=task_message_bytes(0) + payload_bytes,
             tasks_carried=len(tids),
+            reliable=True,
         )
 
     def _on_task_message(self, msg: Message) -> None:
@@ -309,6 +313,18 @@ class Strategy(ABC):
     def on_workload_done(self) -> None:
         """Called once when the last task of the last wave completed."""
 
+    def on_node_crashed(self, node: int) -> list[int]:
+        """Called at crash *detection* of ``node``, before the driver
+        rescues its queued work.
+
+        The strategy must stop routing new tasks to the dead rank and
+        repair any internal protocol state (collective trees, neighbor
+        tables).  Returns the task ids the strategy itself was holding on
+        or for the dead node (e.g. RIPS transfer pools) so the driver can
+        re-schedule or declare them lost.
+        """
+        return []
+
     # ------------------------------------------------------------------
     def finalize_metrics(self, metrics: RunMetrics) -> None:
         """Strategy-specific additions to the metrics (e.g. phase count)."""
@@ -340,6 +356,18 @@ class Driver:
             [] for _ in range(trace.num_waves)
         ]  # per wave: list of (node, tid)
         self.finished = False
+        self._barrier_pending = False
+        # completions whose spawn-cost CPU item is still in flight:
+        # tid -> (rank, same-wave children).  A fail-stop in this window
+        # would otherwise wipe the children before they ever exist.
+        self._spawning: dict[int, tuple[int, list[int]]] = {}
+        #: tasks provably lost to fail-stop crashes: (task id, reason)
+        self.lost_tasks: list[tuple[int, str]] = []
+        self._lost: set[int] = set()
+        self.crashed_nodes: list[int] = []
+        if machine.faults is not None:
+            machine.faults.on_crash_detected(self._on_node_crashed)
+            machine.faults.transport.on_undeliverable = self._on_undeliverable
         strategy.attach(self)
 
     # ------------------------------------------------------------------
@@ -384,12 +412,15 @@ class Driver:
             # otherwise a strategy could observe "task done, no children"
             # and wrongly conclude the node has drained.
             cost = self.config.spawn_overhead * len(same_wave)
+            if self.machine.faults is not None:
+                self._spawning[tid] = (rank, same_wave)
             node.exec_cpu(cost, "overhead",
                           self._finish_completion, rank, tid, same_wave)
         else:
             self._finish_completion(rank, tid, [])
 
     def _finish_completion(self, rank: int, tid: int, children: list[int]) -> None:
+        self._spawning.pop(tid, None)
         for c in children:
             self._materialize(rank, c)
         t = self.trace.task(tid)
@@ -411,6 +442,7 @@ class Driver:
         # The wave barrier: charge one up-down tree synchronization before
         # the next wave's tasks become runnable anywhere.
         delay = modeled_barrier_latency(self.machine)
+        self._barrier_pending = True
         tr = self.machine.tracer
         if tr is not None:
             tr.begin(0, "phase", f"wave-barrier:{wave}",
@@ -418,6 +450,7 @@ class Driver:
         self.machine.sim.schedule(delay, self._release_wave, wave, held)
 
     def _release_wave(self, wave: int, held: list[tuple[int, int]]) -> None:
+        self._barrier_pending = False
         tr = self.machine.tracer
         if tr is not None:
             tr.end(0, "phase", f"wave-barrier:{wave}", self.machine.sim.now)
@@ -427,6 +460,118 @@ class Driver:
         self.strategy.on_wave_released(wave)
         for rank, _tid in held:
             self.workers[rank].try_start()
+        # A crash may have declared the entire released wave lost while the
+        # barrier was in flight; nothing will complete to advance it then.
+        if (not self.finished and wave == self.current_wave
+                and self._wave_remaining[wave] == 0):
+            self._advance_wave()
+
+    # ------------------------------------------------------------------
+    # fail-stop crash recovery (active only with an attached fault plan)
+    # ------------------------------------------------------------------
+    def _rescue_rank(self, tid: int) -> int:
+        """Deterministic survivor to re-home a rescued task on: its
+        creator if still alive, else the lowest surviving rank."""
+        creator = self.created_at[tid]
+        if creator >= 0 and not self.machine.nodes[creator].crashed:
+            return creator
+        return self.machine.alive_ranks()[0]
+
+    def _declare_lost(self, tid: int, reason: str) -> None:
+        """Write a task (and, recursively, its never-to-be-spawned
+        descendants) off as lost to a fail-stop crash."""
+        if tid in self._lost or self.executed_at[tid] >= 0:
+            return
+        self._lost.add(tid)
+        self.lost_tasks.append((tid, reason))
+        t = self.trace.task(tid)
+        self._wave_remaining[t.wave] -= 1
+        self._remaining -= 1
+        tr = self.machine.tracer
+        if tr is not None:
+            tr.instant(max(0, self.created_at[tid]), "fault",
+                       f"task-lost:{tid}", self.machine.sim.now,
+                       {"reason": reason})
+        for child in t.children:
+            self._declare_lost(child, "orphaned")
+
+    def _rescue_or_lose(self, tid: int) -> None:
+        if tid in self._lost or self.executed_at[tid] >= 0:
+            return
+        t = self.trace.task(tid)
+        if t.pinned is not None and self.machine.nodes[t.pinned].crashed:
+            # pinned work cannot move; this is the "provably lost" case
+            self._declare_lost(tid, "pinned-to-crashed")
+            return
+        dest = t.pinned if t.pinned is not None else self._rescue_rank(tid)
+        self.strategy.place_child(dest, tid)
+        self.workers[dest].try_start()
+
+    def _on_undeliverable(self, msg: Message, tasks_carried: int) -> None:
+        """A reliable send addressed a node already known dead."""
+        if msg.kind == "task":
+            tids, _front = msg.payload
+            for tid in tids:
+                self._rescue_or_lose(tid)
+            self._check_progress()
+
+    def _on_node_crashed(self, rank: int) -> None:
+        """Failure-detector callback: rescue everything the dead node
+        owned or was owed, then let the run make progress again."""
+        self.crashed_nodes.append(rank)
+        worker = self.workers[rank]
+        worker.enabled = False
+        rescued: list[int] = []
+        # 1. strategy-held state (RIPS pools, collective-tree repair)
+        rescued.extend(self.strategy.on_node_crashed(rank))
+        # 2. the dead node's RTE queue and in-flight task
+        rescued.extend(worker.drain())
+        if worker.outstanding is not None:
+            rescued.append(worker.outstanding)
+            worker.outstanding = None
+        # 2b. completions wiped mid-spawn: the task already finished on the
+        #     dead node (its work is done and recorded) but the crash hit
+        #     before the spawn-cost CPU item materialized its children.
+        #     Honor the completion and bring the children into existence on
+        #     a survivor; the strategy never observes the dead completion.
+        for tid in [t for t, (r, _c) in self._spawning.items() if r == rank]:
+            _r, children = self._spawning.pop(tid)
+            t = self.trace.task(tid)
+            self._wave_remaining[t.wave] -= 1
+            self._remaining -= 1
+            home = self._rescue_rank(tid)
+            for c in children:
+                self._materialize(home, c)
+            self.workers[home].try_start()
+        # 3. reliable messages to/from the dead node whose handler never
+        #    ran (ground truth from the transport; delivered ones excluded)
+        for msg, _tc in self.machine.faults.take_undeliverable(rank):
+            if msg.kind == "task":
+                tids, _front = msg.payload
+                rescued.extend(tids)
+        # 4. cross-wave children buffered on the dead node, not yet released
+        for held in self._held:
+            kept: list[tuple[int, int]] = []
+            for hrank, tid in held:
+                if hrank == rank and self.created_at[tid] == -1:
+                    t = self.trace.task(tid)
+                    if t.pinned is not None:
+                        self._declare_lost(tid, "pinned-to-crashed")
+                        continue
+                    hrank = self._rescue_rank(tid)
+                kept.append((hrank, tid))
+            held[:] = kept
+        for tid in rescued:
+            self._rescue_or_lose(tid)
+        self._check_progress()
+
+    def _check_progress(self) -> None:
+        """Advance the wave machinery after loss declarations: a wave (or
+        the whole run) may now be complete without any task finishing."""
+        if self.finished or self._barrier_pending:
+            return
+        if self._remaining == 0 or self._wave_remaining[self.current_wave] == 0:
+            self._advance_wave()
 
     # ------------------------------------------------------------------
     def run(self) -> RunMetrics:
@@ -450,13 +595,19 @@ class Driver:
         nonlocal_tasks = sum(
             1
             for c, e in zip(self.created_at, self.executed_at)
-            if c != e
+            if e >= 0 and c != e  # lost tasks (e == -1) are not "nonlocal"
         )
         stats = self.machine.network.stats
         self_extra = {
             "task_messages": stats.task_messages,
             "packing_ratio": stats.packing_ratio,
         }
+        if self.machine.faults is not None:
+            self_extra["fault_plan"] = self.machine.faults.plan.describe()
+            self_extra["fault_stats"] = self.machine.faults.stats_summary()
+            self_extra["crashed_nodes"] = list(self.crashed_nodes)
+            self_extra["lost_tasks"] = len(self.lost_tasks)
+            self_extra["lost_task_ids"] = sorted(self._lost)
         m = RunMetrics(
             workload=self.trace.name,
             strategy=self.strategy.name,

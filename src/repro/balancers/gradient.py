@@ -101,6 +101,8 @@ class GradientModel(Strategy):
     def _on_prox(self, msg: Message) -> None:
         rank = msg.dest
         src, prox = msg.payload
+        if src not in self.nbr_prox[rank]:
+            return  # stale update from a neighbor that has fail-stopped
         self.nbr_prox[rank][src] = prox
         self._refresh_proximity(rank)
         self._maybe_emit(rank)
@@ -138,6 +140,13 @@ class GradientModel(Strategy):
             self._refresh_proximity(rank)
         finally:
             self._emitting[rank] = False
+
+    def on_node_crashed(self, dead: int) -> list[int]:
+        self.nbr_prox[dead].clear()
+        for rank in self.machine.alive_ranks():
+            if self.nbr_prox[rank].pop(dead, None) is not None:
+                self._refresh_proximity(rank)
+        return []
 
     def finalize_metrics(self, metrics: RunMetrics) -> None:
         metrics.extra["proximity_updates"] = self.proximity_updates

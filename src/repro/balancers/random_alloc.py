@@ -37,5 +37,14 @@ class RandomAllocation(Strategy):
             w.enqueue(task)
             w.try_start()
             return
-        dest = int(self.machine.rng.integers(self.machine.num_nodes))
+        machine = self.machine
+        faults = machine.faults
+        if faults is not None and faults.detected_dead:
+            # scatter over survivors only; the branch is taken only once a
+            # crash is *detected*, so plans without crashes leave the
+            # machine.rng draw sequence untouched
+            alive = machine.alive_ranks()
+            dest = alive[int(machine.rng.integers(len(alive)))]
+        else:
+            dest = int(machine.rng.integers(machine.num_nodes))
         self.send_tasks(node, dest, [task])

@@ -106,6 +106,8 @@ class ReceiverInitiatedDiffusion(Strategy):
     def _on_load_update(self, msg: Message) -> None:
         rank = msg.dest
         src, load = msg.payload
+        if src not in self.nbr_load[rank]:
+            return  # stale update from a neighbor that has fail-stopped
         self.nbr_load[rank][src] = load
         # fresh information unblocks a requester whose last round got
         # nothing (all grants may legitimately be zero)
@@ -141,6 +143,8 @@ class ReceiverInitiatedDiffusion(Strategy):
     def _on_request(self, msg: Message) -> None:
         rank = msg.dest
         requester, requester_load, share = msg.payload
+        if self.machine.nodes[requester].crashed:
+            return  # stale request; granting would only bounce the tasks
         w = self.worker(rank)
         # Grant at most half of our lead over the requester: exchanges can
         # shrink but never invert the imbalance.
@@ -162,6 +166,16 @@ class ReceiverInitiatedDiffusion(Strategy):
             self._load_changed(rank)
         # A zero grant is silent: the requester's `requesting` flag clears
         # when any tasks arrive, or on its next load change re-evaluation.
+
+    # ------------------------------------------------------------------
+    def on_node_crashed(self, dead: int) -> list[int]:
+        self.nbr_load[dead].clear()
+        for rank in self.machine.alive_ranks():
+            self.nbr_load[rank].pop(dead, None)
+            # a requester whose only pending donor died would otherwise
+            # wait forever for tasks that can no longer arrive
+            self.requesting[rank] = False
+        return []
 
     # ------------------------------------------------------------------
     def finalize_metrics(self, metrics: RunMetrics) -> None:

@@ -54,7 +54,8 @@ import numpy as np
 
 from repro.balancers.base import RunMetrics, Strategy
 from repro.machine import BinomialBroadcast, GatherTree, Message
-from .schedulers import Planner, default_planner
+from repro.machine.collectives import survivor_tree
+from .schedulers import Planner, RedistributionPlan, default_planner
 
 __all__ = ["LocalPolicy", "GlobalPolicy", "RIPS"]
 
@@ -120,6 +121,7 @@ class RIPS(Strategy):
         self.num_phases = 0
         self.migrated_tasks = 0
         self.plan_cost_total = 0
+        self.abandoned_phases = 0
 
     # ------------------------------------------------------------------
     # setup
@@ -144,6 +146,15 @@ class RIPS(Strategy):
             node.on("rips.ready", self._on_ready)
             node.on("rips.plan", self._on_plan)
         self._initial_phase_requested = False
+        #: hardened mode: tolerate faults (stale protocol traffic is
+        #: dropped instead of raising) and recover from fail-stop crashes.
+        #: On a fault-free machine every new guard below is inert.
+        self._hardened = machine.faults is not None
+        #: current protocol root (re-elected as min(alive) after a crash).
+        self._root = 0
+        #: highest system phase abandoned because of a crash; protocol
+        #: traffic for phases <= this watermark is stale by definition.
+        self._max_abandoned = 0
 
     # ------------------------------------------------------------------
     # placement hooks (driver side)
@@ -158,8 +169,8 @@ class RIPS(Strategy):
             st.rts.append(task)
         if not self._initial_phase_requested:
             self._initial_phase_requested = True
-            # fire the very first init from rank 0 at t=0
-            self.machine.sim.schedule(0.0, self._initiate, 0)
+            # fire the very first init from the root at t=0
+            self.machine.sim.schedule(0.0, self._initiate, self._root)
 
     def place_child(self, node: int, task: int) -> None:
         st = self.states[node]
@@ -186,7 +197,99 @@ class RIPS(Strategy):
 
     def on_wave_released(self, wave: int) -> None:
         """A new wave appeared: schedule it with a fresh system phase."""
-        self._initiate(0)
+        self._initiate(self._root)
+
+    # ------------------------------------------------------------------
+    # fail-stop recovery
+    # ------------------------------------------------------------------
+    def on_node_crashed(self, dead: int) -> list[int]:
+        """Rebuild the protocol over the survivors (driver callback).
+
+        Four steps: hand the dead node's pooled tasks back to the driver
+        for rescue; re-elect the root and rebuild every collective tree
+        over the survivors; abandon any system phase caught mid-flight
+        (nodes revert to USER with their tasks back in their RTE queues);
+        and re-synchronize the survivors' phase counters so the next
+        phase has one consistent number.  Fresh idle/ready triggers are
+        scheduled so a new system phase starts on its own.
+        """
+        machine = self.machine
+        st_dead = self.states[dead]
+        st_dead.mode = _Mode.DONE
+        rescued = st_dead.pool + st_dead.rts + st_dead.pinned_hold
+        st_dead.pool = []
+        st_dead.rts = []
+        st_dead.pinned_hold = []
+        tr = self.tracer
+        if tr is not None:
+            # close any phase sub-span the dead node left open
+            now = machine.sim.now
+            for name in ("transfer", "gather", "init"):
+                tr.end(dead, "phase", name, now, {"outcome": "crashed"})
+        alive = machine.alive_ranks()
+        self._root = min(alive)
+        self._tree_parent, self._tree_children = survivor_tree(
+            machine.topology, alive, self._root)
+        self._gather.rebuild(alive, root=self._root)
+        self._bcast_init.set_ranks(alive)
+        self._bcast_ctrl.set_ranks(alive)
+        abandoned = 0
+        for rank in alive:
+            st = self.states[rank]
+            if st.mode is _Mode.DONE:
+                continue
+            if st.mode in (_Mode.SYSTEM, _Mode.STOPPING):
+                # abandon: put pooled work back and return to the user phase
+                abandoned = max(abandoned, st.target_phase)
+                worker = self.worker(rank)
+                for tid in st.pinned_hold:
+                    worker.enqueue(tid, front=True)
+                for tid in st.pool:
+                    worker.enqueue(tid)
+                st.pinned_hold.clear()
+                st.pool = []
+                st.completed_phase = max(st.completed_phase, st.target_phase)
+                st.mode = _Mode.USER
+                worker.enabled = True
+                tr = self.tracer
+                if tr is not None:
+                    # close whichever phase sub-span was open on this node
+                    now = machine.sim.now
+                    tr.end(rank, "phase", "transfer", now)
+                    tr.end(rank, "phase", "gather", now)
+                    tr.end(rank, "phase", "init", now)
+            st.pending_init = 0
+            st.ready_counts.clear()
+        if abandoned:
+            self.abandoned_phases += 1
+            self._max_abandoned = max(self._max_abandoned, abandoned)
+            self._gather.discard_rounds_below(abandoned + 1)
+        # one consistent phase number across survivors (ALL-policy ready
+        # targets must agree, or the root never sees a full count)
+        sync = max(self.states[r].completed_phase for r in alive)
+        for rank in alive:
+            st = self.states[rank]
+            if st.mode is _Mode.DONE:
+                continue
+            st.completed_phase = sync
+            st.target_phase = sync
+            st.initiated_phase = min(st.initiated_phase, sync)
+            st.ready_sent_phase = min(st.ready_sent_phase, sync)
+        # After the driver finishes re-placing rescued tasks (it runs
+        # synchronously after this callback), kick every survivor so an
+        # idle one re-arms phase detection instead of waiting forever.
+        for rank in alive:
+            machine.sim.schedule(0.0, self._post_crash_kick, rank)
+        return rescued
+
+    def _post_crash_kick(self, rank: int) -> None:
+        st = self.states[rank]
+        if st.mode is not _Mode.USER or self.machine.nodes[rank].crashed:
+            return
+        worker = self.worker(rank)
+        worker.try_start()
+        if worker.rte_empty and not st.asleep:
+            self.on_idle(rank)
 
     # ------------------------------------------------------------------
     # user-phase triggers
@@ -232,6 +335,10 @@ class RIPS(Strategy):
             self._initiate(rank)
 
     def _initiate(self, rank: int) -> None:
+        if self._hardened and self.machine.nodes[rank].crashed:
+            # raw sim-scheduled triggers (backoff timers, wave releases)
+            # are not gated by dispatch; a dead node must not initiate
+            return
         st = self.states[rank]
         self._bcast_init.broadcast(rank, st.completed_phase + 1)
 
@@ -250,11 +357,11 @@ class RIPS(Strategy):
         if st.ready_counts.get(target, 0) < len(self._tree_children[rank]):
             return
         st.ready_sent_phase = target
-        if rank == 0:
-            self._initiate(0)
+        if rank == self._root:
+            self._initiate(self._root)
         else:
             self.machine.node(rank).send(
-                self._tree_parent[rank], "rips.ready", target
+                self._tree_parent[rank], "rips.ready", target, reliable=True
             )
 
     def _on_ready(self, msg: Message) -> None:
@@ -316,26 +423,71 @@ class RIPS(Strategy):
     # ------------------------------------------------------------------
     # root: plan and distribute
     # ------------------------------------------------------------------
+    def _plan_over_survivors(
+        self, loads: np.ndarray, alive: list[int]
+    ) -> RedistributionPlan:
+        """Centralized greedy plan once the machine has holes in it.
+
+        The regular planners (MWA et al.) assume the full topology; with
+        fail-stopped ranks the quota lattice no longer exists, so the
+        root falls back to pairing surplus and deficit survivors in rank
+        order and costing each transfer by its hop distance.  Balance
+        (|load_i - load_j| <= 1 over *survivors*) still holds.
+        """
+        total = int(sum(loads[r] for r in alive))
+        base, extra = divmod(total, len(alive))
+        quotas = np.zeros(len(loads), dtype=np.int64)
+        for i, r in enumerate(alive):
+            quotas[r] = base + (1 if i < extra else 0)
+        donors = [[r, int(loads[r] - quotas[r])] for r in alive
+                  if loads[r] > quotas[r]]
+        takers = [[r, int(quotas[r] - loads[r])] for r in alive
+                  if loads[r] < quotas[r]]
+        transfers: list[tuple[int, int, int]] = []
+        cost = 0
+        di = ti = 0
+        while di < len(donors) and ti < len(takers):
+            src, have = donors[di]
+            dst, need = takers[ti]
+            count = min(have, need)
+            transfers.append((src, dst, count))
+            cost += count * self.machine.topology.distance(src, dst)
+            donors[di][1] -= count
+            takers[ti][1] -= count
+            if donors[di][1] == 0:
+                di += 1
+            if takers[ti][1] == 0:
+                ti += 1
+        return RedistributionPlan(
+            quotas=quotas, transfers=transfers, cost=cost, comm_steps=0)
+
     def _on_loads_gathered(self, phase: int, loads_by_rank: dict[int, int]) -> None:
         machine = self.machine
+        if self._hardened and phase <= self._max_abandoned:
+            return  # stale round from before a crash rebuilt the tree
         n = machine.num_nodes
         loads = np.zeros(n, dtype=np.int64)
         for r, c in loads_by_rank.items():
             loads[r] = c
         total = int(loads.sum())
-        root = machine.node(0)
+        root_rank = self._root
+        root = machine.node(root_rank)
+        ranks = machine.alive_ranks() if self._hardened else list(range(n))
         if total == 0:
             kind = "done" if self.driver.finished else "sleep"
             root.exec_cpu(
                 self.plan_compute_per_node, "overhead",
-                lambda: self._bcast_ctrl.broadcast(0, (phase, kind)),
+                lambda: self._bcast_ctrl.broadcast(root_rank, (phase, kind)),
             )
             return
-        plan = self._planner.plan(loads)
+        if len(ranks) < n:
+            plan = self._plan_over_survivors(loads, ranks)
+        else:
+            plan = self._planner.plan(loads)
         self.num_phases += 1
         self.migrated_tasks += sum(c for (_s, _d, c) in plan.transfers)
         self.plan_cost_total += plan.cost
-        outgoing: dict[int, list[tuple[int, int]]] = {r: [] for r in range(n)}
+        outgoing: dict[int, list[tuple[int, int]]] = {r: [] for r in ranks}
         incoming = [0] * n
         for (s, d, c) in plan.transfers:
             outgoing[s].append((d, c))
@@ -346,16 +498,17 @@ class RIPS(Strategy):
         def send_plans() -> None:
             tr = self.tracer
             if tr is not None:
-                tr.complete(0, "phase", "plan",
+                tr.complete(root_rank, "phase", "plan",
                             self.machine.sim.now - plan_time, plan_time,
                             {"phase": phase, "total_load": total,
                              "transfers": len(plan.transfers),
                              "plan_cost": plan.cost})
-            for r in range(n):
+            for r in ranks:
                 root.send(
                     r, "rips.plan",
                     (phase, outgoing[r], incoming[r]),
                     size=32 + 12 * len(outgoing[r]),
+                    reliable=True,
                 )
 
         # planner computation charged at the root (the array-level stand-in
@@ -366,6 +519,12 @@ class RIPS(Strategy):
         phase, kind = payload
         st = self.states[rank]
         if phase < st.target_phase or st.mode is _Mode.DONE:
+            return
+        if self._hardened and (phase <= self._max_abandoned
+                              or st.mode is not _Mode.SYSTEM):
+            # sleep/done for an abandoned phase, or arriving at a node the
+            # recovery already reverted to USER: stale, drop it (a stale
+            # "sleep" honored here would quiesce a node that holds work)
             return
         tr = self.tracer
         if tr is not None:
@@ -387,6 +546,9 @@ class RIPS(Strategy):
         rank = msg.dest
         st = self.states[rank]
         if st.mode is not _Mode.SYSTEM or phase != st.target_phase:
+            if self._hardened and phase <= max(st.completed_phase,
+                                               self._max_abandoned):
+                return  # stale plan for a phase recovery abandoned
             raise RuntimeError(
                 f"node {rank}: unexpected plan for phase {phase} in {st.mode}"
             )
@@ -477,3 +639,5 @@ class RIPS(Strategy):
         metrics.extra["plan_cost_total"] = self.plan_cost_total
         metrics.extra["local_policy"] = self.local_policy.value
         metrics.extra["global_policy"] = self.global_policy.value
+        if self.abandoned_phases:
+            metrics.extra["abandoned_phases"] = self.abandoned_phases

@@ -4,7 +4,9 @@
 * :mod:`repro.experiments.table1` — strategy comparison on 32 procs;
 * :mod:`repro.experiments.table2` — optimal efficiencies;
 * :mod:`repro.experiments.fig5` — normalized quality factors;
-* :mod:`repro.experiments.table3` — speedups on 64/128 procs.
+* :mod:`repro.experiments.table3` — speedups on 64/128 procs;
+* :mod:`repro.experiments.faults` — strategy degradation under
+  injected faults (fig_faults; beyond the paper's fault-free model).
 
 Scale selection: ``REPRO_SCALE=paper`` for the full evaluation-section
 sizes, default ``small`` for CI-friendly runs (same code paths).
@@ -20,6 +22,7 @@ from .common import (
     workload,
     workloads,
 )
+from .faults import fault_levels, faults_requests, faults_text, run_faults
 from .fig4 import Fig4Point, fig4_point, fig4_requests, fig4_series, run_fig4
 from .fig5 import fig5_text, quality_factor, run_fig5
 from .table1 import run_table1, table1_requests, table1_rows, table1_text
@@ -37,7 +40,9 @@ from .topologies import (
 #: The uniform experiment API: every module listed here exposes
 #: ``build_requests(...) -> list[RunRequest]`` and
 #: ``render(results) -> str`` and routes through :mod:`repro.runner`.
-EXPERIMENT_MODULES = ("table1", "table2", "table3", "fig4", "fig5", "topologies")
+EXPERIMENT_MODULES = (
+    "table1", "table2", "table3", "fig4", "fig5", "topologies", "faults",
+)
 
 __all__ = [
     "EXPERIMENT_MODULES",
@@ -46,12 +51,16 @@ __all__ = [
     "TABLE3_WORKLOADS",
     "WorkloadSpec",
     "current_scale",
+    "fault_levels",
+    "faults_requests",
+    "faults_text",
     "fig4_point",
     "fig4_requests",
     "fig4_series",
     "fig5_text",
     "make_machine",
     "quality_factor",
+    "run_faults",
     "run_fig4",
     "run_fig5",
     "run_table1",

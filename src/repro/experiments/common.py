@@ -175,11 +175,18 @@ def run_workload(
     seed: int = 1234,
     config: ExecutionConfig = ExecutionConfig(),
     tracer=None,
+    faults=None,
 ) -> RunMetrics:
-    """One Table-I cell group: one workload under one strategy."""
+    """One Table-I cell group: one workload under one strategy.
+
+    ``faults`` is an optional :class:`repro.faults.FaultPlan`; ``None``
+    (or a null plan) leaves the machine untouched.
+    """
     trace = spec.build(num_nodes)
     factory = strategy_factories(spec.kind, num_nodes)[strategy_name]
     machine = make_machine(num_nodes, seed=seed)
+    if faults is not None:
+        machine.attach_faults(faults)
     metrics = run_trace(trace, factory(), machine, config, tracer=tracer)
     metrics.extra["workload_label"] = spec.label
     return metrics

@@ -1,0 +1,26 @@
+"""Deterministic fault injection, protocol hardening, and conservation
+checking for the simulated machine.
+
+Three layers (see EXPERIMENTS.md "Fault model"):
+
+* **Injection** — :class:`FaultPlan` (pure data, seeded) +
+  :class:`~repro.faults.inject.FaultInjector` (wire faults, outages,
+  stalls, fail-stop crashes), installed via ``Machine.attach_faults``;
+* **Hardening** — the ack/retransmit envelope behind
+  ``Node.send(reliable=True)``
+  (:class:`~repro.faults.transport.ReliableTransport`) plus the
+  crash-recovery hooks in the RIPS protocol and the driver;
+* **Checking** — :func:`audit_conservation`, the post-run exactly-once
+  (or provably-lost) invariant over tracer records.
+"""
+
+from .audit import ConservationReport, audit_conservation, executed_task_counts
+from .plan import NULL_PLAN, FaultPlan
+
+__all__ = [
+    "FaultPlan",
+    "NULL_PLAN",
+    "ConservationReport",
+    "audit_conservation",
+    "executed_task_counts",
+]

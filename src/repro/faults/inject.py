@@ -1,0 +1,239 @@
+"""Deterministic fault injection for the simulated machine.
+
+``Machine.attach_faults(plan)`` installs a :class:`FaultInjector`: it
+wraps the network's ``transmit`` with probabilistic wire faults and link
+outages, schedules stall windows and fail-stop crashes as sim events, and
+owns the :class:`~repro.faults.transport.ReliableTransport` that
+``Node.send(reliable=True)`` routes through.
+
+All randomness comes from one ``random.Random(plan.seed)`` consumed in
+event order, so identical (plan, machine) seeds replay bit-identically —
+serial, parallel, or across processes.  A null plan installs nothing;
+the fault-free machine never even sees these code paths.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.machine.message import Message
+
+from .plan import FaultPlan
+from .transport import ACK_KIND, ReliableTransport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.machine import Machine
+    from repro.machine.node import Node
+
+__all__ = ["FaultInjector", "FaultyNetwork"]
+
+
+class FaultyNetwork:
+    """Transmit-side wrapper installed over the machine's real network."""
+
+    def __init__(self, inner, injector: "FaultInjector") -> None:
+        self.inner = inner
+        self.injector = injector
+        self.sim = inner.sim
+        self.topology = inner.topology
+        self.latency = inner.latency
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    @property
+    def tracer(self):
+        return self.inner.tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self.inner.tracer = value
+
+    def transmit(self, msg: Message, tasks_carried: int = 0) -> None:
+        if msg.src == msg.dest:  # loopback never touches a wire
+            self.inner.transmit(msg, tasks_carried)
+            return
+        inj = self.injector
+        action, extra = inj.wire_verdict(msg)
+        if action is None:
+            self.inner.transmit(msg, tasks_carried)
+            return
+        counts = inj.counts
+        if action == "drop":
+            key = "outage_drops" if extra == "outage" else "drops"
+            counts[key] += 1
+            inj.note(msg.src, f"net-{key[:-1]}", msg)
+            return
+        if action == "dup":
+            counts["duplicates"] += 1
+            inj.note(msg.src, "net-duplicate", msg)
+            self.inner.transmit(msg, tasks_carried)
+            self.inner.transmit(msg, tasks_carried)
+            return
+        # "delay" (also used for reorder: enough jitter to overtake peers)
+        counts["delays"] += 1
+        inj.note(msg.src, "net-delay", msg)
+        self.sim.schedule(extra, self.inner.transmit, msg, tasks_carried)
+
+
+class FaultInjector:
+    """Owns all fault state for one machine.  Built by ``attach_faults``."""
+
+    def __init__(self, machine: "Machine", plan: FaultPlan) -> None:
+        self.machine = machine
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.transport = ReliableTransport(
+            machine, plan.rto, plan.max_backoff_doublings)
+        #: ranks whose crash the failure detector has announced.
+        self.detected_dead: set[int] = set()
+        self._crash_callbacks: list[Callable[[int], None]] = []
+        self._undelivered: dict[int, list[tuple[Message, int]]] = {}
+        self.counts: dict[str, int] = {
+            "drops": 0, "outage_drops": 0, "duplicates": 0, "delays": 0,
+            "crashes": 0, "stalls": 0, "blackholed": 0, "dups_suppressed": 0,
+        }
+        self._kinds = frozenset(plan.kinds) if plan.kinds else None
+        self._links = frozenset(plan.links) if plan.links else None
+        lat = machine.latency
+        diameter = max(1, machine.topology.diameter())
+        self.reorder_window = (
+            plan.reorder_window if plan.reorder_window is not None
+            else 4.0 * (lat.software_overhead + diameter * lat.per_hop))
+        machine.network = FaultyNetwork(machine.network, self)
+        sim = machine.sim
+        for rank, t in plan.crashes:
+            machine.topology.check_rank(rank)
+            sim.schedule_at(t, self._crash, rank)
+        for rank, start, duration in plan.stalls:
+            machine.topology.check_rank(rank)
+            sim.schedule_at(start, self._stall_begin, rank)
+            sim.schedule_at(start + duration, self._stall_end, rank)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def note(self, node: int, name: str, msg: Optional[Message] = None,
+             args: Optional[dict] = None) -> None:
+        tr = self.machine.tracer
+        if tr is None:
+            return
+        if msg is not None:
+            args = {"kind": msg.kind, "src": msg.src, "dest": msg.dest,
+                    **(args or {})}
+        tr.instant(node, "fault", name, self.machine.sim.now, args)
+
+    def stats_summary(self) -> dict:
+        """Picklable fault/recovery counters for ``RunMetrics.extra``."""
+        return {
+            **self.counts,
+            "retransmits": self.transport.retransmits,
+            "acks": self.transport.acks,
+            "detected_dead": sorted(self.detected_dead),
+        }
+
+    # ------------------------------------------------------------------
+    # wire faults
+    # ------------------------------------------------------------------
+    def wire_verdict(self, msg: Message):
+        """Decide the fate of one transmission.
+
+        Draw order is fixed and rate-gated (a zero rate consumes no
+        randomness), which is what keeps plans with different knobs from
+        perturbing each other's streams.
+        """
+        plan = self.plan
+        now = self.machine.sim.now
+        for src, dest, start, duration in plan.outages:
+            if (src == msg.src and dest == msg.dest
+                    and start <= now < start + duration):
+                return "drop", "outage"
+        if self._kinds is not None and msg.kind not in self._kinds:
+            return None, None
+        if self._links is not None and (msg.src, msg.dest) not in self._links:
+            return None, None
+        rng = self.rng
+        if plan.drop_rate and rng.random() < plan.drop_rate:
+            return "drop", "random"
+        if plan.duplicate_rate and rng.random() < plan.duplicate_rate:
+            return "dup", None
+        if plan.delay_rate and rng.random() < plan.delay_rate:
+            return "delay", rng.uniform(0.0, plan.delay_max)
+        if plan.reorder_rate and rng.random() < plan.reorder_rate:
+            return "delay", rng.uniform(0.0, self.reorder_window)
+        return None, None
+
+    # ------------------------------------------------------------------
+    # dispatch interception (receiver side)
+    # ------------------------------------------------------------------
+    def intercept_dispatch(self, node: "Node", msg: Message, handler):
+        """Veto or wrap an arriving message's handler (see Node.dispatch)."""
+        if node.crashed:
+            self.counts["blackholed"] += 1
+            return None
+        if msg.kind == ACK_KIND:
+            # envelope control traffic: processed immediately, no CPU
+            # charge — an ack stuck behind a busy CPU would race its own
+            # retransmit timer
+            self.transport._on_ack(msg)
+            return None
+        verdict = self.transport.classify_arrival(node, msg)
+        if verdict is None:
+            return handler
+        if verdict is False:
+            self.counts["dups_suppressed"] += 1
+            return None
+        transport = self.transport
+
+        def deliver(m, _entry=verdict, _handler=handler):
+            transport.deliver(_entry, _handler, m)
+
+        return deliver
+
+    # ------------------------------------------------------------------
+    # crashes and stalls
+    # ------------------------------------------------------------------
+    def on_crash_detected(self, callback: Callable[[int], None]) -> None:
+        """Register a failure-detector callback (fires per dead rank,
+        ``detect_delay`` after the crash, as a sim event)."""
+        self._crash_callbacks.append(callback)
+
+    def take_undeliverable(self, rank: int) -> list[tuple[Message, int]]:
+        """Undelivered reliable payloads surfaced by ``rank``'s crash.
+        One-shot: the caller (the driver) assumes rescue ownership."""
+        return self._undelivered.pop(rank, [])
+
+    def _crash(self, rank: int) -> None:
+        node = self.machine.nodes[rank]
+        if node.crashed:
+            return
+        node.crashed = True
+        node._cpu_queue.clear()
+        node._cpu_busy = False
+        self.counts["crashes"] += 1
+        self.note(rank, "crash")
+        self.machine.sim.schedule(self.plan.detect_delay, self._detect, rank)
+
+    def _detect(self, rank: int) -> None:
+        self.detected_dead.add(rank)
+        self._undelivered[rank] = self.transport.handle_crash(rank)
+        self.note(rank, "crash-detected")
+        for callback in self._crash_callbacks:
+            callback(rank)
+
+    def _stall_begin(self, rank: int) -> None:
+        node = self.machine.nodes[rank]
+        if node.crashed:
+            return
+        node.stalled = True
+        self.counts["stalls"] += 1
+        self.note(rank, "stall-begin")
+
+    def _stall_end(self, rank: int) -> None:
+        node = self.machine.nodes[rank]
+        node.stalled = False
+        self.note(rank, "stall-end")
+        if not node.crashed and not node._cpu_busy and node._cpu_queue:
+            node._start_next()

@@ -1,0 +1,144 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a frozen, hashable description of every
+perturbation a run will experience: message-level faults (drop /
+duplicate / delay / reorder, filterable per message kind and per directed
+link), transient link outages, node stall windows, and fail-stop crashes
+at scheduled sim times.  The plan carries its own ``seed``; all random
+draws come from one ``random.Random(seed)`` consumed in event order, so a
+given (plan, workload, machine-seed) triple is bit-identical no matter
+where or how often it runs — including across the process-pool executor.
+
+The plan is pure data (stdlib only, no machine imports): it serializes
+into the runner's canonical request JSON and travels through the result
+cache and process pool unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Optional
+
+__all__ = ["FaultPlan", "NULL_PLAN"]
+
+
+def _freeze(value):
+    """Recursively convert lists to tuples so the plan stays hashable."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What goes wrong, when, and with which seed.
+
+    Rates are per-transmission probabilities in ``[0, 1]``; times are
+    simulated seconds.  ``kinds``/``links`` restrict the *probabilistic*
+    wire faults (drop/duplicate/delay/reorder) to matching messages;
+    outages, stalls, and crashes are always scheduled as given.
+    """
+
+    #: seed for the fault RNG (independent of the machine RNG).
+    seed: int = 0
+
+    # -- probabilistic wire faults ------------------------------------
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    #: extra latency drawn uniformly from (0, delay_max] for delayed messages.
+    delay_max: float = 1e-3
+    reorder_rate: float = 0.0
+    #: reorder jitter window; None derives ~4 network traversals at install.
+    reorder_window: Optional[float] = None
+    #: restrict wire faults to these message kinds (None = all kinds).
+    kinds: Optional[tuple[str, ...]] = None
+    #: restrict wire faults to these directed (src, dest) links (None = all).
+    links: Optional[tuple[tuple[int, int], ...]] = None
+
+    # -- scheduled faults ---------------------------------------------
+    #: transient directed-link outages: (src, dest, start, duration).
+    outages: tuple[tuple[int, int, float, float], ...] = ()
+    #: node stall windows: (rank, start, duration) — CPU held, nothing lost.
+    stalls: tuple[tuple[int, float, float], ...] = ()
+    #: fail-stop crashes: (rank, time).  Fatal and permanent.
+    crashes: tuple[tuple[int, float], ...] = ()
+    #: failure-detector latency: survivors learn of a crash this long after it.
+    detect_delay: float = 2e-3
+
+    # -- reliable-envelope tuning -------------------------------------
+    #: initial retransmit timeout; None derives one from the latency model.
+    rto: Optional[float] = None
+    #: exponential backoff cap: rto * 2**min(attempts, this).
+    max_backoff_doublings: int = 6
+
+    def __post_init__(self) -> None:
+        for name in ("kinds", "links", "outages", "stalls", "crashes"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, _freeze(value))
+        for name in ("drop_rate", "duplicate_rate", "delay_rate", "reorder_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
+        if len({r for r, _ in self.crashes}) != len(self.crashes):
+            raise ValueError("at most one crash per rank")
+
+    # ------------------------------------------------------------------
+    def is_null(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.drop_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and self.delay_rate == 0.0
+            and self.reorder_rate == 0.0
+            and not self.outages
+            and not self.stalls
+            and not self.crashes
+        )
+
+    def describe(self) -> str:
+        """Short human label, e.g. ``"drop 1%"`` or ``"crash x1"`` —
+        what the fault-sweep tables print in their *faults* column."""
+        if self.is_null():
+            return "fault-free"
+        parts = []
+        for name, label in (("drop_rate", "drop"), ("duplicate_rate", "dup"),
+                            ("delay_rate", "delay"), ("reorder_rate", "reorder")):
+            rate = getattr(self, name)
+            if rate:
+                parts.append(f"{label} {100 * rate:.4g}%")
+        if self.outages:
+            parts.append(f"outage x{len(self.outages)}")
+        if self.stalls:
+            parts.append(f"stall x{len(self.stalls)}")
+        if self.crashes:
+            parts.append(f"crash x{len(self.crashes)}")
+        return "+".join(parts)
+
+    def canonical(self) -> dict[str, Any]:
+        """Deterministic JSON-ready form (non-default fields only), used
+        by the runner's request canonicalization / cache keys."""
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_canonical(cls, data: dict[str, Any]) -> "FaultPlan":
+        return cls(**data)
+
+    # -- convenience constructors for the common sweeps ----------------
+    @classmethod
+    def lossy(cls, drop_rate: float, seed: int = 0, **kw) -> "FaultPlan":
+        return cls(seed=seed, drop_rate=drop_rate, **kw)
+
+    @classmethod
+    def fail_stop(cls, crashes, seed: int = 0, **kw) -> "FaultPlan":
+        return cls(seed=seed, crashes=tuple(crashes), **kw)
+
+
+#: Shared do-nothing plan; ``Machine.attach_faults`` treats it like None.
+NULL_PLAN = FaultPlan()

@@ -18,12 +18,56 @@ paper's measurements do.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from collections import deque
+from typing import Any, Callable, Iterable, Optional
 
 from .machine import Machine
 from .message import HEADER_BYTES, Message
+from .topology import Topology
 
-__all__ = ["GatherTree", "BinomialBroadcast", "modeled_barrier_latency"]
+__all__ = [
+    "GatherTree",
+    "BinomialBroadcast",
+    "modeled_barrier_latency",
+    "survivor_tree",
+]
+
+
+def survivor_tree(
+    topology: Topology, alive: Iterable[int], root: int
+) -> tuple[list[int], list[list[int]]]:
+    """Spanning tree of the ``alive`` ranks, rooted at ``root``.
+
+    BFS over the topology restricted to surviving nodes.  A survivor that
+    the induced subgraph cannot reach (the dead nodes disconnect it) is
+    attached directly to the root: on a wormhole machine the routers of a
+    fail-stopped node keep forwarding, only its processor is gone, so the
+    link exists — it is just not neighbor-local anymore.
+
+    Returns full-length ``(parent, children)`` arrays: ``parent[root] ==
+    -1``, ``parent[r] == -2`` for non-participating (dead) ranks.
+    """
+    alive_set = set(alive)
+    if root not in alive_set:
+        raise ValueError(f"root {root} is not alive")
+    n = topology.num_nodes
+    parent = [-2] * n
+    children: list[list[int]] = [[] for _ in range(n)]
+    parent[root] = -1
+    frontier = deque([root])
+    seen = {root}
+    while frontier:
+        cur = frontier.popleft()
+        for nb in topology.neighbors(cur):
+            if nb in alive_set and nb not in seen:
+                seen.add(nb)
+                parent[nb] = cur
+                children[cur].append(nb)
+                frontier.append(nb)
+    for r in sorted(alive_set - seen):
+        parent[r] = root
+        children[root].append(r)
+    return parent, children
 
 
 class GatherTree:
@@ -46,6 +90,7 @@ class GatherTree:
         on_result: Callable[[int, Any], None],
         root: int = 0,
         payload_bytes: int = HEADER_BYTES,
+        reliable: bool = True,
     ) -> None:
         self.machine = machine
         self.kind = kind
@@ -53,15 +98,38 @@ class GatherTree:
         self.on_result = on_result
         self.root = root
         self.payload_bytes = payload_bytes
+        #: reliable is a no-op on a fault-free machine (see Node.send), so
+        #: the default hardens every gather without changing clean runs.
+        self.reliable = reliable
         self.parent, self.children = machine.topology.spanning_tree(root)
         n = machine.num_nodes
         # per-node, per-round accumulation: {round: [count, value]}
         self._acc: list[dict[int, list]] = [dict() for _ in range(n)]
         self._expected = [len(self.children[r]) + 1 for r in range(n)]
+        #: rounds below this id are silently discarded (stale traffic from
+        #: rounds abandoned at a crash; see :meth:`discard_rounds_below`).
+        self._min_round = 0
         for node in machine.nodes:
             node.on(kind, self._on_message)
 
     # ------------------------------------------------------------------
+    def rebuild(self, alive: Iterable[int], root: Optional[int] = None) -> None:
+        """Re-root the reduction over the surviving ranks.
+
+        Discards every partially-accumulated round: contributions from a
+        round started under the old tree shape would be combined against
+        the wrong ``_expected`` counts, so after a crash the protocol must
+        abandon in-flight rounds and start a fresh one.
+        """
+        if root is not None:
+            self.root = root
+        alive = list(alive)
+        self.parent, self.children = survivor_tree(
+            self.machine.topology, alive, self.root)
+        n = self.machine.num_nodes
+        self._acc = [dict() for _ in range(n)]
+        self._expected = [len(self.children[r]) + 1 for r in range(n)]
+
     def contribute(self, rank: int, round_id: int, value: Any) -> None:
         """Node ``rank`` contributes its local value for ``round_id``."""
         self._absorb(rank, round_id, value)
@@ -70,7 +138,22 @@ class GatherTree:
         round_id, value = msg.payload
         self._absorb(msg.dest, round_id, value)
 
+    def discard_rounds_below(self, round_id: int) -> None:
+        """Ignore all traffic for rounds ``< round_id`` from now on.
+
+        After a crash forces the tree to be rebuilt, contributions from
+        abandoned rounds may still be in flight (or retransmitted); counted
+        against the new tree shape they would corrupt — or over-run — the
+        accumulators, so the caller declares them stale wholesale.
+        """
+        self._min_round = max(self._min_round, round_id)
+        for acc in self._acc:
+            for rid in [r for r in acc if r < self._min_round]:
+                del acc[rid]
+
     def _absorb(self, rank: int, round_id: int, value: Any) -> None:
+        if round_id < self._min_round:
+            return
         acc = self._acc[rank]
         slot = acc.get(round_id)
         if slot is None:
@@ -86,7 +169,7 @@ class GatherTree:
             else:
                 self.machine.node(rank).send(
                     self.parent[rank], self.kind, (round_id, slot[1]),
-                    size=self.payload_bytes,
+                    size=self.payload_bytes, reliable=self.reliable,
                 )
 
 
@@ -104,15 +187,29 @@ class BinomialBroadcast:
         kind: str,
         on_receive: Callable[[int, Any], None],
         payload_bytes: int = HEADER_BYTES,
+        reliable: bool = True,
     ) -> None:
         self.machine = machine
         self.kind = kind
         self.on_receive = on_receive
         self.payload_bytes = payload_bytes
+        #: no-op on a fault-free machine (see Node.send).
+        self.reliable = reliable
+        self.set_ranks(range(machine.num_nodes))
         for node in machine.nodes:
             node.on(kind, self._on_message)
 
     # ------------------------------------------------------------------
+    def set_ranks(self, ranks: Iterable[int]) -> None:
+        """Restrict the broadcast to ``ranks`` (e.g. crash survivors).
+
+        The binomial tree is computed over positions in the sorted rank
+        list, so with the full rank set this is exactly the classic
+        ``(rank - root) mod n`` construction.
+        """
+        self._ranks = sorted(ranks)
+        self._pos = {r: i for i, r in enumerate(self._ranks)}
+
     def broadcast(self, root: int, payload: Any) -> None:
         """Start a broadcast from ``root`` (callable any number of times)."""
         self.machine.topology.check_rank(root)
@@ -125,16 +222,23 @@ class BinomialBroadcast:
         self.on_receive(msg.dest, payload)
 
     def _forward(self, rank: int, root: int, payload: Any) -> None:
-        n = self.machine.num_nodes
-        rel = (rank - root) % n
+        pos = self._pos.get(rank)
+        rpos = self._pos.get(root)
+        if pos is None or rpos is None:
+            # stale forward involving a rank dropped by set_ranks; the
+            # restart broadcast over the survivors supersedes it
+            return
+        n = len(self._ranks)
+        rel = (pos - rpos) % n
         node = self.machine.node(rank)
         k = rel.bit_length()
         while True:
             child_rel = rel + (1 << k)
             if child_rel >= n:
                 break
-            dest = (child_rel + root) % n
-            node.send(dest, self.kind, (root, payload), size=self.payload_bytes)
+            dest = self._ranks[(child_rel + rpos) % n]
+            node.send(dest, self.kind, (root, payload),
+                      size=self.payload_bytes, reliable=self.reliable)
             k += 1
 
 

@@ -41,6 +41,9 @@ class Machine:
         the ideal wormhole network.
     seed:
         Seed for the machine RNG (used by randomized protocols).
+    faults:
+        Optional :class:`repro.faults.FaultPlan`; ``None`` (or a null
+        plan) leaves the machine entirely fault-free.
     """
 
     def __init__(
@@ -51,6 +54,7 @@ class Machine:
         contention: bool = False,
         seed: Optional[int] = None,
         tracer=None,
+        faults=None,
     ) -> None:
         if isinstance(topology, str):
             if num_nodes is None:
@@ -65,8 +69,12 @@ class Machine:
         self.nodes = [Node(rank, self) for rank in range(topology.num_nodes)]
         #: attached observability tracer (None = untraced; see repro.obs)
         self.tracer = None
+        #: attached fault injector (None = fault-free; see repro.faults)
+        self.faults = None
         if tracer is not None:
             self.attach_tracer(tracer)
+        if faults is not None:
+            self.attach_faults(faults)
 
     # ------------------------------------------------------------------
     @property
@@ -89,6 +97,28 @@ class Machine:
         self.network.tracer = tracer
         for node in self.nodes:
             node.tracer = tracer
+
+    def attach_faults(self, plan) -> None:
+        """Install a :class:`repro.faults.FaultPlan` on this machine.
+
+        A ``None`` or null plan installs nothing at all: the fault-free
+        machine takes exactly the pre-fault code paths (``node.faults`` is
+        ``None``, the network is unwrapped), so zero-fault runs are
+        bit-identical to a build without this subsystem.
+        """
+        if plan is None or plan.is_null():
+            return
+        if self.faults is not None:
+            raise RuntimeError("faults already attached")
+        from repro.faults.inject import FaultInjector
+
+        self.faults = FaultInjector(self, plan)
+        for node in self.nodes:
+            node.faults = self.faults
+
+    def alive_ranks(self) -> list[int]:
+        """Ranks of nodes that have not (yet) fail-stopped, ascending."""
+        return [n.rank for n in self.nodes if not n.crashed]
 
     def _deliver(self, msg: Message) -> None:
         tr = self.tracer

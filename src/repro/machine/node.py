@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 from .message import Message
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .event import EventHandle
     from .machine import Machine
 
 __all__ = ["Node"]
@@ -57,6 +58,14 @@ class Node:
         #: observability: set by Machine.attach_tracer; None = no tracing
         #: (one identity check per finished CPU item, nothing else).
         self.tracer = None
+        #: fault injector: set by Machine.attach_faults; None = fault-free
+        #: (one identity check per dispatch / reliable send, nothing else).
+        self.faults = None
+        #: fail-stop flag: a crashed node executes nothing and receives
+        #: nothing from the moment of the crash on.
+        self.crashed = False
+        #: transient stall: queued CPU work is held, nothing is lost.
+        self.stalled = False
 
     # ------------------------------------------------------------------
     # message handling
@@ -73,6 +82,9 @@ class Node:
         """Entry point used by the machine when a message arrives.
 
         Charges the receive software overhead, then runs the handler.
+        When a fault injector is attached it gets to veto (crashed node,
+        duplicate of an already-delivered reliable message) or wrap (mark
+        ground-truth delivery, emit the ack) the handler first.
         """
         try:
             handler = self._handlers[msg.kind]
@@ -80,6 +92,10 @@ class Node:
             raise RuntimeError(
                 f"node {self.rank}: no handler for message kind {msg.kind!r}"
             ) from None
+        if self.faults is not None:
+            handler = self.faults.intercept_dispatch(self, msg, handler)
+            if handler is None:
+                return
         self.exec_cpu(self.machine.latency.endpoint_cpu(msg.size), "overhead",
                       handler, msg)
 
@@ -90,6 +106,7 @@ class Node:
         payload: Any = None,
         size: int | None = None,
         tasks_carried: int = 0,
+        reliable: bool = False,
     ) -> None:
         """Send a message to ``dest``.
 
@@ -97,9 +114,19 @@ class Node:
         message enters the network when that CPU item completes (i.e. sends
         issued from a handler serialize behind the handler itself, as on a
         real single-CPU node).
+
+        ``reliable=True`` routes the message through the ack/retransmit
+        envelope when a fault injector is attached; on a fault-free machine
+        it is exactly a plain send, so protocols can request reliability
+        unconditionally.
         """
         from .message import HEADER_BYTES
 
+        if reliable and self.faults is not None:
+            self.faults.transport.send(
+                self, dest, kind, payload,
+                HEADER_BYTES if size is None else size, tasks_carried)
+            return
         msg = Message(self.rank, dest, kind, payload,
                       HEADER_BYTES if size is None else size)
         self.exec_cpu(
@@ -131,6 +158,8 @@ class Node:
             raise ValueError("duration must be >= 0")
         if category not in self.cpu_time:
             raise ValueError(f"unknown CPU category {category!r}")
+        if self.crashed:
+            return
         self._cpu_queue.append((duration, category, fn, args))
         if not self._cpu_busy:
             self._start_next()
@@ -148,7 +177,24 @@ class Node:
         """Register a callback fired whenever the CPU queue drains."""
         self._idle_callbacks.append(fn)
 
+    def after(self, delay: float, fn: Callable[..., None], *args: Any) -> "EventHandle":
+        """Schedule ``fn(*args)`` on the sim clock, bound to this node.
+
+        Returns a cancellable :class:`~repro.machine.event.EventHandle`.
+        Unlike a raw ``sim.schedule``, the callback is suppressed if the
+        node has crashed by the time the timer fires — exactly what a
+        protocol timer (retransmit, timeout regeneration) needs.  Costs no
+        CPU time; charge any real work from inside ``fn``.
+        """
+        return self.sim.schedule(delay, self._fire_timer, fn, args)
+
+    def _fire_timer(self, fn: Callable[..., None], args: tuple) -> None:
+        if not self.crashed:
+            fn(*args)
+
     def _start_next(self) -> None:
+        if self.stalled or self.crashed:
+            return
         duration, category, fn, args = self._cpu_queue.popleft()
         self._cpu_busy = True
         self.sim.schedule(duration, self._finish, duration, category, fn, args)
@@ -160,6 +206,9 @@ class Node:
         fn: Optional[Callable[..., None]],
         args: tuple,
     ) -> None:
+        if self.crashed:
+            # fail-stop mid-burst: the work never completed, charge nothing
+            return
         self.cpu_time[category] += duration
         self.last_active = self.sim.now
         self._cpu_busy = False

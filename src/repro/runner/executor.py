@@ -24,6 +24,8 @@ worker per CPU).
 from __future__ import annotations
 
 import os
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -55,6 +57,23 @@ class RunReport:
     executed: int = 0
     #: cells that needed the crash/timeout retry pass
     retried: int = 0
+    #: cells that failed both passes (the invocation raises, but the
+    #: count survives on ``RuntimeError.report`` for callers that catch)
+    failed: int = 0
+
+    def summary(self) -> str:
+        """One-line accounting, e.g. for CLI status output."""
+        parts = [
+            f"{len(self.results)} cell(s)",
+            f"jobs={self.jobs}",
+            f"{self.cache_hits} cached",
+            f"{self.executed} executed",
+        ]
+        if self.retried:
+            parts.append(f"{self.retried} retried")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        return ", ".join(parts)
 
 
 def resolve_jobs(jobs: Optional[Union[int, str]] = None) -> int:
@@ -138,13 +157,30 @@ def run_requests_report(
     if failed:
         # Retry pass: one fresh pool for cells lost to a crash or timeout.
         report.retried += len(failed)
-        still_failed = _run_pool(failed, min(njobs, len(failed)), timeout, store, report)
+        first_elapsed = {i: elapsed for i, _req, elapsed in failed}
+        retry = [(i, req) for i, req, _elapsed in failed]
+        still_failed = _run_pool(retry, min(njobs, len(retry)), timeout, store, report)
         if still_failed:
-            labels = ", ".join(req.label() for _i, req in still_failed)
-            raise RuntimeError(
+            report.failed = len(still_failed)
+            limit = f"{timeout:.0f}s" if timeout is not None else "none"
+            details = []
+            for i, req, elapsed in still_failed:
+                detail = (
+                    f"{req.label()} (elapsed {first_elapsed.get(i, 0.0):.1f}s "
+                    f"then {elapsed:.1f}s; per-cell timeout {limit})"
+                )
+                details.append(detail)
+                warnings.warn(
+                    f"grid cell failed twice (worker crash or timeout): {detail}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            err = RuntimeError(
                 f"{len(still_failed)} grid cell(s) failed twice "
-                f"(worker crash or timeout): {labels}"
+                f"(worker crash or timeout): " + ", ".join(details)
             )
+            err.report = report  # retry/failure accounting for catchers
+            raise err
     return report
 
 
@@ -154,32 +190,34 @@ def _run_pool(
     timeout: Optional[float],
     store: Optional[ResultCache],
     report: RunReport,
-) -> list[tuple[int, RunRequest]]:
-    """One process-pool pass; returns the cells lost to crash/timeout.
+) -> list[tuple[int, RunRequest, float]]:
+    """One process-pool pass; returns the cells lost to crash/timeout as
+    ``(index, request, elapsed_wall_seconds)`` triples.
 
     Application-level exceptions from :func:`execute_request` (bad
     workload key, strategy deadlock, ...) propagate immediately — only
     infrastructure failures are considered retryable.
     """
-    failed: list[tuple[int, RunRequest]] = []
+    failed: list[tuple[int, RunRequest, float]] = []
     pool = ProcessPoolExecutor(max_workers=njobs)
+    t0 = time.monotonic()
     try:
         futures = [(i, req, pool.submit(execute_request, req)) for i, req in pending]
         broken = False
         for i, req, fut in futures:
             if broken:
                 fut.cancel()
-                failed.append((i, req))
+                failed.append((i, req, time.monotonic() - t0))
                 continue
             try:
                 metrics = fut.result(timeout=timeout)
             except FutureTimeoutError:
                 fut.cancel()
-                failed.append((i, req))
+                failed.append((i, req, time.monotonic() - t0))
                 continue
             except BrokenProcessPool:
                 # every not-yet-finished future in this pool is lost
-                failed.append((i, req))
+                failed.append((i, req, time.monotonic() - t0))
                 broken = True
                 continue
             report.results[i] = metrics

@@ -20,6 +20,7 @@ from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.balancers import ExecutionConfig
+from repro.faults import FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.balancers import RunMetrics
@@ -63,6 +64,9 @@ class RunRequest:
     kind: str = "sim"
     params: tuple = ()
     trace: bool = False
+    #: fault-injection plan; ``None`` (or a null plan) runs fault-free and
+    #: serializes to nothing, so pre-existing cache keys stay stable.
+    faults: Optional[FaultPlan] = None
 
     def canonical(self) -> dict:
         """Canonical, JSON-ready form (stable field order via sort_keys)."""
@@ -82,6 +86,8 @@ class RunRequest:
             out["params"] = [list(kv) for kv in self.params]
         if self.trace:
             out["trace"] = True
+        if self.faults is not None and not self.faults.is_null():
+            out["faults"] = self.faults.canonical()
         return out
 
     def param(self, key: str, default=None):
@@ -104,9 +110,12 @@ class RunRequest:
         """Short human-readable cell label for logs and errors."""
         case = f"/{self.topology_case}" if self.topology_case else ""
         kind = f"[{self.kind}]" if self.kind != "sim" else ""
+        faults = ""
+        if self.faults is not None and not self.faults.is_null():
+            faults = "/faults"
         return (
             f"{self.workload}:{self.strategy}{kind}{case}"
-            f"@{self.num_nodes}n/seed{self.seed}/{self.scale}"
+            f"@{self.num_nodes}n/seed{self.seed}/{self.scale}{faults}"
         )
 
 
@@ -117,6 +126,12 @@ def execute_request(req: RunRequest) -> "RunMetrics":
     inside :mod:`repro.experiments` modules without a cycle, and so pool
     workers pay the import cost once per process, not per module load.
     """
+    faulty = req.faults is not None and not req.faults.is_null()
+    if faulty and (req.kind != "sim" or req.topology_case is not None):
+        raise ValueError(
+            f"fault plans apply only to kind='sim' strategy cells, "
+            f"not {req.label()}"
+        )
     if req.kind == "optimal":
         return _execute_optimal(req)
     if req.kind == "fig4":
@@ -141,6 +156,7 @@ def execute_request(req: RunRequest) -> "RunMetrics":
             seed=req.seed,
             config=req.config,
             tracer=tracer,
+            faults=req.faults if faulty else None,
         )
     else:
         from repro.experiments.topologies import (

@@ -1,0 +1,103 @@
+"""The fig_faults experiment module: level sweep, request grid, render."""
+
+import pytest
+
+from repro.balancers import RunMetrics
+from repro.experiments import faults as faults_mod
+from repro.experiments.common import STRATEGY_ORDER
+from repro.faults import FaultPlan
+
+
+# ----------------------------------------------------------------------
+# fault_levels
+# ----------------------------------------------------------------------
+
+def test_default_levels_are_baseline_drops_crash():
+    levels = faults_mod.fault_levels(num_nodes=32)
+    names = [name for name, _plan in levels]
+    assert names == ["none", "drop-0.01", "drop-0.05", "crash-1"]
+    assert levels[0][1] is None
+    assert levels[1][1].drop_rate == 0.01
+    assert levels[3][1].crashes and levels[3][1].is_null() is False
+
+
+def test_crash_ranks_spread_and_never_rank_zero():
+    levels = faults_mod.fault_levels(num_nodes=32, drop_rates=(),
+                                     crash_counts=(1, 3))
+    for _name, plan in levels[1:]:
+        ranks = [r for r, _t in plan.crashes]
+        assert 0 not in ranks  # rank 0 stays: comparable RIPS root
+        assert len(set(ranks)) == len(ranks)
+        assert all(0 < r < 32 for r in ranks)
+    # staggered times: later crashes land strictly later
+    times = [t for _r, t in levels[-1][1].crashes]
+    assert times == sorted(times) and len(set(times)) == len(times)
+
+
+def test_out_of_range_crash_count_rejected():
+    with pytest.raises(ValueError, match="out of range"):
+        faults_mod.fault_levels(num_nodes=8, crash_counts=(7,))
+
+
+# ----------------------------------------------------------------------
+# the request grid (uniform API covered by test_api_uniformity too)
+# ----------------------------------------------------------------------
+
+def test_default_grid_shape():
+    reqs = faults_mod.build_requests(num_nodes=16, scale="small", seed=9)
+    # 1 representative workload x 4 levels x 4 strategies
+    assert len(reqs) == 16
+    assert {r.strategy for r in reqs} == set(STRATEGY_ORDER)
+    assert {r.workload for r in reqs} == {"queens-11"}
+    baseline = [r for r in reqs if r.faults is None]
+    assert len(baseline) == 4
+    assert all(r.num_nodes == 16 and r.seed == 9 for r in reqs)
+
+
+def test_audit_flag_attaches_tracing():
+    reqs = faults_mod.build_requests(num_nodes=16, scale="small", audit=True)
+    assert all(r.trace for r in reqs)
+    assert not any(r.trace for r in
+                   faults_mod.build_requests(num_nodes=16, scale="small"))
+
+
+# ----------------------------------------------------------------------
+# render
+# ----------------------------------------------------------------------
+
+def _metrics(strategy, T, fault_plan=None, **extra):
+    m = RunMetrics(workload="queens-10", strategy=strategy, num_nodes=16,
+                   num_tasks=100, nonlocal_tasks=10, T=T, Th=0.001, Ti=0.002,
+                   efficiency=0.8, Ts=T * 12)
+    m.extra["workload_label"] = "10-Queens"
+    if fault_plan is not None:
+        m.extra["fault_plan"] = fault_plan.describe()
+        m.extra["fault_stats"] = {"drops": 5, "outage_drops": 1,
+                                  "retransmits": 7, "acks": 50}
+        m.extra["crashed_nodes"] = [r for r, _t in fault_plan.crashes]
+        m.extra["lost_tasks"] = 0
+    m.extra.update(extra)
+    return m
+
+
+def test_rows_compute_slowdown_against_per_strategy_baseline():
+    rows = faults_mod.faults_rows([
+        _metrics("RIPS", 0.10),
+        _metrics("RIPS", 0.15, FaultPlan.lossy(0.01)),
+        _metrics("RIPS", 0.30, FaultPlan.fail_stop(((5, 0.01),))),
+    ])
+    assert [r["faults"] for r in rows] == ["fault-free", "drop 1%", "crash x1"]
+    assert rows[0]["slowdown"] == "1.00x"
+    assert rows[1]["slowdown"] == "1.50x"
+    assert rows[2]["slowdown"] == "3.00x"
+    assert rows[1]["drops"] == 6 and rows[1]["retx"] == 7
+    assert rows[2]["crashed"] == 1
+
+
+def test_render_emits_the_table():
+    text = faults_mod.render([
+        _metrics("RIPS", 0.10),
+        _metrics("RIPS", 0.15, FaultPlan.lossy(0.05)),
+    ])
+    assert "fig_faults" in text and "16 processors" in text
+    assert "drop 5%" in text

@@ -1,0 +1,172 @@
+"""Fault injection at the wire and node level: drops, duplicates,
+delays, filters, outages, stalls, crashes — and bit-determinism of it all.
+
+All scenarios drive plain (non-reliable) sends on a small mesh, so they
+exercise exactly the injector, not the recovery machinery above it.
+"""
+
+import pytest
+
+from repro.experiments.common import make_machine
+from repro.faults import FaultPlan
+
+
+def _machine(plan, n=8, seed=1):
+    m = make_machine(n, seed=seed)
+    m.attach_faults(plan)
+    return m
+
+
+def _collect(machine, kind="ping"):
+    """Register a recording handler for ``kind`` on every node."""
+    got = []
+    for node in machine.nodes:
+        node.on(kind, lambda msg, _r=node.rank: got.append(
+            (_r, msg.src, machine.sim.now)))
+    return got
+
+
+# ----------------------------------------------------------------------
+# attachment semantics
+# ----------------------------------------------------------------------
+
+def test_null_plan_installs_nothing():
+    m = make_machine(8, seed=1)
+    m.attach_faults(None)
+    m.attach_faults(FaultPlan())  # null: also a no-op
+    assert m.faults is None
+    assert all(node.faults is None for node in m.nodes)
+    assert type(m.network).__name__ != "FaultyNetwork"
+
+
+def test_double_attach_rejected():
+    m = _machine(FaultPlan.lossy(0.1))
+    with pytest.raises(RuntimeError, match="already attached"):
+        m.attach_faults(FaultPlan.lossy(0.2))
+
+
+# ----------------------------------------------------------------------
+# probabilistic wire faults
+# ----------------------------------------------------------------------
+
+def test_certain_drop_loses_the_message():
+    m = _machine(FaultPlan.lossy(1.0))
+    got = _collect(m)
+    m.nodes[0].send(1, "ping")
+    m.sim.run()
+    assert got == []
+    assert m.faults.counts["drops"] == 1
+
+
+def test_loopback_never_touches_the_wire():
+    m = _machine(FaultPlan.lossy(1.0))
+    got = _collect(m)
+    m.nodes[0].send(0, "ping")
+    m.sim.run()
+    assert [(r, s) for r, s, _t in got] == [(0, 0)]
+    assert m.faults.counts["drops"] == 0
+
+
+def test_certain_duplicate_delivers_twice():
+    m = _machine(FaultPlan(duplicate_rate=1.0))
+    got = _collect(m)
+    m.nodes[0].send(1, "ping")
+    m.sim.run()
+    assert [(r, s) for r, s, _t in got] == [(1, 0), (1, 0)]
+    assert m.faults.counts["duplicates"] == 1
+
+
+def test_delay_arrives_later_than_fault_free():
+    baseline = make_machine(8, seed=1)
+    got0 = _collect(baseline)
+    baseline.nodes[0].send(1, "ping")
+    baseline.sim.run()
+
+    m = _machine(FaultPlan(delay_rate=1.0, delay_max=0.5))
+    got1 = _collect(m)
+    m.nodes[0].send(1, "ping")
+    m.sim.run()
+    assert m.faults.counts["delays"] == 1
+    assert got1[0][2] > got0[0][2]
+
+
+def test_kind_filter_scopes_wire_faults():
+    m = _machine(FaultPlan.lossy(1.0, kinds=("other",)))
+    got = _collect(m)
+    m.nodes[0].send(1, "ping")
+    m.sim.run()
+    assert len(got) == 1  # "ping" is exempt
+    assert m.faults.counts["drops"] == 0
+
+
+def test_link_filter_scopes_wire_faults():
+    m = _machine(FaultPlan.lossy(1.0, links=((0, 2),)))
+    got = _collect(m)
+    m.nodes[0].send(1, "ping")  # unaffected link
+    m.nodes[0].send(2, "ping")  # the lossy link
+    m.sim.run()
+    assert [(r, s) for r, s, _t in got] == [(1, 0)]
+    assert m.faults.counts["drops"] == 1
+
+
+def test_outage_window_drops_only_inside_the_window():
+    m = _machine(FaultPlan(outages=((0, 1, 0.0, 0.05),)))
+    got = _collect(m)
+    m.nodes[0].send(1, "ping")  # t=0: inside the outage
+    m.sim.schedule_at(0.1, m.nodes[0].send, 1, "ping")  # after it lifts
+    m.sim.run()
+    assert len(got) == 1
+    assert m.faults.counts["outage_drops"] == 1
+
+
+# ----------------------------------------------------------------------
+# scheduled node faults
+# ----------------------------------------------------------------------
+
+def test_fail_stop_crash_blackholes_and_is_detected():
+    plan = FaultPlan.fail_stop(((2, 0.01),))
+    m = _machine(plan)
+    got = _collect(m)
+    m.sim.schedule_at(0.02, m.nodes[0].send, 2, "ping")  # post-crash
+    m.sim.run()
+    assert got == []
+    assert m.nodes[2].crashed
+    assert m.faults.counts["blackholed"] == 1
+    assert m.faults.detected_dead == {2}
+    assert 2 not in m.alive_ranks()
+    assert len(m.alive_ranks()) == 7
+
+
+def test_stall_window_holds_the_cpu_without_losing_work():
+    m = _machine(FaultPlan(stalls=((1, 0.0, 0.05),)))
+    done = []
+    m.sim.schedule_at(
+        0.01, m.nodes[1].exec_cpu, 1e-3, "overhead",
+        lambda: done.append(m.sim.now))
+    m.sim.run()
+    assert m.faults.counts["stalls"] == 1
+    assert done and done[0] >= 0.05  # deferred past the stall, not dropped
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+
+def test_identical_plans_replay_bit_identically():
+    plan = FaultPlan(seed=9, drop_rate=0.3, duplicate_rate=0.2,
+                     delay_rate=0.2, delay_max=1e-3)
+
+    def run_once():
+        m = _machine(plan, seed=5)
+        got = _collect(m)
+        for i in range(60):
+            m.sim.schedule_at(
+                i * 1e-4, m.nodes[i % 8].send, (i * 3) % 8, "ping")
+        m.sim.run()
+        return got, dict(m.faults.counts)
+
+    first, counts1 = run_once()
+    second, counts2 = run_once()
+    assert first == second
+    assert counts1 == counts2
+    assert counts1["drops"] > 0 and counts1["duplicates"] > 0

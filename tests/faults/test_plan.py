@@ -1,0 +1,117 @@
+"""FaultPlan: validation, freezing, canonicalization, human labels."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import NULL_PLAN, FaultPlan
+
+
+# ----------------------------------------------------------------------
+# nullness
+# ----------------------------------------------------------------------
+
+def test_default_plan_is_null():
+    assert FaultPlan().is_null()
+    assert NULL_PLAN.is_null()
+    # seed / tuning knobs alone inject nothing
+    assert FaultPlan(seed=99, rto=1e-4, detect_delay=1.0).is_null()
+
+
+@pytest.mark.parametrize(
+    "plan",
+    [
+        FaultPlan.lossy(0.01),
+        FaultPlan(duplicate_rate=0.5),
+        FaultPlan(delay_rate=0.1),
+        FaultPlan(reorder_rate=0.1),
+        FaultPlan(outages=((0, 1, 0.0, 1.0),)),
+        FaultPlan(stalls=((3, 0.0, 1.0),)),
+        FaultPlan.fail_stop(((2, 0.5),)),
+    ],
+)
+def test_any_injectable_makes_plan_non_null(plan):
+    assert not plan.is_null()
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"drop_rate": 1.5},
+        {"drop_rate": -0.1},
+        {"duplicate_rate": 2.0},
+        {"delay_rate": -1.0},
+        {"reorder_rate": 1.0001},
+    ],
+)
+def test_rates_must_be_probabilities(kwargs):
+    with pytest.raises(ValueError, match="must be in"):
+        FaultPlan(**kwargs)
+
+
+def test_at_most_one_crash_per_rank():
+    with pytest.raises(ValueError, match="one crash per rank"):
+        FaultPlan(crashes=((3, 0.1), (3, 0.2)))
+
+
+# ----------------------------------------------------------------------
+# frozen, hashable, list-tolerant
+# ----------------------------------------------------------------------
+
+def test_plan_freezes_lists_and_stays_hashable():
+    plan = FaultPlan(
+        crashes=[[3, 0.1]], links=[[0, 1]], stalls=[(2, 0.0, 0.5)]
+    )
+    assert plan.crashes == ((3, 0.1),)
+    assert plan.links == ((0, 1),)
+    assert plan.stalls == ((2, 0.0, 0.5),)
+    assert {plan: "works as a dict key"}[plan]
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        plan.drop_rate = 0.5
+
+
+# ----------------------------------------------------------------------
+# canonical form (the cache-key contract)
+# ----------------------------------------------------------------------
+
+def test_null_plan_canonicalizes_to_nothing():
+    assert FaultPlan().canonical() == {}
+
+
+def test_canonical_carries_only_non_default_fields():
+    plan = FaultPlan.lossy(0.01, seed=5)
+    assert plan.canonical() == {"seed": 5, "drop_rate": 0.01}
+
+
+def test_canonical_round_trip():
+    plan = FaultPlan(
+        seed=7,
+        drop_rate=0.02,
+        duplicate_rate=0.01,
+        kinds=("work",),
+        links=((0, 1), (1, 0)),
+        outages=((0, 1, 0.0, 0.5),),
+        stalls=((2, 0.1, 0.2),),
+        crashes=((3, 0.4),),
+        rto=1e-4,
+    )
+    assert FaultPlan.from_canonical(plan.canonical()) == plan
+
+
+# ----------------------------------------------------------------------
+# describe(): the fault column of the sweep tables
+# ----------------------------------------------------------------------
+
+def test_describe_labels():
+    assert NULL_PLAN.describe() == "fault-free"
+    assert FaultPlan.lossy(0.01).describe() == "drop 1%"
+    assert FaultPlan.lossy(0.055).describe() == "drop 5.5%"
+    assert FaultPlan.fail_stop(((3, 0.1),)).describe() == "crash x1"
+    combo = FaultPlan(
+        drop_rate=0.01, duplicate_rate=0.02, crashes=((3, 0.1), (5, 0.2))
+    )
+    assert combo.describe() == "drop 1%+dup 2%+crash x2"

@@ -1,0 +1,137 @@
+"""The ack/retransmit envelope behind ``Node.send(reliable=True)``.
+
+Covers the at-most-once delivery contract under data loss, ack loss, and
+duplication; the early-ack design (a busy receiver CPU must not trigger
+spurious retransmission); and the two crash-window edges — a classified
+arrival wiped out by the receiver's crash is surfaced for rescue, while a
+crashed *sender's* message already classified at a live receiver is left
+to run exactly once.
+"""
+
+from repro.experiments.common import make_machine
+from repro.faults import FaultPlan
+from repro.faults.transport import ACK_KIND
+
+#: non-null but inert at the times these tests run: one stall on the last
+#: rank long after every scenario has completed.
+_INERT = dict(stalls=((7, 100.0, 1e-3),))
+
+
+def _machine(plan, n=8, seed=1):
+    m = make_machine(n, seed=seed)
+    m.attach_faults(plan)
+    return m
+
+
+def _collect(machine, kind="work"):
+    got = []
+    for node in machine.nodes:
+        node.on(kind, lambda msg, _r=node.rank: got.append(
+            (_r, msg.src, msg.payload)))
+    return got
+
+
+def test_reliable_is_a_plain_send_on_a_fault_free_machine():
+    m = make_machine(8, seed=1)
+    got = _collect(m)
+    m.nodes[0].send(1, "work", payload="x", reliable=True)
+    m.sim.run()
+    assert got == [(1, 0, "x")]
+    assert m.faults is None  # no envelope, no injector, nothing attached
+
+
+def test_lossy_data_link_delivers_exactly_once():
+    # drops restricted to the data kind: acks are safe, so every
+    # retransmission is caused by an actual data drop
+    m = _machine(FaultPlan(seed=3, drop_rate=0.6, kinds=("work",)))
+    got = _collect(m)
+    for i in range(10):
+        m.nodes[0].send(1, "work", payload=i, reliable=True)
+    m.sim.run()
+    assert sorted(p for _r, _s, p in got) == list(range(10))
+    tp = m.faults.transport
+    assert m.faults.counts["drops"] > 0
+    assert tp.retransmits == m.faults.counts["drops"]
+    assert tp.acks == 10
+    assert tp.entries == {} and tp.pending == {}  # fully drained
+
+
+def test_lost_acks_cause_retransmits_but_never_redelivery():
+    m = _machine(FaultPlan(seed=5, drop_rate=0.7, kinds=(ACK_KIND,)))
+    got = _collect(m)
+    for i in range(5):
+        m.nodes[0].send(1, "work", payload=i, reliable=True)
+    m.sim.run()
+    assert sorted(p for _r, _s, p in got) == list(range(5))  # exactly once
+    tp = m.faults.transport
+    assert tp.retransmits > 0
+    # every retransmitted copy reached the receiver and was swallowed
+    assert m.faults.counts["dups_suppressed"] == tp.retransmits
+    assert tp.entries == {}
+
+
+def test_wire_duplication_is_deduplicated():
+    m = _machine(FaultPlan(duplicate_rate=1.0, kinds=("work",)))
+    got = _collect(m)
+    m.nodes[0].send(1, "work", payload="x", reliable=True)
+    m.sim.run()
+    assert got == [(1, 0, "x")]
+    assert m.faults.counts["dups_suppressed"] >= 1
+
+
+def test_send_to_known_dead_destination_surfaces_to_the_driver():
+    m = _machine(FaultPlan.fail_stop(((2, 0.001),)))
+    got = _collect(m)
+    surfaced = []
+    m.faults.transport.on_undeliverable = (
+        lambda msg, tc: surfaced.append((msg.dest, msg.payload, tc)))
+    # sent well after detection (crash 0.001 + default detect_delay 2e-3)
+    m.sim.schedule_at(
+        0.01, m.nodes[0].send, 2, "work", "doomed", None, 3, True)
+    m.sim.run()
+    assert got == []
+    assert surfaced == [(2, "doomed", 3)]
+    assert m.faults.counts["blackholed"] == 0  # never even hit the wire
+
+
+def test_busy_receiver_does_not_trigger_spurious_retransmission():
+    # Early-ack regression: the ack goes out at arrival classification,
+    # before the handler's CPU item, so a receiver whose CPU is busy far
+    # longer than the RTO still acks in one wire round trip.  rto=1ms is
+    # comfortably above the wire RTT (~0.2ms) but far below the burst.
+    m = _machine(FaultPlan(rto=1e-3, **_INERT))
+    got = _collect(m)
+    m.nodes[1].exec_cpu(0.02, "task")  # >> rto
+    m.nodes[0].send(1, "work", payload="x", reliable=True)
+    m.sim.run()
+    assert got == [(1, 0, "x")]
+    assert m.faults.transport.retransmits == 0
+
+
+def test_receiver_crash_after_classification_surfaces_the_message():
+    # The arrival is classified (and acked) at t~1e-4, but the handler is
+    # queued behind a long CPU burst; the crash wipes the queue, so the
+    # envelope must surface the message even though it was acked.
+    m = _machine(FaultPlan.fail_stop(((1, 0.005),), detect_delay=1e-3))
+    got = _collect(m)
+    m.nodes[1].exec_cpu(0.02, "task")
+    m.nodes[0].send(1, "work", payload="x", reliable=True)
+    m.sim.run()
+    assert got == []
+    rescued = m.faults.take_undeliverable(1)
+    assert [(msg.payload, tc) for msg, tc in rescued] == [("x", 0)]
+    assert m.faults.take_undeliverable(1) == []  # one-shot handoff
+
+
+def test_dead_sender_classified_at_live_receiver_runs_exactly_once():
+    # Symmetric edge: the sender dies after its message was classified at
+    # a live-but-busy receiver.  Rescue must NOT claim it — the queued
+    # handler will run it; claiming it too would execute it twice.
+    m = _machine(FaultPlan.fail_stop(((0, 0.002),), detect_delay=1e-3))
+    got = _collect(m)
+    m.nodes[1].exec_cpu(0.05, "task")  # classified early, handled late
+    m.nodes[0].send(1, "work", payload="x", reliable=True)
+    m.sim.run()
+    assert got == [(1, 0, "x")]
+    assert m.faults.take_undeliverable(0) == []
+    assert m.faults.transport.pending == {}

@@ -1,0 +1,77 @@
+"""``Node.after`` timers and EventHandle cancellation edges.
+
+The protocol layers (retransmit timers, RIPS backoff) lean on three
+guarantees: timers are cancellable, cancellation is idempotent in every
+state (pending, fired, compacted away), and a timer never fires on a node
+that has fail-stopped.
+"""
+
+from repro.experiments.common import make_machine
+from repro.machine.event import _COMPACT_MIN_DEAD, Simulator
+
+
+def test_after_fires_with_args_at_the_right_time():
+    m = make_machine(4, seed=1)
+    got = []
+    handle = m.nodes[1].after(0.5, lambda a, b: got.append((m.sim.now, a, b)),
+                              "x", 7)
+    assert not handle.cancelled
+    m.sim.run()
+    assert got == [(0.5, "x", 7)]
+
+
+def test_cancel_prevents_firing_and_is_idempotent():
+    m = make_machine(4, seed=1)
+    got = []
+    handle = m.nodes[0].after(0.1, got.append, "never")
+    handle.cancel()
+    handle.cancel()  # double cancel: a no-op, not an error
+    assert handle.cancelled
+    m.sim.run()
+    assert got == []
+
+
+def test_cancel_after_fire_is_a_no_op():
+    m = make_machine(4, seed=1)
+    got = []
+    handle = m.nodes[0].after(0.1, got.append, "once")
+    m.sim.run()
+    assert got == ["once"]
+    handle.cancel()  # fired already: nothing left to account for
+    handle.cancel()
+    assert handle.cancelled
+
+
+def test_timer_suppressed_on_crashed_node():
+    m = make_machine(4, seed=1)
+    got = []
+    m.nodes[2].after(0.2, got.append, "dead")
+    m.nodes[3].after(0.2, got.append, "alive")
+    m.sim.schedule_at(0.1, setattr, m.nodes[2], "crashed", True)
+    m.sim.run()
+    assert got == ["alive"]
+
+
+def test_cancel_survives_queue_compaction():
+    # Cancelling > _COMPACT_MIN_DEAD timers triggers in-place compaction
+    # of the event queue; handles already compacted away must stay safely
+    # cancellable (no double-accounting, no resurrection) and live timers
+    # must still fire.
+    sim = Simulator()
+    fired = []
+    keeper = sim.schedule(2.0, fired.append, "keeper")
+    dead = [sim.schedule(1.0, fired.append, i)
+            for i in range(_COMPACT_MIN_DEAD * 2)]
+    for h in dead:
+        h.cancel()
+    # compaction ran at least once: the queue no longer holds all handles,
+    # and the dead counter exactly matches the corpses still in the queue
+    assert len(sim._queue) < len(dead) + 1
+    assert sim._dead == len(sim._queue) - 1
+    before = sim._dead
+    for h in dead:  # cancel again, post-compaction: all no-ops
+        h.cancel()
+    assert sim._dead == before
+    sim.run()
+    assert fired == ["keeper"]
+    assert keeper.fn is None  # payload freed after firing

@@ -1,0 +1,80 @@
+"""Executor retry pass: accounting, warnings, and failure reporting.
+
+The pool layer is monkeypatched so these tests exercise the retry logic
+itself (one fresh-pool second pass, per-cell failure details with elapsed
+wall time and the timeout in force) without real worker crashes.
+"""
+
+import pytest
+
+import repro.runner.executor as executor
+from repro.runner import RunRequest
+from repro.runner.executor import RunReport, run_requests_report
+from repro.runner.spec import execute_request
+
+REQS = [
+    RunRequest("queens-10", "RIPS", num_nodes=16, scale="small"),
+    RunRequest("queens-10", "random", num_nodes=16, scale="small"),
+]
+
+
+def test_report_summary_formats_counts():
+    quiet = RunReport(results=[None] * 3, jobs=2, cache_hits=1, executed=2)
+    assert quiet.summary() == "3 cell(s), jobs=2, 1 cached, 2 executed"
+    noisy = RunReport(results=[None], jobs=4, retried=2, failed=1)
+    assert "2 retried" in noisy.summary()
+    assert "1 failed" in noisy.summary()
+
+
+def test_retried_cells_recover_on_the_second_pass(monkeypatch):
+    calls = {"n": 0}
+
+    def flaky_pool(pending, njobs, timeout, store, report):
+        calls["n"] += 1
+        if calls["n"] == 1:  # first pass: lose every cell
+            return [(i, req, 0.5) for i, req in pending]
+        for i, req in pending:  # retry pass: run them for real
+            report.results[i] = execute_request(req)
+            report.executed += 1
+        return []
+
+    monkeypatch.setattr(executor, "_run_pool", flaky_pool)
+    report = run_requests_report(REQS, jobs=2)
+    assert calls["n"] == 2
+    assert report.retried == len(REQS)
+    assert report.failed == 0
+    assert all(m is not None for m in report.results)
+    assert "retried" in report.summary() and "failed" not in report.summary()
+
+
+def test_twice_failed_cells_warn_with_elapsed_and_timeout(monkeypatch):
+    monkeypatch.setattr(
+        executor, "_run_pool",
+        lambda pending, njobs, timeout, store, report:
+            [(i, req, 1.5 if report.retried else 0.5)
+             for i, req in pending])
+
+    with pytest.warns(RuntimeWarning, match="failed twice") as warned:
+        with pytest.raises(RuntimeError) as excinfo:
+            run_requests_report(REQS, jobs=2, timeout=42.0)
+
+    err = excinfo.value
+    assert "2 grid cell(s) failed twice" in str(err)
+    # accounting survives on the exception for callers that catch
+    assert err.report.retried == 2 and err.report.failed == 2
+    assert len(warned) == 2
+    for w, req in zip(warned, REQS):
+        text = str(w.message)
+        assert req.label() in text
+        assert "elapsed 0.5s then 1.5s" in text
+        assert "per-cell timeout 42s" in text
+
+
+def test_unbounded_timeout_reported_as_none(monkeypatch):
+    monkeypatch.setattr(
+        executor, "_run_pool",
+        lambda pending, njobs, timeout, store, report:
+            [(i, req, 0.1) for i, req in pending])
+    with pytest.warns(RuntimeWarning, match="timeout none"):
+        with pytest.raises(RuntimeError):
+            run_requests_report(REQS, jobs=2, timeout=None)

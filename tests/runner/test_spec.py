@@ -61,3 +61,61 @@ def test_execute_request_topology_case():
     m = execute_request(req)
     assert m.extra["topology_case"] == "crossbar+optimal"
     assert m.num_nodes == 16
+
+
+# ----------------------------------------------------------------------
+# fault plans on requests (cache-key stability is the contract)
+# ----------------------------------------------------------------------
+
+def test_null_or_absent_fault_plan_leaves_the_hash_unchanged():
+    from repro.faults import NULL_PLAN, FaultPlan
+
+    plain = RunRequest("queens-10", "RIPS")
+    nulled = RunRequest("queens-10", "RIPS", faults=NULL_PLAN)
+    faulty = RunRequest("queens-10", "RIPS", faults=FaultPlan.lossy(0.01))
+    # a null plan is semantically fault-free: same cell, same cache entry
+    assert nulled.content_hash() == plain.content_hash()
+    assert "faults" not in plain.canonical_json()
+    assert faulty.content_hash() != plain.content_hash()
+    assert '"drop_rate":0.01' in faulty.canonical_json()
+    assert faulty.label().endswith("/faults")
+    assert not nulled.label().endswith("/faults")
+
+
+def test_fault_plan_hash_varies_with_plan_contents():
+    from repro.faults import FaultPlan
+
+    hashes = {
+        RunRequest("queens-10", "RIPS", faults=plan).content_hash()
+        for plan in (
+            FaultPlan.lossy(0.01),
+            FaultPlan.lossy(0.02),
+            FaultPlan.lossy(0.01, seed=1),
+            FaultPlan.fail_stop(((5, 0.01),)),
+        )
+    }
+    assert len(hashes) == 4
+
+
+def test_faulty_request_pickles_roundtrip():
+    from repro.faults import FaultPlan
+
+    req = RunRequest("queens-10", "RID", num_nodes=16, scale="small",
+                     faults=FaultPlan.fail_stop(((3, 0.01),), seed=7))
+    assert pickle.loads(pickle.dumps(req)) == req
+
+
+def test_fault_plans_rejected_on_non_sim_cells():
+    import pytest
+
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.lossy(0.01)
+    for req in (
+        RunRequest("queens-10", "optimal", kind="optimal", scale="small",
+                   faults=plan),
+        RunRequest("queens-10", "RIPS", scale="small", faults=plan,
+                   topology_case="crossbar+optimal"),
+    ):
+        with pytest.raises(ValueError, match="fault plans apply only"):
+            execute_request(req)

@@ -57,6 +57,66 @@ def test_trace_emits_chrome_json(tmp_path, capsys):
     assert {"init", "gather", "plan", "transfer"} <= phase_names
 
 
+def test_faults_grid_renders_and_audit_passes(capsys):
+    # crash-only sweep (no drop levels) on the smallest grid; --audit
+    # traces every cell and runs the task-conservation audit over it
+    assert main(["faults", "queens-10", "--nodes", "16", "--scale", "small",
+                 "--drops", "--audit"]) == 0
+    captured = capsys.readouterr()
+    assert "fig_faults" in captured.out
+    assert "fault-free" in captured.out and "crash x1" in captured.out
+    for strategy in ("random", "gradient", "RID", "RIPS"):
+        assert strategy in captured.out
+    assert "conservation audit: 8/8 cells ok" in captured.out
+    assert "8 cell(s)" in captured.err  # executor accounting on stderr
+
+
+class _FakeProc:
+    def __init__(self, returncode):
+        self.returncode = returncode
+
+
+def test_selftest_all_green(monkeypatch, capsys):
+    import shutil
+    import subprocess
+
+    ran = []
+    monkeypatch.setattr(
+        subprocess, "run",
+        lambda cmd, **kw: ran.append(cmd) or _FakeProc(0))
+    monkeypatch.setattr(shutil, "which", lambda name: None)
+    assert main(["selftest", "--bench", "skip"]) == 0
+    out = capsys.readouterr().out
+    assert "[selftest] tests: PASS" in out
+    assert "ruff not installed, skipped" in out
+    assert any("pytest" in " ".join(map(str, cmd)) for cmd in ran)
+
+
+def test_selftest_propagates_failure(monkeypatch, capsys):
+    import shutil
+    import subprocess
+
+    monkeypatch.setattr(subprocess, "run", lambda cmd, **kw: _FakeProc(1))
+    monkeypatch.setattr(shutil, "which", lambda name: None)
+    assert main(["selftest", "--bench", "skip"]) == 1
+    assert "[selftest] tests: FAIL" in capsys.readouterr().out
+
+
+def test_selftest_runs_lint_when_ruff_available(monkeypatch, capsys):
+    import shutil
+    import subprocess
+
+    ran = []
+    monkeypatch.setattr(
+        subprocess, "run",
+        lambda cmd, **kw: ran.append(cmd) or _FakeProc(0))
+    monkeypatch.setattr(shutil, "which", lambda name: "/usr/bin/ruff")
+    assert main(["selftest", "--bench", "skip"]) == 0
+    out = capsys.readouterr().out
+    assert "[selftest] lint: PASS" in out
+    assert any(cmd[0] == "ruff" for cmd in ran)
+
+
 def test_trace_jsonl_format(tmp_path):
     out = tmp_path / "trace.jsonl"
     assert main(["trace", "queens-10", "--nodes", "8", "--scale", "small",
