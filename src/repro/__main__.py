@@ -8,6 +8,9 @@ Commands
     Print the Figure-4 normalized-cost series.
 ``run``
     Run one workload under one strategy and print the metrics row.
+    ``--checkpoint-every N`` makes the run crash-durable (state saved
+    every N events); ``--resume FILE`` continues an interrupted run,
+    bit-identical to never having stopped.
 ``trace``
     Run one workload with the tracer attached and write a Chrome/
     Perfetto JSON (or raw JSONL) trace; ``--report`` adds the per-node
@@ -17,18 +20,22 @@ Commands
 ``workloads``
     List the available workload keys at the chosen scale.
 ``cache``
-    Inspect or clear the trace and result caches.
+    Inspect or clear the on-disk caches (results, traces, prefix
+    snapshots, run checkpoints).
 ``bench``
     Event-loop microbenchmark; writes ``BENCH_events_per_sec.json``.
     ``--check`` compares against the committed baseline instead (exit 1
-    on a >10% regression) and never rewrites it.
+    on a >10% regression), gates checkpoint overhead on the chain
+    shape, and never rewrites the baseline.  ``--warm-start`` times a
+    cold vs warm-started Table-I grid -> ``BENCH_warm_start.json``.
 ``faults``
     Strategy degradation under injected faults (fig_faults): sweeps
     drop rates and fail-stop crash counts over a Table-I workload;
     ``--audit`` additionally checks task conservation per cell.
 ``selftest``
     The whole gate in one command: tier-1 tests, ruff (when
-    installed), and the ``bench --check`` regression gate.
+    installed), the ``snapshot-roundtrip`` checkpoint/restore gate,
+    and the ``bench --check`` regression gate.
 
 Grid commands print the executor's accounting line (cells, cache hits,
 retries) on stderr after the table.
@@ -37,7 +44,10 @@ Shared flags come from parent parsers: every experiment command accepts
 ``--scale {small,paper}`` (default: ``$REPRO_SCALE`` or ``small``), and
 grid commands (``table1``-``table3``, ``fig4``, ``fig5``,
 ``topologies``) accept ``--jobs N`` (default ``$REPRO_JOBS`` or serial;
-0 = one worker per CPU) and ``--no-cache``.
+0 = one worker per CPU), ``--no-cache``, ``--warm-start`` (simulate
+each shared grid prefix once, fork cells from its snapshot), and
+``--preempt`` (timed-out cells checkpoint and resume instead of
+restarting).
 """
 
 from __future__ import annotations
@@ -51,7 +61,6 @@ from repro.experiments import (
     STRATEGY_ORDER,
     current_scale,
     run_fig4,
-    run_workload,
     table1_text,
     table2_text,
     table3_text,
@@ -73,7 +82,10 @@ def _run_grid(reqs, args):
     (cache hits / executed / retried / failed) on stderr."""
     from repro.runner import run_requests_report
 
-    report = run_requests_report(reqs, jobs=args.jobs, cache=args.cache)
+    report = run_requests_report(
+        reqs, jobs=args.jobs, cache=args.cache,
+        warm_start=getattr(args, "warm_start", False),
+        preempt=getattr(args, "preempt", False))
     print(report.summary(), file=sys.stderr)
     return report
 
@@ -122,6 +134,14 @@ def _grid_parent() -> argparse.ArgumentParser:
                    default=True,
                    help="re-simulate every cell instead of reusing the "
                         "on-disk result cache")
+    p.add_argument("--warm-start", dest="warm_start", action="store_true",
+                   default=False,
+                   help="materialize each shared grid prefix (workload trace "
+                        "+ machine) once and fork cells from its snapshot; "
+                        "results are bit-identical to a cold run")
+    p.add_argument("--preempt", action="store_true", default=False,
+                   help="cells that hit the per-cell timeout checkpoint and "
+                        "resume on the retry pass instead of restarting")
     return p
 
 
@@ -192,12 +212,21 @@ def _cmd_topologies(args) -> int:
 
 def _cmd_cache(args) -> int:
     from repro.apps.cache import clear_trace_cache, trace_cache_stats
-    from repro.runner import ResultCache
+    from repro.runner import ResultCache, result_cache_dir
+    from repro.snapshot import SnapshotCache
 
+    ckpt_dir = result_cache_dir() / "checkpoints"
     if args.action == "clear":
         removed_results = ResultCache().clear()
+        removed_snaps = SnapshotCache().clear()
+        removed_ckpts = 0
+        for p in ckpt_dir.glob("*.ckpt"):
+            p.unlink()
+            removed_ckpts += 1
         removed_traces = clear_trace_cache() if args.traces else 0
-        print(f"removed {removed_results} cached results"
+        print(f"removed {removed_results} cached results, "
+              f"{removed_snaps} prefix snapshots, "
+              f"{removed_ckpts} run checkpoints"
               + (f", {removed_traces} cached traces" if args.traces else ""))
         return 0
     rows = []
@@ -209,13 +238,31 @@ def _cmd_cache(args) -> int:
     rows.append({"cache": "traces", "dir": ts["dir"],
                  "entries": ts["entries"], "bytes": ts["bytes"],
                  "version": ts["format_version"]})
+    ss = SnapshotCache().stats()
+    rows.append({"cache": "snapshots", "dir": ss["dir"],
+                 "entries": ss["entries"], "bytes": ss["bytes"],
+                 "version": ss["version"]})
+    ckpts = list(ckpt_dir.glob("*.ckpt"))
+    rows.append({"cache": "checkpoints", "dir": str(ckpt_dir),
+                 "entries": len(ckpts),
+                 "bytes": sum(p.stat().st_size for p in ckpts),
+                 "version": ss["version"]})
     print(format_table(rows, title="On-disk caches"))
     return 0
 
 
 def _cmd_bench(args) -> int:
-    from repro.runner.bench import check_bench, emit_bench
+    from repro.runner.bench import check_bench, emit_bench, emit_warm_start_bench
 
+    if args.warm_start:
+        report = emit_warm_start_bench(path=args.out)
+        grid = report["grid"]
+        print(f"warm-start sweep: {grid['cells']} cells / "
+              f"{grid['prefixes']} prefixes, "
+              f"cold {report['cold_seconds']}s -> warm "
+              f"{report['warm_seconds']}s ({report['speedup']}x), "
+              f"results identical: {report['identical']}")
+        return 0 if report["identical"] else 1
     if args.check:
         result = check_bench(path=args.out, events=args.events, reps=args.reps)
         for k in sorted(result["ratios"]):
@@ -223,6 +270,13 @@ def _cmd_bench(args) -> int:
             print(f"{k:>6s}: {result['measured'][k]:>9,} events/sec "
                   f"({result['ratios'][k]:.2f}x baseline "
                   f"{result['baseline'][k]:,}){flag}")
+        ck = result["checkpoint"]
+        if ck is not None:
+            flag = (" REGRESSION"
+                    if "checkpoint_overhead" in result["failures"] else "")
+            print(f"  ckpt: {ck['with_roots']:>9,} events/sec "
+                  f"({ck['ratio']:.2f}x the plain chain "
+                  f"{ck['plain']:,}){flag}")
         if not result["ok"]:
             tol = result["tolerance"]
             print(f"FAIL: throughput regressed more than {tol:.0%} below "
@@ -315,6 +369,16 @@ def _cmd_selftest(args) -> int:
         else:
             print("[selftest] lint: ruff not installed, skipped")
 
+        from repro.snapshot import roundtrip_check
+
+        print("[selftest] snapshot-roundtrip: mid-run checkpoint/restore "
+              "must be bit-identical per strategy", flush=True)
+        rt = roundtrip_check()
+        for cell in rt["cells"]:
+            mark = "ok" if cell["ok"] else "MISMATCH"
+            print(f"  {cell['strategy']}: {mark}")
+        results.append(("snapshot-roundtrip", rt["ok"]))
+
     if args.bench != "skip":
         from repro.runner.bench import check_bench
 
@@ -344,12 +408,44 @@ def _cmd_fig4(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    spec = workload(_resolve_workload_key(args.workload, args.scale), args.scale)
-    strategy = _resolve_strategy(args.strategy)
-    m = run_workload(spec, strategy, num_nodes=args.nodes, seed=args.seed)
+    from repro.session import Session
+
+    if args.resume:
+        if args.workload is not None:
+            raise SystemExit("--resume continues a checkpointed run; "
+                             "don't also name a workload")
+        from repro.snapshot import Snapshot
+
+        sess = Session.restore(Snapshot.load(args.resume))
+        ckpt_path = Path(args.checkpoint) if args.checkpoint else Path(args.resume)
+    else:
+        if args.workload is None:
+            raise SystemExit("name a workload (see `workloads`) or --resume "
+                             "a checkpoint file")
+        key = _resolve_workload_key(args.workload, args.scale)
+        sess = Session(key, strategy=_resolve_strategy(args.strategy),
+                       num_nodes=args.nodes, seed=args.seed,
+                       scale=current_scale(args.scale))
+        ckpt_path = Path(args.checkpoint) if args.checkpoint \
+            else Path(f"{key}.ckpt")
+
+    if args.checkpoint_every:
+        # Crash-durable run: simulate in slices, checkpointing between
+        # them; an interrupted run continues with `run --resume <file>`.
+        saved = 0
+        while (m := sess.run(max_events=args.checkpoint_every)) is None:
+            sess.checkpoint().save(ckpt_path)
+            saved += 1
+        print(f"checkpointed {saved} time(s) to {ckpt_path}", file=sys.stderr)
+    else:
+        m = sess.run()
+    if args.checkpoint_every or args.resume:
+        # the run finished, so any checkpoint on disk is stale state
+        ckpt_path.unlink(missing_ok=True)
+
     rows = [
         {
-            "workload": spec.label,
+            "workload": m.extra.get("workload_label", m.workload),
             "strategy": m.strategy,
             "N": m.num_nodes,
             "tasks": m.num_tasks,
@@ -456,8 +552,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--out", default=None,
                    help="baseline path (default: repo-root BENCH_events_per_sec.json)")
     p.add_argument("--check", action="store_true",
-                   help="compare against the baseline instead of rewriting it; "
-                        "exit 1 on a >10%% regression")
+                   help="compare against the baseline instead of rewriting it "
+                        "(exit 1 on a >10%% regression) and gate checkpoint "
+                        "overhead on the chain shape (<5%% when unused)")
+    p.add_argument("--warm-start", dest="warm_start", action="store_true",
+                   help="instead: cold vs warm-started Table-I small grid "
+                        "-> BENCH_warm_start.json (exit 1 if results differ)")
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("fig4", help="MWA vs optimal transfer cost (Figure 4)",
@@ -504,9 +604,21 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("run", help="one workload under one strategy",
                        parents=[scale, _nodes_parent(32), _seed_parent(1234)])
-    p.add_argument("workload", help="workload key, e.g. queens-13 (see `workloads`)")
-    p.add_argument("strategy",
-                   help=f"strategy ({', '.join(STRATEGY_ORDER)}; case-insensitive)")
+    p.add_argument("workload", nargs="?", default=None,
+                   help="workload key, e.g. queens-13 (see `workloads`); "
+                        "omit with --resume")
+    p.add_argument("strategy", nargs="?", default="RIPS",
+                   help=f"strategy ({', '.join(STRATEGY_ORDER)}; "
+                        "case-insensitive; default RIPS)")
+    p.add_argument("--checkpoint-every", dest="checkpoint_every", type=int,
+                   default=None, metavar="N",
+                   help="checkpoint the simulation every N events (crash-"
+                        "durable; continue an interrupted run with --resume)")
+    p.add_argument("--checkpoint", default=None, metavar="FILE",
+                   help="checkpoint file path (default <workload>.ckpt)")
+    p.add_argument("--resume", default=None, metavar="FILE",
+                   help="restore a checkpoint file and continue the run "
+                        "(bit-identical to never having stopped)")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("trace",

@@ -365,9 +365,15 @@ class Driver:
         self.lost_tasks: list[tuple[int, str]] = []
         self._lost: set[int] = set()
         self.crashed_nodes: list[int] = []
+        #: True once wave-0 roots have been injected (checkpoint/restore
+        #: must not re-inject them on resume)
+        self.started = False
         if machine.faults is not None:
             machine.faults.on_crash_detected(self._on_node_crashed)
             machine.faults.transport.on_undeliverable = self._on_undeliverable
+        # keep the driver (and through it strategy/workers/wave state) in
+        # the machine's checkpoint object graph — see repro.snapshot
+        machine.register_snapshot_root("driver", self)
         strategy.attach(self)
 
     # ------------------------------------------------------------------
@@ -574,16 +580,31 @@ class Driver:
             self._advance_wave()
 
     # ------------------------------------------------------------------
-    def run(self) -> RunMetrics:
-        """Run to completion and compute the Table-I metrics."""
-        self.start()
-        self.machine.run()
+    def start_once(self) -> None:
+        """Idempotent :meth:`start`: injects wave-0 roots exactly once.
+
+        This is what lets a run proceed in slices (``machine.run(
+        max_events=...)`` between checkpoints) and lets a restored driver
+        resume without double-injecting the roots.
+        """
+        if not self.started:
+            self.started = True
+            self.start()
+
+    def finish(self) -> RunMetrics:
+        """Validate completion and compute the Table-I metrics."""
         if self._remaining != 0:
             raise RuntimeError(
                 f"workload did not complete: {self._remaining} tasks stranded "
                 f"(strategy {self.strategy.name!r} deadlocked?)"
             )
         return self._metrics()
+
+    def run(self) -> RunMetrics:
+        """Run to completion and compute the Table-I metrics."""
+        self.start_once()
+        self.machine.run()
+        return self.finish()
 
     def _metrics(self) -> RunMetrics:
         n = self.machine.num_nodes
@@ -635,14 +656,20 @@ def run_trace(
     config: ExecutionConfig = ExecutionConfig(),
     tracer=None,
 ) -> RunMetrics:
-    """Convenience one-shot runner.
+    """Deprecated one-shot runner; use :class:`repro.session.Session`.
 
-    ``tracer``: an optional :class:`repro.obs.Tracer`; when given it is
-    attached to ``machine`` before the run so CPU segments, task spans,
-    messages, and system-phase sub-steps are all recorded.  Tracing never
-    changes the simulation: a traced run produces bit-identical metrics
-    to an untraced one.
+    Kept as a thin shim over :meth:`Session.from_parts` so pre-Session
+    callers keep working (bit-identically — the session performs exactly
+    the attach-tracer / build-driver / run sequence this function did).
     """
-    if tracer is not None:
-        machine.attach_tracer(tracer)
-    return Driver(machine, trace, strategy, config).run()
+    warnings.warn(
+        "run_trace() is deprecated; build a repro.session.Session "
+        "(or Session.from_parts(...)) and call .run() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.session import Session
+
+    return Session.from_parts(
+        trace, strategy, machine, config=config, tracer=tracer
+    ).run()

@@ -74,6 +74,15 @@ class GlobalPolicy(str, enum.Enum):
     ANY = "any"
 
 
+def _merge_loads(a: dict, b: dict) -> dict:
+    """GatherTree combiner for per-rank load counts.
+
+    Module-level (not a lambda) so the gather tree — and with it the
+    whole machine graph — stays picklable for checkpoint/restore.
+    """
+    return {**a, **b}
+
+
 class _Mode(enum.Enum):
     USER = enum.auto()
     STOPPING = enum.auto()  # init seen, finishing the current task
@@ -137,7 +146,7 @@ class RIPS(Strategy):
         self._gather = GatherTree(
             machine,
             "rips.load",
-            combine=lambda a, b: {**a, **b},
+            combine=_merge_loads,
             on_result=self._on_loads_gathered,
             root=0,
         )
@@ -477,7 +486,7 @@ class RIPS(Strategy):
             kind = "done" if self.driver.finished else "sleep"
             root.exec_cpu(
                 self.plan_compute_per_node, "overhead",
-                lambda: self._bcast_ctrl.broadcast(root_rank, (phase, kind)),
+                self._bcast_ctrl.broadcast, root_rank, (phase, kind),
             )
             return
         if len(ranks) < n:
@@ -494,26 +503,30 @@ class RIPS(Strategy):
             incoming[d] += c
 
         plan_time = self.plan_compute_per_node * n
-
-        def send_plans() -> None:
-            tr = self.tracer
-            if tr is not None:
-                tr.complete(root_rank, "phase", "plan",
-                            self.machine.sim.now - plan_time, plan_time,
-                            {"phase": phase, "total_load": total,
-                             "transfers": len(plan.transfers),
-                             "plan_cost": plan.cost})
-            for r in ranks:
-                root.send(
-                    r, "rips.plan",
-                    (phase, outgoing[r], incoming[r]),
-                    size=32 + 12 * len(outgoing[r]),
-                    reliable=True,
-                )
-
         # planner computation charged at the root (the array-level stand-in
         # for the distributed 3(n1+n2)-step algorithm; see DESIGN.md)
-        root.exec_cpu(plan_time, "overhead", send_plans)
+        root.exec_cpu(plan_time, "overhead", self._send_plans,
+                      root_rank, phase, total, plan, outgoing, incoming,
+                      ranks, plan_time)
+
+    def _send_plans(self, root_rank: int, phase: int, total: int,
+                    plan: RedistributionPlan, outgoing: dict, incoming: list,
+                    ranks: Sequence[int], plan_time: float) -> None:
+        root = self.machine.node(root_rank)
+        tr = self.tracer
+        if tr is not None:
+            tr.complete(root_rank, "phase", "plan",
+                        self.machine.sim.now - plan_time, plan_time,
+                        {"phase": phase, "total_load": total,
+                         "transfers": len(plan.transfers),
+                         "plan_cost": plan.cost})
+        for r in ranks:
+            root.send(
+                r, "rips.plan",
+                (phase, outgoing[r], incoming[r]),
+                size=32 + 12 * len(outgoing[r]),
+                reliable=True,
+            )
 
     def _on_ctrl(self, rank: int, payload: tuple[int, str]) -> None:
         phase, kind = payload

@@ -29,7 +29,6 @@ from repro.balancers import (
     RandomAllocation,
     ReceiverInitiatedDiffusion,
     RunMetrics,
-    run_trace,
 )
 from repro.core import RIPS
 from repro.machine import Machine, MeshTopology, mesh_shape_for
@@ -179,14 +178,20 @@ def run_workload(
 ) -> RunMetrics:
     """One Table-I cell group: one workload under one strategy.
 
+    A thin wrapper over :class:`repro.session.Session` (the machine/
+    driver/tracer/faults wiring lives there now); kept because the
+    per-experiment call sites read naturally as "run this spec".
     ``faults`` is an optional :class:`repro.faults.FaultPlan`; ``None``
     (or a null plan) leaves the machine untouched.
     """
-    trace = spec.build(num_nodes)
-    factory = strategy_factories(spec.kind, num_nodes)[strategy_name]
-    machine = make_machine(num_nodes, seed=seed)
-    if faults is not None:
-        machine.attach_faults(faults)
-    metrics = run_trace(trace, factory(), machine, config, tracer=tracer)
-    metrics.extra["workload_label"] = spec.label
-    return metrics
+    from repro.session import Session
+
+    return Session(
+        spec,
+        strategy=strategy_name,
+        num_nodes=num_nodes,
+        seed=seed,
+        config=config,
+        faults=faults,
+        trace=tracer,
+    ).run()

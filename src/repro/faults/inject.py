@@ -29,6 +29,25 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["FaultInjector", "FaultyNetwork"]
 
 
+class _EnvelopeDelivery:
+    """Receiver CPU callback for one classified reliable message.
+
+    A named, slotted callable (rather than a closure) so that the node
+    CPU queue and event heap stay picklable — a requirement of
+    :mod:`repro.snapshot`'s checkpoint/restore.
+    """
+
+    __slots__ = ("transport", "entry", "handler")
+
+    def __init__(self, transport, entry, handler) -> None:
+        self.transport = transport
+        self.entry = entry
+        self.handler = handler
+
+    def __call__(self, msg: Message) -> None:
+        self.transport.deliver(self.entry, self.handler, msg)
+
+
 class FaultyNetwork:
     """Transmit-side wrapper installed over the machine's real network."""
 
@@ -185,12 +204,7 @@ class FaultInjector:
         if verdict is False:
             self.counts["dups_suppressed"] += 1
             return None
-        transport = self.transport
-
-        def deliver(m, _entry=verdict, _handler=handler):
-            transport.deliver(_entry, _handler, m)
-
-        return deliver
+        return _EnvelopeDelivery(self.transport, verdict, handler)
 
     # ------------------------------------------------------------------
     # crashes and stalls

@@ -321,14 +321,19 @@ class Simulator:
             ev.args = ()
             fn(*args)
             executed += 1
-            if executed % stride == 0:
-                done = self._events_processed + executed
+            # Stride on the *cumulative* count, and emit the final sample
+            # only when the queue actually drains: a run sliced by
+            # max_events (checkpoint/resume, preemption) must produce the
+            # byte-identical record stream of an uninterrupted run.
+            done = self._events_processed + executed
+            if done % stride == 0:
                 tr.counter(0, "sim", "events_processed", self._now, done)
                 tr.counter(0, "sim", "pending_events", self._now, self.pending())
         if until is not None and self._now < until:
             nxt = self._peek_live()
             if nxt is None or nxt.key[0] > until:
                 self._now = until
-        tr.counter(0, "sim", "events_processed", self._now,
-                   self._events_processed + executed)
+        if self._peek_live() is None:
+            tr.counter(0, "sim", "events_processed", self._now,
+                       self._events_processed + executed)
         return executed

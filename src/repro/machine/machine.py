@@ -71,6 +71,10 @@ class Machine:
         self.tracer = None
         #: attached fault injector (None = fault-free; see repro.faults)
         self.faults = None
+        #: objects that must survive checkpoint/restore alongside the
+        #: machine (the driver, and through it strategy/workers); see
+        #: repro.snapshot.  A plain dict: pickled with the machine.
+        self._snapshot_roots: dict[str, object] = {}
         if tracer is not None:
             self.attach_tracer(tracer)
         if faults is not None:
@@ -115,6 +119,42 @@ class Machine:
         self.faults = FaultInjector(self, plan)
         for node in self.nodes:
             node.faults = self.faults
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore (see repro.snapshot)
+    # ------------------------------------------------------------------
+    def register_snapshot_root(self, name: str, obj: object) -> None:
+        """Keep ``obj`` in this machine's checkpoint object graph.
+
+        The :class:`~repro.balancers.base.Driver` registers itself here,
+        which transitively pins the strategy, workers, and wave state —
+        one pickle memo, so identity between the event heap's callbacks
+        and the restored objects is preserved.
+        """
+        self._snapshot_roots[name] = obj
+
+    def snapshot_root(self, name: str):
+        """A registered root (e.g. ``"driver"``), or None."""
+        return self._snapshot_roots.get(name)
+
+    def checkpoint(self, meta: Optional[dict] = None):
+        """Freeze the complete machine state into a
+        :class:`repro.snapshot.Snapshot`.  The machine keeps running."""
+        from repro.snapshot import capture
+
+        return capture(self, meta)
+
+    @classmethod
+    def restore(cls, snapshot) -> "Machine":
+        """Rehydrate a machine from :meth:`checkpoint` output.
+
+        Restore-then-run is bit-identical to an uninterrupted run; see
+        :mod:`repro.snapshot` for the guarantees and the message-id
+        fast-forward that makes cross-process restores safe.
+        """
+        from repro.snapshot import restore
+
+        return restore(snapshot)
 
     def alive_ranks(self) -> list[int]:
         """Ranks of nodes that have not (yet) fail-stopped, ascending."""

@@ -27,6 +27,31 @@ TASK_DESCRIPTOR_BYTES = 64
 _msg_ids = itertools.count()
 
 
+def msg_id_watermark() -> int:
+    """The next msg_id this process would hand out (non-consuming peek).
+
+    Snapshots record this so that :func:`fast_forward_msg_ids` can keep
+    restored state collision-free; see :mod:`repro.snapshot`.
+    """
+    # itertools.count exposes its state through __reduce__ without
+    # consuming a value: count(n).__reduce__() == (count, (n,)).
+    return _msg_ids.__reduce__()[1][0]
+
+
+def fast_forward_msg_ids(watermark: int) -> None:
+    """Ensure future msg_ids are ``>= watermark``.
+
+    Restoring a snapshot brings back messages (and reliable-transport
+    dedup tables) whose ids were drawn in another process; new ids must
+    not collide with them.  Values only ever gate uniqueness — no
+    protocol orders by msg_id — so jumping the counter forward never
+    changes simulation behavior.
+    """
+    global _msg_ids
+    if watermark > msg_id_watermark():
+        _msg_ids = itertools.count(watermark)
+
+
 def task_message_bytes(num_tasks: int, per_task_bytes: int = TASK_DESCRIPTOR_BYTES) -> int:
     """Size of a migration message carrying ``num_tasks`` packed tasks.
 

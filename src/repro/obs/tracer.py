@@ -31,7 +31,7 @@ from typing import Any, Iterator, Optional
 __all__ = ["Tracer", "NullTracer", "NULL_TRACER", "Span", "TRACK_ORDER"]
 
 #: Category -> Chrome thread-id track assignment (stable display order).
-TRACK_ORDER = ("cpu", "task", "phase", "net", "mwa", "sim", "fault")
+TRACK_ORDER = ("cpu", "task", "phase", "net", "mwa", "sim", "fault", "snapshot")
 
 
 @dataclass(frozen=True)

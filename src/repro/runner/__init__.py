@@ -20,14 +20,21 @@ grid's execution engine:
 
 from .executor import RunReport, resolve_jobs, run_requests, run_requests_report
 from .result_cache import RESULT_CACHE_VERSION, ResultCache, result_cache_dir
-from .spec import RunRequest, execute_request
+from .spec import (
+    CellPreempted,
+    RunRequest,
+    execute_request,
+    execute_request_resumable,
+)
 
 __all__ = [
+    "CellPreempted",
     "RESULT_CACHE_VERSION",
     "ResultCache",
     "RunReport",
     "RunRequest",
     "execute_request",
+    "execute_request_resumable",
     "resolve_jobs",
     "result_cache_dir",
     "run_requests",

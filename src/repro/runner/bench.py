@@ -18,8 +18,10 @@ machine, so the file itself documents the speedup of the current kernel.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Optional
@@ -27,18 +29,30 @@ from typing import Optional
 from repro.machine.event import Simulator
 
 __all__ = [
+    "bench_checkpoint_overhead",
     "bench_events_per_sec",
+    "bench_warm_start",
     "check_bench",
     "emit_bench",
+    "emit_warm_start_bench",
+    "CHECKPOINT_OVERHEAD_TOLERANCE",
     "DEFAULT_BENCH_PATH",
     "REGRESSION_TOLERANCE",
+    "WARM_START_BENCH_PATH",
 ]
 
 #: ``bench --check`` fails when a shape regresses more than this fraction
 #: below the committed baseline.
 REGRESSION_TOLERANCE = 0.10
 
+#: Unused checkpoint machinery must cost (nearly) nothing: the chain rate
+#: on a machine-owned simulator carrying snapshot roots may not fall more
+#: than this fraction below the plain-simulator chain rate.
+CHECKPOINT_OVERHEAD_TOLERANCE = 0.05
+
 DEFAULT_BENCH_PATH = Path(__file__).resolve().parents[3] / "BENCH_events_per_sec.json"
+
+WARM_START_BENCH_PATH = Path(__file__).resolve().parents[3] / "BENCH_warm_start.json"
 
 #: events/sec of the pre-optimization kernel (commit c25fa61) on the
 #: reference machine, same benchmark bodies.  Kept static: the seed code
@@ -46,8 +60,7 @@ DEFAULT_BENCH_PATH = Path(__file__).resolve().parents[3] / "BENCH_events_per_sec
 SEED_REFERENCE = {"chain": 1_057_240, "loaded": 372_679}
 
 
-def _bench_chain(sim_cls, n: int) -> float:
-    sim = sim_cls()
+def _chain_rate(sim, n: int) -> float:
     count = [0]
 
     def tick() -> None:
@@ -59,6 +72,10 @@ def _bench_chain(sim_cls, n: int) -> float:
     t0 = time.perf_counter()
     sim.run()
     return n / (time.perf_counter() - t0)
+
+
+def _bench_chain(sim_cls, n: int) -> float:
+    return _chain_rate(sim_cls(), n)
 
 
 def _bench_loaded(sim_cls, n: int, fanout: int = 1000) -> float:
@@ -97,6 +114,119 @@ def bench_events_per_sec(events: int = 200_000, reps: int = 5) -> dict:
     }
 
 
+def bench_checkpoint_overhead(events: int = 200_000, reps: int = 5) -> dict:
+    """Chain throughput with vs without the checkpoint machinery present.
+
+    Both arms run the identical self-rescheduling chain; the "rooted" arm
+    runs it on a :class:`~repro.machine.machine.Machine`-owned simulator
+    with snapshot roots registered — i.e. a fully checkpointable machine
+    on which no checkpoint is ever taken.  Snapshotting is a
+    pause-the-world pickle, so nothing of it should live in the event
+    loop; this gate catches any future drift toward per-event
+    bookkeeping.
+    """
+    from repro.machine import Machine, MeshTopology
+
+    def rooted_sim():
+        machine = Machine(MeshTopology(2, 2), seed=1)
+        machine.register_snapshot_root("bench", {"marker": True})
+        return machine.sim
+
+    plain = max(_bench_chain(Simulator, events) for _ in range(reps))
+    rooted = max(_chain_rate(rooted_sim(), events) for _ in range(reps))
+    return {
+        "events": events,
+        "reps": reps,
+        "plain": round(plain),
+        "with_roots": round(rooted),
+        "ratio": round(rooted / plain, 3),
+    }
+
+
+def bench_warm_start(
+    num_nodes: int = 32,
+    seed: int = 1234,
+    workload_keys: Optional[list] = None,
+) -> dict:
+    """Cold vs warm-started Table-I grid (``small`` scale), end to end.
+
+    The cold arm executes every cell from scratch with the trace cache
+    scoped *per cell*, so each cell pays its full shared prefix (trace
+    generation + machine construction) — the regime warm-start targets:
+    at paper scale the prefix is minutes of work and no cache exists on
+    first run.  The warm arm materializes each distinct prefix once,
+    checkpoints it, and forks every cell from the snapshot
+    (:mod:`repro.runner.prefix`).  Both arms run serially in-process and
+    must produce identical metrics.
+    """
+    from repro.apps.cache import _ENV_VAR as TRACE_CACHE_ENV
+    from repro.experiments.table1 import table1_requests
+
+    from .executor import run_requests_report
+    from .spec import execute_request
+
+    requests = table1_requests(
+        num_nodes=num_nodes, scale="small", seed=seed,
+        workload_keys=workload_keys)
+    prev_trace_dir = os.environ.get(TRACE_CACHE_ENV)
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-warm-bench-") as tmp:
+            tmp_path = Path(tmp)
+            t0 = time.perf_counter()
+            cold = []
+            for i, req in enumerate(requests):
+                os.environ[TRACE_CACHE_ENV] = str(tmp_path / f"cold-{i}")
+                cold.append(execute_request(req))
+            cold_seconds = time.perf_counter() - t0
+
+            os.environ[TRACE_CACHE_ENV] = str(tmp_path / "warm-traces")
+            t0 = time.perf_counter()
+            report = run_requests_report(
+                requests, jobs=1, cache=None,
+                warm_start=str(tmp_path / "snapshots"))
+            warm_seconds = time.perf_counter() - t0
+    finally:
+        if prev_trace_dir is None:
+            os.environ.pop(TRACE_CACHE_ENV, None)
+        else:
+            os.environ[TRACE_CACHE_ENV] = prev_trace_dir
+
+    return {
+        "benchmark": "warm_start_sweep",
+        "grid": {
+            "table": "table1",
+            "scale": "small",
+            "num_nodes": num_nodes,
+            "seed": seed,
+            "cells": len(requests),
+            "prefixes": report.warm_prefixes,
+        },
+        "cold_seconds": round(cold_seconds, 2),
+        "warm_seconds": round(warm_seconds, 2),
+        "speedup": round(cold_seconds / warm_seconds, 2),
+        "identical": cold == report.results,
+        "conditions": (
+            "serial in-process; cold arm pays the full prefix per cell "
+            "(per-cell trace cache scope); warm arm builds each prefix "
+            "once and forks cells from its snapshot"
+        ),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }
+
+
+def emit_warm_start_bench(
+    path: Optional[Path | str] = None,
+    num_nodes: int = 32,
+    seed: int = 1234,
+) -> dict:
+    """Run the warm-start benchmark and write the JSON report."""
+    out = Path(path) if path is not None else WARM_START_BENCH_PATH
+    report = bench_warm_start(num_nodes=num_nodes, seed=seed)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
 def emit_bench(
     path: Optional[Path | str] = None, events: int = 200_000, reps: int = 5
 ) -> dict:
@@ -113,18 +243,26 @@ def check_bench(
     reps: Optional[int] = None,
     tolerance: float = REGRESSION_TOLERANCE,
     report: Optional[dict] = None,
+    checkpoint_report: Optional[dict] = None,
 ) -> dict:
     """Compare a fresh measurement against the committed baseline.
 
     Returns ``{"ok", "tolerance", "baseline", "measured", "ratios",
-    "failures"}``; ``ok`` is False when any shape's measured rate falls
-    more than ``tolerance`` below the baseline.  The baseline file is
-    never rewritten by a check (pass ``report`` to reuse a measurement).
+    "failures", "checkpoint"}``; ``ok`` is False when any shape's
+    measured rate falls more than ``tolerance`` below the baseline, or
+    when the checkpoint-overhead gate fails.  The baseline file is never
+    rewritten by a check (pass ``report`` to reuse a measurement).
 
     ``events``/``reps`` default to what the baseline was measured with
     (throughput depends on event count — the ``loaded`` shape amortizes
     its 1000-event fan-out over the run — so a mismatched check would
     flag phantom regressions).
+
+    The checkpoint gate (:func:`bench_checkpoint_overhead`) is
+    self-relative — two arms measured side by side, no baseline file —
+    so it only runs when this call measures live; a caller supplying a
+    canned ``report`` gets no gate unless it also supplies a
+    ``checkpoint_report``.
     """
     baseline_path = Path(path) if path is not None else DEFAULT_BENCH_PATH
     doc = json.loads(baseline_path.read_text())
@@ -135,9 +273,20 @@ def check_bench(
         if reps is None:
             reps = doc.get("reps", 5)
         report = bench_events_per_sec(events=events, reps=reps)
+        if checkpoint_report is None:
+            checkpoint_report = bench_checkpoint_overhead(
+                events=events, reps=reps)
     measured = report["events_per_sec"]
     ratios = {k: measured[k] / baseline[k] for k in baseline}
     failures = [k for k, r in ratios.items() if r < 1.0 - tolerance]
+    checkpoint = None
+    if checkpoint_report is not None:
+        checkpoint = {
+            **checkpoint_report,
+            "tolerance": CHECKPOINT_OVERHEAD_TOLERANCE,
+        }
+        if checkpoint_report["ratio"] < 1.0 - CHECKPOINT_OVERHEAD_TOLERANCE:
+            failures.append("checkpoint_overhead")
     return {
         "ok": not failures,
         "tolerance": tolerance,
@@ -145,4 +294,5 @@ def check_bench(
         "measured": dict(measured),
         "ratios": {k: round(r, 3) for k, r in ratios.items()},
         "failures": failures,
+        "checkpoint": checkpoint,
     }

@@ -35,7 +35,12 @@ from typing import Optional, Sequence, Union
 from repro.balancers import RunMetrics
 
 from .result_cache import ResultCache
-from .spec import RunRequest, execute_request
+from .spec import (
+    CellPreempted,
+    RunRequest,
+    execute_request,
+    execute_request_resumable,
+)
 
 __all__ = ["RunReport", "resolve_jobs", "run_requests", "run_requests_report"]
 
@@ -60,6 +65,10 @@ class RunReport:
     #: cells that failed both passes (the invocation raises, but the
     #: count survives on ``RuntimeError.report`` for callers that catch)
     failed: int = 0
+    #: cells that hit their budget, checkpointed, and were resumed
+    preempted: int = 0
+    #: distinct shared prefixes materialized by the warm-start pre-pass
+    warm_prefixes: int = 0
 
     def summary(self) -> str:
         """One-line accounting, e.g. for CLI status output."""
@@ -69,6 +78,10 @@ class RunReport:
             f"{self.cache_hits} cached",
             f"{self.executed} executed",
         ]
+        if self.warm_prefixes:
+            parts.append(f"{self.warm_prefixes} warm prefix(es)")
+        if self.preempted:
+            parts.append(f"{self.preempted} preempted")
         if self.retried:
             parts.append(f"{self.retried} retried")
         if self.failed:
@@ -103,9 +116,14 @@ def run_requests(
     jobs: Optional[Union[int, str]] = None,
     cache: Union[ResultCache, bool, None] = None,
     timeout: Optional[float] = DEFAULT_CELL_TIMEOUT,
+    warm_start: Union[bool, str, None] = False,
+    preempt: bool = False,
 ) -> list[RunMetrics]:
     """Execute ``requests`` and return metrics in request order."""
-    return run_requests_report(requests, jobs=jobs, cache=cache, timeout=timeout).results
+    return run_requests_report(
+        requests, jobs=jobs, cache=cache, timeout=timeout,
+        warm_start=warm_start, preempt=preempt,
+    ).results
 
 
 def run_requests_report(
@@ -113,12 +131,27 @@ def run_requests_report(
     jobs: Optional[Union[int, str]] = None,
     cache: Union[ResultCache, bool, None] = None,
     timeout: Optional[float] = DEFAULT_CELL_TIMEOUT,
+    warm_start: Union[bool, str, None] = False,
+    preempt: bool = False,
 ) -> RunReport:
     """Like :func:`run_requests`, but also report cache/retry accounting.
 
     ``cache``: ``None``/``False`` disables result caching, ``True`` uses
     the default on-disk store, or pass a :class:`ResultCache` instance
     (e.g. rooted in a temp directory for tests).
+
+    ``warm_start``: simulate each distinct grid prefix (same workload/
+    machine up to the strategy/fault divergence point) once, checkpoint
+    it, and fork every cell from the snapshot (see
+    :mod:`repro.runner.prefix`).  ``True`` uses the default snapshot
+    cache under ``.result_cache/snapshots``; a path uses that directory.
+    Results are bit-identical to a cold run.
+
+    ``preempt``: run cells through
+    :func:`~repro.runner.spec.execute_request_resumable` — a cell that
+    hits the ``timeout`` budget checkpoints its simulator state and is
+    *resumed* (not restarted) by the retry pass.  Only meaningful with a
+    pool (serial cells cannot overrun an in-process budget usefully).
     """
     requests = list(requests)
     njobs = resolve_jobs(jobs)
@@ -144,6 +177,35 @@ def run_requests_report(
         else:
             pending.append((i, req))
 
+    if not warm_start:
+        return _execute_pending(pending, njobs, timeout, store, report, preempt)
+
+    from . import prefix as prefix_mod
+
+    prev_enable = os.environ.get(prefix_mod.ENV_WARM_START)
+    prev_dir = os.environ.get(prefix_mod.ENV_SNAPSHOT_DIR)
+    prefix_mod.set_warm_start(
+        True, cache_dir=None if warm_start is True else str(warm_start))
+    try:
+        stats = prefix_mod.prewarm_requests([req for _i, req in pending])
+        report.warm_prefixes = stats["groups"]
+        return _execute_pending(pending, njobs, timeout, store, report, preempt)
+    finally:
+        prefix_mod.set_warm_start(False)
+        if prev_enable is not None:
+            os.environ[prefix_mod.ENV_WARM_START] = prev_enable
+        if prev_dir is not None:
+            os.environ[prefix_mod.ENV_SNAPSHOT_DIR] = prev_dir
+
+
+def _execute_pending(
+    pending: list[tuple[int, RunRequest]],
+    njobs: int,
+    timeout: Optional[float],
+    store: Optional[ResultCache],
+    report: RunReport,
+    preempt: bool,
+) -> RunReport:
     if njobs <= 1 or len(pending) <= 1:
         for i, req in pending:
             metrics = execute_request(req)
@@ -153,20 +215,29 @@ def run_requests_report(
                 store.put(req, metrics)
         return report
 
-    failed = _run_pool(pending, njobs, timeout, store, report)
+    failed = _run_pool(pending, njobs, timeout, store, report, preempt)
     if failed:
-        # Retry pass: one fresh pool for cells lost to a crash or timeout.
+        # Retry pass: one fresh pool for cells lost to a crash, timeout,
+        # or preemption.  Preempted cells resume from their checkpoint.
         report.retried += len(failed)
-        first_elapsed = {i: elapsed for i, _req, elapsed in failed}
-        retry = [(i, req) for i, req, _elapsed in failed]
-        still_failed = _run_pool(retry, min(njobs, len(retry)), timeout, store, report)
+        report.preempted = sum(1 for _i, _req, _e, pre in failed if pre)
+        first_elapsed = {i: elapsed for i, _req, elapsed, _pre in failed}
+        retry = [(i, req) for i, req, _elapsed, _pre in failed]
+        still_failed = _run_pool(
+            retry, min(njobs, len(retry)), timeout, store, report, preempt)
         if still_failed:
             report.failed = len(still_failed)
             limit = f"{timeout:.0f}s" if timeout is not None else "none"
             details = []
-            for i, req, elapsed in still_failed:
+            for i, req, elapsed, _pre in still_failed:
+                # The request hash is the cell's name in .result_cache/
+                # (and in checkpoints/); include it so a failed cell is
+                # greppable on disk.
+                cell_hash = store.key(req) if store is not None \
+                    else req.content_hash()[:24]
                 detail = (
-                    f"{req.label()} (elapsed {first_elapsed.get(i, 0.0):.1f}s "
+                    f"{req.label()} [{cell_hash}] "
+                    f"(elapsed {first_elapsed.get(i, 0.0):.1f}s "
                     f"then {elapsed:.1f}s; per-cell timeout {limit})"
                 )
                 details.append(detail)
@@ -190,34 +261,55 @@ def _run_pool(
     timeout: Optional[float],
     store: Optional[ResultCache],
     report: RunReport,
-) -> list[tuple[int, RunRequest, float]]:
-    """One process-pool pass; returns the cells lost to crash/timeout as
-    ``(index, request, elapsed_wall_seconds)`` triples.
+    preempt: bool = False,
+) -> list[tuple[int, RunRequest, float, bool]]:
+    """One process-pool pass; returns the cells lost to crash/timeout/
+    preemption as ``(index, request, elapsed_wall_seconds, preempted)``.
 
     Application-level exceptions from :func:`execute_request` (bad
     workload key, strategy deadlock, ...) propagate immediately — only
-    infrastructure failures are considered retryable.
+    infrastructure failures and cooperative preemptions are retryable.
+
+    With ``preempt``, cells run under a cooperative wall-clock budget of
+    ``timeout`` inside the worker (checkpoint + :class:`CellPreempted`
+    on overrun); the future-level timeout is kept as a 2x backstop for
+    workers too wedged to reach a slice boundary.
     """
-    failed: list[tuple[int, RunRequest, float]] = []
+    failed: list[tuple[int, RunRequest, float, bool]] = []
+    hard_timeout = timeout
+    if preempt and timeout is not None:
+        hard_timeout = timeout * 2 + 30.0
     pool = ProcessPoolExecutor(max_workers=njobs)
     t0 = time.monotonic()
     try:
-        futures = [(i, req, pool.submit(execute_request, req)) for i, req in pending]
+        if preempt:
+            futures = [
+                (i, req, pool.submit(execute_request_resumable, req, timeout))
+                for i, req in pending
+            ]
+        else:
+            futures = [
+                (i, req, pool.submit(execute_request, req))
+                for i, req in pending
+            ]
         broken = False
         for i, req, fut in futures:
             if broken:
                 fut.cancel()
-                failed.append((i, req, time.monotonic() - t0))
+                failed.append((i, req, time.monotonic() - t0, False))
                 continue
             try:
-                metrics = fut.result(timeout=timeout)
+                metrics = fut.result(timeout=hard_timeout)
+            except CellPreempted:
+                failed.append((i, req, time.monotonic() - t0, True))
+                continue
             except FutureTimeoutError:
                 fut.cancel()
-                failed.append((i, req, time.monotonic() - t0))
+                failed.append((i, req, time.monotonic() - t0, False))
                 continue
             except BrokenProcessPool:
                 # every not-yet-finished future in this pool is lost
-                failed.append((i, req, time.monotonic() - t0))
+                failed.append((i, req, time.monotonic() - t0, False))
                 broken = True
                 continue
             report.results[i] = metrics

@@ -1,0 +1,210 @@
+"""Warm-start sweeps: share the grid's common prefix via snapshots.
+
+Every ``kind="sim"`` cell of a Table-I/Fig-5-style grid spends its first
+phase doing strategy-independent work: building the workload trace and
+constructing the bare machine.  That *prepared* state (see
+:class:`repro.session.Session` stages) is identical across all cells
+that agree on ``(workload, num_nodes, seed, scale, topology,
+contention)`` — the swept parameter (strategy, fault plan, cost config)
+only enters at the wire stage.  So the runner simulates the prefix once,
+checkpoints it, and forks every cell from the snapshot:
+
+* an **in-process memo** serves sibling cells of one invocation without
+  touching disk;
+* a **content-hashed disk cache** (``.result_cache/snapshots/``) lets
+  repeated sweeps — and pool workers — skip the prefix entirely.
+
+Correctness: a prepared machine has scheduled no events and drawn no
+randomness, and every piece of its state pickles exactly (the same
+property :mod:`repro.snapshot` relies on), so the restored prefix is
+bit-identical to a freshly built one.  The executor's warm-start tests
+assert grid equality cold vs warm.
+
+Activation is explicit: :func:`set_warm_start` (or the
+``REPRO_WARM_START`` env var, which is how pool workers inherit the
+setting) — default off, so nothing changes for existing callers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.snapshot import SNAPSHOT_VERSION, Snapshot, SnapshotCache
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.machine import Machine
+    from repro.session import Session
+
+    from .spec import RunRequest
+
+__all__ = [
+    "ENV_WARM_START",
+    "ENV_SNAPSHOT_DIR",
+    "prefix_key",
+    "request_prefix_key",
+    "set_warm_start",
+    "warm_start_enabled",
+    "maybe_restore_prefix",
+    "maybe_store_prefix",
+    "prewarm_requests",
+    "clear_memo",
+]
+
+ENV_WARM_START = "REPRO_WARM_START"
+ENV_SNAPSHOT_DIR = "REPRO_SNAPSHOT_CACHE"
+
+#: process-local enable flag (the env var is the cross-process channel)
+_enabled = False
+#: in-process memo: prefix key -> Snapshot (payload bytes, cheap to hold)
+_memo: dict[str, Snapshot] = {}
+
+
+def set_warm_start(enabled: bool, cache_dir: Optional[str] = None) -> None:
+    """Turn warm-starting on/off for this process *and* (via env vars)
+    for pool workers forked after this call."""
+    global _enabled
+    _enabled = bool(enabled)
+    if enabled:
+        os.environ[ENV_WARM_START] = "1"
+        if cache_dir is not None:
+            os.environ[ENV_SNAPSHOT_DIR] = str(cache_dir)
+    else:
+        os.environ.pop(ENV_WARM_START, None)
+        os.environ.pop(ENV_SNAPSHOT_DIR, None)
+
+
+def warm_start_enabled() -> bool:
+    return _enabled or os.environ.get(ENV_WARM_START, "") not in ("", "0")
+
+
+def clear_memo() -> None:
+    """Drop the in-process snapshot memo (tests)."""
+    _memo.clear()
+
+
+def _cache() -> SnapshotCache:
+    root = os.environ.get(ENV_SNAPSHOT_DIR) or None
+    return SnapshotCache(root)
+
+
+# ----------------------------------------------------------------------
+# keys
+# ----------------------------------------------------------------------
+def _fingerprint_key(fp: dict) -> str:
+    blob = json.dumps(fp, sort_keys=True, separators=(",", ":"))
+    blob = f"{blob}|snap-v{SNAPSHOT_VERSION}"
+    return "prefix-" + hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def prefix_key(session: "Session") -> Optional[str]:
+    """Content-hash key of the session's prepared-stage state, or None
+    when the session is not prefix-shareable (raw trace, topology
+    object)."""
+    fp = session.prefix_fingerprint()
+    return _fingerprint_key(fp) if fp is not None else None
+
+
+def request_prefix_key(req: "RunRequest") -> Optional[str]:
+    """The prefix key a ``kind="sim"`` request's session would use —
+    computable without building the session (grid grouping)."""
+    if req.kind != "sim" or req.topology_case is not None:
+        return None
+    overrides = dict(getattr(req, "session_overrides", ()) or ())
+    topology = overrides.get("topology")
+    if topology is not None and not isinstance(topology, str):
+        return None
+    from repro.experiments.common import current_scale
+
+    return _fingerprint_key({
+        "workload": req.workload,
+        "num_nodes": req.num_nodes,
+        "seed": req.seed,
+        "scale": current_scale(req.scale),
+        "topology": topology,
+        "contention": bool(overrides.get("contention", False)),
+    })
+
+
+# ----------------------------------------------------------------------
+# session hooks (called from Session.prepare)
+# ----------------------------------------------------------------------
+def maybe_restore_prefix(session: "Session") -> Optional["Machine"]:
+    """A restored prepared-stage machine for ``session``, or None (miss
+    or warm-start disabled — the caller builds cold)."""
+    if not warm_start_enabled():
+        return None
+    key = prefix_key(session)
+    if key is None:
+        return None
+    snap = _memo.get(key)
+    if snap is None:
+        snap = _cache().get(key)
+        if snap is None:
+            return None
+        _memo[key] = snap
+    from repro.snapshot import restore
+
+    return restore(snap)
+
+
+def maybe_store_prefix(session: "Session") -> Optional[str]:
+    """Checkpoint ``session``'s freshly built prepared state into the
+    memo + disk cache.  Returns the key, or None when ineligible."""
+    if not warm_start_enabled():
+        return None
+    key = prefix_key(session)
+    if key is None:
+        return None
+    snap = session._machine.checkpoint(
+        meta={
+            "kind": "prefix",
+            "stage": "prepared",
+            "workload_key": session.workload,
+            "workload_label": session.workload_label,
+            "scale": session.scale,
+            "num_nodes": session.num_nodes,
+            "seed": session.seed,
+        }
+    )
+    _memo[key] = snap
+    _cache().put(key, snap)
+    return key
+
+
+# ----------------------------------------------------------------------
+# executor pre-pass
+# ----------------------------------------------------------------------
+def prewarm_requests(requests: Sequence["RunRequest"]) -> dict:
+    """Materialize the distinct prefixes of a request grid.
+
+    Builds (or disk-loads) one prepared-stage snapshot per distinct
+    prefix key so that the subsequent fan-out — serial or pool — only
+    ever *restores*.  Returns ``{"groups", "built", "loaded"}``.
+    """
+    from repro.session import Session
+
+    cache = _cache()
+    stats = {"groups": 0, "built": 0, "loaded": 0}
+    seen: set[str] = set()
+    for req in requests:
+        key = request_prefix_key(req)
+        if key is None or key in seen:
+            continue
+        seen.add(key)
+        stats["groups"] += 1
+        if key in _memo:
+            continue
+        snap = cache.get(key)
+        if snap is not None:
+            _memo[key] = snap
+            stats["loaded"] += 1
+            continue
+        # Build the shared prefix once, cold, and snapshot it.  The
+        # session is built without strategy-specific state on purpose:
+        # prepare() itself calls maybe_store_prefix, filling the memo.
+        Session.from_request(req).prepare()
+        stats["built"] += 1
+    return stats

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
 from repro.balancers import ExecutionConfig
@@ -25,7 +27,16 @@ from repro.faults import FaultPlan
 if TYPE_CHECKING:  # pragma: no cover
     from repro.balancers import RunMetrics
 
-__all__ = ["RunRequest", "execute_request"]
+__all__ = [
+    "CellPreempted",
+    "RunRequest",
+    "execute_request",
+    "execute_request_resumable",
+]
+
+#: events per cooperative-deadline slice in resumable execution; small
+#: enough that a budget overrun is noticed within a fraction of a second
+PREEMPT_SLICE_EVENTS = 250_000
 
 
 @dataclass(frozen=True)
@@ -67,6 +78,10 @@ class RunRequest:
     #: fault-injection plan; ``None`` (or a null plan) runs fault-free and
     #: serializes to nothing, so pre-existing cache keys stay stable.
     faults: Optional[FaultPlan] = None
+    #: extra :class:`repro.session.Session` constructor overrides as
+    #: ``(key, value)`` pairs (see ``session.OVERRIDABLE``), e.g.
+    #: ``(("contention", True),)``.  Empty serializes to nothing.
+    session_overrides: tuple = ()
 
     def canonical(self) -> dict:
         """Canonical, JSON-ready form (stable field order via sort_keys)."""
@@ -88,6 +103,8 @@ class RunRequest:
             out["trace"] = True
         if self.faults is not None and not self.faults.is_null():
             out["faults"] = self.faults.canonical()
+        if self.session_overrides:
+            out["session_overrides"] = [list(kv) for kv in self.session_overrides]
         return out
 
     def param(self, key: str, default=None):
@@ -122,9 +139,12 @@ class RunRequest:
 def execute_request(req: RunRequest) -> "RunMetrics":
     """Simulate one cell.  Pure: the result depends only on ``req``.
 
-    Imports are deferred so that :mod:`repro.runner` can be imported from
-    inside :mod:`repro.experiments` modules without a cycle, and so pool
-    workers pay the import cost once per process, not per module load.
+    Dispatch is one table (:data:`KIND_EXECUTORS`) — the serial path,
+    the process-pool workers, and the cache-fill path all come through
+    here, so the three are bit-identical by construction.  Imports in
+    the executors are deferred so that :mod:`repro.runner` can be
+    imported from inside :mod:`repro.experiments` modules without a
+    cycle, and so pool workers pay the import cost once per process.
     """
     faulty = req.faults is not None and not req.faults.is_null()
     if faulty and (req.kind != "sim" or req.topology_case is not None):
@@ -132,53 +152,58 @@ def execute_request(req: RunRequest) -> "RunMetrics":
             f"fault plans apply only to kind='sim' strategy cells, "
             f"not {req.label()}"
         )
-    if req.kind == "optimal":
-        return _execute_optimal(req)
-    if req.kind == "fig4":
-        return _execute_fig4(req)
-    if req.kind != "sim":
-        raise ValueError(f"unknown request kind {req.kind!r}")
+    try:
+        executor = KIND_EXECUTORS[req.kind]
+    except KeyError:
+        raise ValueError(f"unknown request kind {req.kind!r}") from None
+    return executor(req)
 
-    from repro.experiments.common import run_workload, workload
+
+def _attach_trace_extras(metrics: "RunMetrics", tracer) -> "RunMetrics":
+    if tracer is not None:
+        # plain dicts: picklable across the pool, identical serial/parallel
+        metrics.extra["trace_records"] = tracer.records
+        metrics.extra["trace_dropped"] = tracer.dropped
+    return metrics
+
+
+def _execute_sim(req: RunRequest) -> "RunMetrics":
+    """A scheduled run (Table I/III, fig5, faults, topologies)."""
+    if req.topology_case is not None:
+        return _execute_topology_case(req)
+    from repro.session import Session
+
+    sess = Session.from_request(req)
+    return _attach_trace_extras(sess.run(), sess.tracer)
+
+
+def _execute_topology_case(req: RunRequest) -> "RunMetrics":
+    """One cross-topology RIPS comparison cell (non-default latency
+    scaling per case, so it builds through the topologies experiment
+    rather than a plain Session)."""
+    from repro.experiments.common import workload
+    from repro.experiments.topologies import (
+        run_topology_comparison,
+        topology_cases,
+    )
 
     tracer = None
     if req.trace:
         from repro.obs import Tracer
 
         tracer = Tracer()
-
     spec = workload(req.workload, req.scale)
-    if req.topology_case is None:
-        metrics = run_workload(
-            spec,
-            req.strategy,
-            num_nodes=req.num_nodes,
-            seed=req.seed,
-            config=req.config,
-            tracer=tracer,
-            faults=req.faults if faulty else None,
-        )
-    else:
-        from repro.experiments.topologies import (
-            run_topology_comparison,
-            topology_cases,
-        )
-
-        cases = [c for c in topology_cases() if c.name == req.topology_case]
-        if not cases:
-            raise KeyError(f"unknown topology case {req.topology_case!r}")
-        trace = spec.build(req.num_nodes)
-        out = run_topology_comparison(
-            trace, num_nodes=req.num_nodes, cases=cases, seed=req.seed,
-            tracer=tracer,
-        )
-        metrics = out[req.topology_case]
-        metrics.extra["workload_label"] = spec.label
-    if tracer is not None:
-        # plain dicts: picklable across the pool, identical serial/parallel
-        metrics.extra["trace_records"] = tracer.records
-        metrics.extra["trace_dropped"] = tracer.dropped
-    return metrics
+    cases = [c for c in topology_cases() if c.name == req.topology_case]
+    if not cases:
+        raise KeyError(f"unknown topology case {req.topology_case!r}")
+    trace = spec.build(req.num_nodes)
+    out = run_topology_comparison(
+        trace, num_nodes=req.num_nodes, cases=cases, seed=req.seed,
+        tracer=tracer,
+    )
+    metrics = out[req.topology_case]
+    metrics.extra["workload_label"] = spec.label
+    return _attach_trace_extras(metrics, tracer)
 
 
 def _execute_optimal(req: RunRequest) -> "RunMetrics":
@@ -237,3 +262,98 @@ def _execute_fig4(req: RunRequest) -> "RunMetrics":
         mean_cost_opt=point.mean_cost_opt,
     )
     return metrics
+
+
+#: ``kind`` -> executor.  One table instead of special-cased branches;
+#: new kinds register here.
+KIND_EXECUTORS = {
+    "sim": _execute_sim,
+    "optimal": _execute_optimal,
+    "fig4": _execute_fig4,
+}
+
+
+# ----------------------------------------------------------------------
+# preemptible execution (executor timeout handling, `run --checkpoint-every`)
+# ----------------------------------------------------------------------
+class CellPreempted(RuntimeError):
+    """A resumable cell hit its budget and checkpointed instead of dying.
+
+    Picklable across the process pool (attributes mirror ``args`` so the
+    unpickled exception is reconstructed intact).  ``checkpoint_path``
+    is where the frozen state lives; re-running the same request through
+    :func:`execute_request_resumable` resumes from it.
+    """
+
+    def __init__(self, label: str, request_hash: str, checkpoint_path: str,
+                 events_executed: int, elapsed: float) -> None:
+        super().__init__(label, request_hash, checkpoint_path,
+                         events_executed, elapsed)
+        self.label = label
+        self.request_hash = request_hash
+        self.checkpoint_path = checkpoint_path
+        self.events_executed = events_executed
+        self.elapsed = elapsed
+
+    def __str__(self) -> str:
+        return (
+            f"cell {self.label} [{self.request_hash}] preempted after "
+            f"{self.elapsed:.1f}s / {self.events_executed} events; "
+            f"checkpoint at {self.checkpoint_path}"
+        )
+
+
+def default_checkpoint_path(req: RunRequest) -> Path:
+    """Where a preempted cell parks its state: keyed by the request hash
+    under the result cache, so retries (any process) find it."""
+    from repro.runner.result_cache import result_cache_dir
+
+    return result_cache_dir() / "checkpoints" / f"{req.content_hash()[:24]}.ckpt"
+
+
+def execute_request_resumable(
+    req: RunRequest,
+    budget: Optional[float] = None,
+    checkpoint_path: Optional[Path | str] = None,
+    slice_events: int = PREEMPT_SLICE_EVENTS,
+) -> "RunMetrics":
+    """Like :func:`execute_request`, but budgeted and resumable.
+
+    Runs the cell in ``slice_events`` slices; once ``budget`` wall-clock
+    seconds have elapsed, the cell checkpoints to ``checkpoint_path``
+    and raises :class:`CellPreempted`.  A later call for the same
+    request *resumes* from the checkpoint instead of starting over —
+    bit-identical to an uninterrupted run.  Non-``sim`` kinds (and
+    topology cases) have no checkpointable machine and fall back to
+    :func:`execute_request` unbudgeted.
+    """
+    if req.kind != "sim" or req.topology_case is not None:
+        return execute_request(req)
+    from repro.session import Session
+    from repro.snapshot import Snapshot, SnapshotError
+
+    path = Path(checkpoint_path) if checkpoint_path is not None \
+        else default_checkpoint_path(req)
+    sess = None
+    if path.exists():
+        try:
+            sess = Session.restore(Snapshot.load(path))
+        except SnapshotError:
+            path.unlink(missing_ok=True)  # stale version / corrupt: restart
+    if sess is None:
+        sess = Session.from_request(req)
+    t0 = time.monotonic()
+    while True:
+        metrics = sess.run(max_events=slice_events)
+        if metrics is not None:
+            path.unlink(missing_ok=True)
+            return _attach_trace_extras(metrics, sess.tracer)
+        if budget is not None and time.monotonic() - t0 >= budget:
+            sess.checkpoint().save(path)
+            raise CellPreempted(
+                req.label(),
+                req.content_hash()[:24],
+                str(path),
+                sess.machine.sim.events_processed,
+                round(time.monotonic() - t0, 3),
+            )

@@ -54,6 +54,24 @@ def test_check_never_rewrites_baseline(tmp_path):
     assert path.read_text() == before
 
 
+def test_checkpoint_gate_uses_its_own_tolerance(tmp_path):
+    from repro.runner.bench import CHECKPOINT_OVERHEAD_TOLERANCE
+
+    path = _baseline(tmp_path)
+    ck = {"events": 1000, "reps": 1, "plain": 1000, "with_roots": 990,
+          "ratio": 0.99}
+    out = check_bench(path=path, report=_report(chain=1000, loaded=500),
+                      checkpoint_report=ck)
+    assert out["ok"] is True
+    assert out["checkpoint"]["tolerance"] == CHECKPOINT_OVERHEAD_TOLERANCE
+
+    out = check_bench(path=path, report=_report(chain=1000, loaded=500),
+                      checkpoint_report={**ck, "with_roots": 900,
+                                         "ratio": 0.90})
+    assert out["ok"] is False
+    assert out["failures"] == ["checkpoint_overhead"]
+
+
 def test_cli_check_exit_codes(tmp_path, capsys, monkeypatch):
     import repro.runner.bench as bench_mod
     from repro.__main__ import main
@@ -61,6 +79,14 @@ def test_cli_check_exit_codes(tmp_path, capsys, monkeypatch):
     monkeypatch.setattr(
         bench_mod, "bench_events_per_sec",
         lambda events, reps: _report(chain=990, loaded=495),
+    )
+    # the checkpoint-overhead gate measures live alongside the
+    # throughput check; stub it too so the CLI test is deterministic
+    monkeypatch.setattr(
+        bench_mod, "bench_checkpoint_overhead",
+        lambda events, reps: {"events": events, "reps": reps,
+                              "plain": 1000, "with_roots": 1000,
+                              "ratio": 1.0},
     )
     path = _baseline(tmp_path)
     assert main(["bench", "--check", "--out", str(path)]) == 0

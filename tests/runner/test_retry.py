@@ -29,10 +29,10 @@ def test_report_summary_formats_counts():
 def test_retried_cells_recover_on_the_second_pass(monkeypatch):
     calls = {"n": 0}
 
-    def flaky_pool(pending, njobs, timeout, store, report):
+    def flaky_pool(pending, njobs, timeout, store, report, preempt=False):
         calls["n"] += 1
         if calls["n"] == 1:  # first pass: lose every cell
-            return [(i, req, 0.5) for i, req in pending]
+            return [(i, req, 0.5, False) for i, req in pending]
         for i, req in pending:  # retry pass: run them for real
             report.results[i] = execute_request(req)
             report.executed += 1
@@ -50,8 +50,8 @@ def test_retried_cells_recover_on_the_second_pass(monkeypatch):
 def test_twice_failed_cells_warn_with_elapsed_and_timeout(monkeypatch):
     monkeypatch.setattr(
         executor, "_run_pool",
-        lambda pending, njobs, timeout, store, report:
-            [(i, req, 1.5 if report.retried else 0.5)
+        lambda pending, njobs, timeout, store, report, preempt=False:
+            [(i, req, 1.5 if report.retried else 0.5, False)
              for i, req in pending])
 
     with pytest.warns(RuntimeWarning, match="failed twice") as warned:
@@ -66,6 +66,8 @@ def test_twice_failed_cells_warn_with_elapsed_and_timeout(monkeypatch):
     for w, req in zip(warned, REQS):
         text = str(w.message)
         assert req.label() in text
+        # the request hash makes the dead cell greppable in .result_cache/
+        assert f"[{req.content_hash()[:24]}]" in text
         assert "elapsed 0.5s then 1.5s" in text
         assert "per-cell timeout 42s" in text
 
@@ -73,8 +75,8 @@ def test_twice_failed_cells_warn_with_elapsed_and_timeout(monkeypatch):
 def test_unbounded_timeout_reported_as_none(monkeypatch):
     monkeypatch.setattr(
         executor, "_run_pool",
-        lambda pending, njobs, timeout, store, report:
-            [(i, req, 0.1) for i, req in pending])
+        lambda pending, njobs, timeout, store, report, preempt=False:
+            [(i, req, 0.1, False) for i, req in pending])
     with pytest.warns(RuntimeWarning, match="timeout none"):
         with pytest.raises(RuntimeError):
             run_requests_report(REQS, jobs=2, timeout=None)

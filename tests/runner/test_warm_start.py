@@ -1,0 +1,109 @@
+"""Warm-started sweeps must be invisible in the results.
+
+The executor's ``warm_start`` option simulates each distinct grid
+prefix once, checkpoints it, and forks every cell from the snapshot —
+these tests pin the bit-identity cold vs warm (serial and pool), the
+prefix grouping/eligibility rules, and the disk-cache reuse path.
+"""
+
+import pytest
+
+import repro.runner.prefix as prefix
+from repro.runner import RunRequest, run_requests_report
+from repro.runner.executor import run_requests
+from repro.session import Session
+
+REQS = [
+    RunRequest(w, s, num_nodes=8, scale="small")
+    for w in ("queens-10", "queens-11")
+    for s in ("random", "RIPS")
+]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_warm_start(tmp_path, monkeypatch):
+    """Every test gets a fresh memo, a private snapshot dir, and a
+    guaranteed-off warm-start flag on entry and exit."""
+    monkeypatch.delenv(prefix.ENV_WARM_START, raising=False)
+    monkeypatch.setenv(prefix.ENV_SNAPSHOT_DIR, str(tmp_path / "snaps"))
+    prefix.clear_memo()
+    yield
+    prefix.clear_memo()
+    prefix.set_warm_start(False)
+
+
+def test_serial_warm_grid_is_bit_identical(tmp_path):
+    cold = run_requests(REQS, jobs=1, cache=None)
+    report = run_requests_report(
+        REQS, jobs=1, cache=None, warm_start=str(tmp_path / "snaps"))
+    assert report.results == cold
+    assert report.warm_prefixes == 2  # two workloads share across strategies
+    # the grid left one snapshot per prefix on disk
+    assert len(list((tmp_path / "snaps").glob("prefix-*.ckpt"))) == 2
+
+
+def test_pool_warm_grid_is_bit_identical(tmp_path):
+    cold = run_requests(REQS, jobs=1, cache=None)
+    warm = run_requests(
+        REQS, jobs=2, cache=None, warm_start=str(tmp_path / "snaps"))
+    assert warm == cold
+
+
+def test_second_sweep_loads_prefixes_from_disk(tmp_path):
+    run_requests(REQS, jobs=1, cache=None, warm_start=str(tmp_path / "snaps"))
+    prefix.clear_memo()  # simulate a fresh process; disk survives
+    prefix.set_warm_start(True, cache_dir=str(tmp_path / "snaps"))
+    stats = prefix.prewarm_requests(REQS)
+    assert stats == {"groups": 2, "built": 0, "loaded": 2}
+
+
+def test_warm_start_disabled_after_run(tmp_path):
+    run_requests(REQS[:1], jobs=1, cache=None, warm_start=str(tmp_path / "s"))
+    assert not prefix.warm_start_enabled()
+
+
+def test_prefix_key_groups_by_shared_state():
+    base = RunRequest("queens-10", "RIPS", num_nodes=8, scale="small")
+    same_prefix = RunRequest("queens-10", "random", num_nodes=8, scale="small")
+    assert prefix.request_prefix_key(base) == prefix.request_prefix_key(same_prefix)
+
+    for other in (
+        RunRequest("queens-11", "RIPS", num_nodes=8, scale="small"),
+        RunRequest("queens-10", "RIPS", num_nodes=16, scale="small"),
+        RunRequest("queens-10", "RIPS", num_nodes=8, scale="small", seed=9),
+    ):
+        assert prefix.request_prefix_key(other) != prefix.request_prefix_key(base)
+
+
+def test_session_overrides_split_the_prefix():
+    plain = RunRequest("queens-10", "RIPS", num_nodes=8, scale="small")
+    contended = RunRequest(
+        "queens-10", "RIPS", num_nodes=8, scale="small",
+        session_overrides=(("contention", True),))
+    assert prefix.request_prefix_key(plain) != prefix.request_prefix_key(contended)
+
+
+def test_non_sim_requests_are_ineligible():
+    fig4 = RunRequest("mwa", "optimal", kind="fig4", num_nodes=8)
+    assert prefix.request_prefix_key(fig4) is None
+
+
+def test_raw_trace_sessions_are_ineligible():
+    from repro.experiments.common import workload
+
+    trace = workload("queens-10", "small").build(8)
+    sess = Session(trace, strategy="RIPS", num_nodes=8, scale="small")
+    assert prefix.prefix_key(sess) is None
+
+
+def test_restored_prefix_runs_identically_to_cold(tmp_path):
+    """Directly exercise the Session.prepare() hook pair: store on the
+    first prepare, restore on the second, identical run either way."""
+    cold = Session("queens-10", strategy="RID", num_nodes=8,
+                   scale="small").run()
+    prefix.set_warm_start(True, cache_dir=str(tmp_path / "snaps"))
+    first = Session("queens-10", strategy="RID", num_nodes=8, scale="small")
+    first.prepare()  # builds and stores
+    second = Session("queens-10", strategy="RID", num_nodes=8, scale="small")
+    second.prepare()  # memo hit: a restored machine, not a rebuilt one
+    assert second.run() == cold
