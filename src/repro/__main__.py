@@ -318,6 +318,8 @@ def _cmd_faults(args) -> int:
         drop_rates=tuple(args.drops),
         crash_counts=tuple(args.crashes),
         crash_at=args.crash_at,
+        detectors=tuple(args.detectors),
+        partition_counts=tuple(args.partitions),
         audit=args.audit,
     )
     rep = _run_grid(reqs, args)
@@ -344,6 +346,41 @@ def _cmd_faults(args) -> int:
         if violations:
             return 1
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    """Seeded random fault plans vs RIPS, with invariant checks + shrinking."""
+    import json
+
+    from repro.faults.chaos import run_case, run_chaos, scheduled_fault_count
+    from repro.faults.plan import FaultPlan
+
+    if args.replay is not None:
+        path = Path(args.replay)
+        text = path.read_text() if path.exists() else args.replay
+        plan = FaultPlan.from_canonical(json.loads(text))
+        case = run_case(plan, num_nodes=args.nodes)
+        print(case.summary())
+        for v in case.violations:
+            print(f"  {v}")
+        return 0 if case.ok else 1
+
+    cases = 8 if args.smoke else args.cases
+    rep = run_chaos(cases, args.seed, num_nodes=args.nodes,
+                    shrink=not args.no_shrink,
+                    progress=lambda c: print(c.summary(), flush=True))
+    failures = rep.failures()
+    print(f"chaos: {len(rep.cases) - len(failures)}/{len(rep.cases)} cases ok "
+          f"(seed {args.seed})")
+    for case in failures:
+        for v in case.violations:
+            print(f"  case {case.index}: {v}")
+    for index, shrunk, spent in rep.reproducers:
+        canon = json.dumps(shrunk.canonical())
+        print(f"  case {index} shrunk to {scheduled_fault_count(shrunk)} "
+              f"scheduled fault(s) in {spent} evals: {shrunk.describe()}")
+        print(f"    replay with: python -m repro chaos --replay '{canon}'")
+    return 0 if rep.ok else 1
 
 
 def _cmd_selftest(args) -> int:
@@ -587,6 +624,14 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--crash-at", dest="crash_at", type=float,
                    default=DEFAULT_CRASH_AT,
                    help=f"sim time of the first crash (default {DEFAULT_CRASH_AT})")
+    p.add_argument("--detectors", nargs="*", default=["oracle"],
+                   choices=("oracle", "heartbeat"),
+                   help="failure-detector sweep for crash/partition levels "
+                        "(default: oracle)")
+    p.add_argument("--partitions", type=int, nargs="*", default=[],
+                   help="scheduled mesh-partition levels: each entry adds a "
+                        "level with that many transient two-way cuts "
+                        "(default: none)")
     p.add_argument("--fault-seed", dest="fault_seed", type=int,
                    default=DEFAULT_FAULT_SEED,
                    help=f"fault-RNG seed (default {DEFAULT_FAULT_SEED})")
@@ -594,6 +639,25 @@ def main(argv: list[str] | None = None) -> int:
                    help="trace every cell and audit task conservation "
                         "(bypasses the result cache; exit 1 on violation)")
     p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser("chaos",
+                       help="seeded random fault plans vs RIPS: invariant "
+                            "checks + ddmin shrinking of failures",
+                       parents=[_nodes_parent(16)])
+    p.add_argument("--cases", type=int, default=20,
+                   help="number of generated plans (default 20)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed; case i is reproducible at any "
+                        "--cases count (default 0)")
+    p.add_argument("--smoke", action="store_true",
+                   help="quick 8-case run (the CI gate)")
+    p.add_argument("--no-shrink", dest="no_shrink", action="store_true",
+                   help="report failures without minimizing them")
+    p.add_argument("--replay", default=None, metavar="PLAN",
+                   help="run one canonical-JSON fault plan (inline or a "
+                        "file path) instead of a campaign — re-runs a "
+                        "shrunk reproducer")
+    p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser("selftest",
                        help="tier-1 tests + ruff + bench --check in one command")

@@ -325,6 +325,14 @@ class Strategy(ABC):
         """
         return []
 
+    def on_node_rejoined(self, node: int) -> None:
+        """Called when a falsely-declared-dead node refutes the
+        declaration and rejoins (heartbeat detector only).  The node was
+        fenced since the false declaration — its work was rescued as if
+        it had crashed — so the strategy re-admits it like a fresh node:
+        fold it back into trees/tables and resume routing work to it.
+        """
+
     # ------------------------------------------------------------------
     def finalize_metrics(self, metrics: RunMetrics) -> None:
         """Strategy-specific additions to the metrics (e.g. phase count)."""
@@ -365,11 +373,19 @@ class Driver:
         self.lost_tasks: list[tuple[int, str]] = []
         self._lost: set[int] = set()
         self.crashed_nodes: list[int] = []
+        #: falsely-declared-dead nodes that refuted and rejoined
+        self.rejoined_nodes: list[int] = []
+        #: pinned tasks waiting out a false death of their pinned node:
+        #: they cannot move, but unlike pinned-to-crashed they are not
+        #: lost — they run when the node rejoins (or are written off if
+        #: it later really crashes).
+        self._fence_held: dict[int, list[int]] = {}
         #: True once wave-0 roots have been injected (checkpoint/restore
         #: must not re-inject them on resume)
         self.started = False
         if machine.faults is not None:
             machine.faults.on_crash_detected(self._on_node_crashed)
+            machine.faults.on_node_rejoined(self._on_node_rejoined)
             machine.faults.transport.on_undeliverable = self._on_undeliverable
         # keep the driver (and through it strategy/workers/wave state) in
         # the machine's checkpoint object graph — see repro.snapshot
@@ -441,6 +457,8 @@ class Driver:
         if self._remaining == 0:
             self.finished = True
             self.strategy.on_workload_done()
+            if self.machine.faults is not None:
+                self.machine.faults.quiesce()
             return
         self.current_wave += 1
         wave = self.current_wave
@@ -477,10 +495,13 @@ class Driver:
     # ------------------------------------------------------------------
     def _rescue_rank(self, tid: int) -> int:
         """Deterministic survivor to re-home a rescued task on: its
-        creator if still alive, else the lowest surviving rank."""
+        creator if still usable (alive and not fenced), else the lowest
+        usable rank."""
         creator = self.created_at[tid]
-        if creator >= 0 and not self.machine.nodes[creator].crashed:
-            return creator
+        if creator >= 0:
+            c_node = self.machine.nodes[creator]
+            if not c_node.crashed and not c_node.fenced:
+                return creator
         return self.machine.alive_ranks()[0]
 
     def _declare_lost(self, tid: int, reason: str) -> None:
@@ -505,10 +526,18 @@ class Driver:
         if tid in self._lost or self.executed_at[tid] >= 0:
             return
         t = self.trace.task(tid)
-        if t.pinned is not None and self.machine.nodes[t.pinned].crashed:
-            # pinned work cannot move; this is the "provably lost" case
-            self._declare_lost(tid, "pinned-to-crashed")
-            return
+        if t.pinned is not None:
+            p_node = self.machine.nodes[t.pinned]
+            if p_node.crashed:
+                # pinned work cannot move; this is the "provably lost" case
+                self._declare_lost(tid, "pinned-to-crashed")
+                return
+            if p_node.fenced:
+                # pinned to a node only *falsely* declared dead: hold it
+                # until the node rejoins (or really crashes) — re-sending
+                # now would bounce off the transport's dead-set forever
+                self._fence_held.setdefault(t.pinned, []).append(tid)
+                return
         dest = t.pinned if t.pinned is not None else self._rescue_rank(tid)
         self.strategy.place_child(dest, tid)
         self.workers[dest].try_start()
@@ -523,11 +552,23 @@ class Driver:
 
     def _on_node_crashed(self, rank: int) -> None:
         """Failure-detector callback: rescue everything the dead node
-        owned or was owed, then let the run make progress again."""
-        self.crashed_nodes.append(rank)
+        owned or was owed, then let the run make progress again.
+
+        Fires both for real crashes and for *false* death declarations
+        (heartbeat detector): the fenced node is treated exactly like a
+        crashed one here.  When a fenced node later really crashes the
+        injector re-notifies, so the work held for its revival
+        (``_fence_held``) is finally written off below.
+        """
+        if rank not in self.crashed_nodes:
+            self.crashed_nodes.append(rank)
         worker = self.workers[rank]
         worker.enabled = False
         rescued: list[int] = []
+        # pinned tasks parked during a false death: the node is being
+        # declared dead (again) — route them through normal rescue, which
+        # declares them lost if the node really crashed
+        rescued.extend(self._fence_held.pop(rank, []))
         # 1. strategy-held state (RIPS pools, collective-tree repair)
         rescued.extend(self.strategy.on_node_crashed(rank))
         # 2. the dead node's RTE queue and in-flight task
@@ -569,6 +610,24 @@ class Driver:
             held[:] = kept
         for tid in rescued:
             self._rescue_or_lose(tid)
+        self._check_progress()
+
+    def _on_node_rejoined(self, rank: int) -> None:
+        """Injector callback: a falsely-declared-dead node refuted its
+        death and is usable again.  Re-admit it and release the pinned
+        tasks that were waiting out the false death."""
+        self.rejoined_nodes.append(rank)
+        if rank in self.crashed_nodes:
+            # it provably never fail-stopped: a stale entry here would
+            # let the conservation audit justify losses it shouldn't
+            self.crashed_nodes.remove(rank)
+        worker = self.workers[rank]
+        worker.enabled = True
+        self.strategy.on_node_rejoined(rank)
+        for tid in self._fence_held.pop(rank, []):
+            if tid not in self._lost and self.executed_at[tid] < 0:
+                self.strategy.place_child(rank, tid)
+        worker.try_start()
         self._check_progress()
 
     def _check_progress(self) -> None:
@@ -629,6 +688,8 @@ class Driver:
             self_extra["crashed_nodes"] = list(self.crashed_nodes)
             self_extra["lost_tasks"] = len(self.lost_tasks)
             self_extra["lost_task_ids"] = sorted(self._lost)
+            if self.rejoined_nodes:
+                self_extra["rejoined_nodes"] = list(self.rejoined_nodes)
         m = RunMetrics(
             workload=self.trace.name,
             strategy=self.strategy.name,

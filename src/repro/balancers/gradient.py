@@ -148,5 +148,17 @@ class GradientModel(Strategy):
                 self._refresh_proximity(rank)
         return []
 
+    def on_node_rejoined(self, node: int) -> None:
+        """Re-link the rejoined node with its usable neighbors and let
+        proximity re-propagate from fresh (optimistic zero) estimates."""
+        machine = self.machine
+        usable = set(machine.alive_ranks())
+        self.nbr_prox[node] = {
+            j: 0 for j in machine.topology.neighbors(node) if j in usable}
+        for j in self.nbr_prox[node]:
+            self.nbr_prox[j][node] = 0
+            self._refresh_proximity(j)
+        self._refresh_proximity(node)
+
     def finalize_metrics(self, metrics: RunMetrics) -> None:
         metrics.extra["proximity_updates"] = self.proximity_updates

@@ -177,6 +177,18 @@ class ReceiverInitiatedDiffusion(Strategy):
             self.requesting[rank] = False
         return []
 
+    def on_node_rejoined(self, node: int) -> None:
+        """Re-link the rejoined node with its usable neighbors; its next
+        load change (or theirs) refreshes the estimates."""
+        machine = self.machine
+        usable = set(machine.alive_ranks())
+        self.nbr_load[node] = {
+            j: 0 for j in machine.topology.neighbors(node) if j in usable}
+        for j in self.nbr_load[node]:
+            self.nbr_load[j][node] = 0
+        self.requesting[node] = False
+        self._load_changed(node)
+
     # ------------------------------------------------------------------
     def finalize_metrics(self, metrics: RunMetrics) -> None:
         metrics.extra["load_updates"] = self.load_updates

@@ -93,15 +93,29 @@ class _NodeState:
 
 
 class _MWAProtocol:
-    """One protocol round; use :func:`run_mwa_protocol`."""
+    """One protocol round; use :func:`run_mwa_protocol`.
 
-    def __init__(self, machine: Machine, loads: np.ndarray) -> None:
+    ``rows=(lo, hi)`` restricts the protocol to the horizontal mesh band
+    ``lo <= i < hi`` — the component-local MWA a partitioned RIPS run
+    walks per reachability component.  Logical row ``i`` maps to physical
+    mesh row ``lo + i``; handlers are registered only on band members, so
+    several band protocols can run concurrently on one machine.
+    """
+
+    def __init__(self, machine: Machine, loads: np.ndarray,
+                 rows: Optional[tuple[int, int]] = None) -> None:
         topo = machine.topology
         if not isinstance(topo, MeshTopology):
             raise TypeError("the MWA protocol requires a MeshTopology machine")
         self.machine = machine
         self.mesh = topo
-        self.n1, self.n2 = topo.n1, topo.n2
+        if rows is None:
+            rows = (0, topo.n1)
+        lo, hi = rows
+        if not (0 <= lo < hi <= topo.n1):
+            raise ValueError(f"rows must satisfy 0 <= lo < hi <= {topo.n1}")
+        self.row_base = lo
+        self.n1, self.n2 = hi - lo, topo.n2
         loads = np.asarray(loads, dtype=np.int64)
         if loads.shape != (self.n1, self.n2):
             raise ValueError(f"loads must be ({self.n1}, {self.n2})")
@@ -116,23 +130,26 @@ class _MWAProtocol:
         self.vflow = np.zeros((max(self.n1 - 1, 0), self.n2), dtype=np.int64)
         self.hflow = np.zeros((self.n1, max(self.n2 - 1, 0)), dtype=np.int64)
         self._tracer = machine.tracer
-        for node in machine.nodes:
-            node.on("mwa.rowscan", self._on_rowscan)
-            node.on("mwa.colscan", self._on_colscan)
-            node.on("mwa.spread", self._on_spread)
-            node.on("mwa.down", self._on_down)
-            node.on("mwa.up", self._on_up)
-            node.on("mwa.hscan", self._on_hscan)
-            node.on("mwa.htask", self._on_htask)
+        for i in range(self.n1):
+            for j in range(self.n2):
+                node = machine.nodes[self.rank(i, j)]
+                node.on("mwa.rowscan", self._on_rowscan)
+                node.on("mwa.colscan", self._on_colscan)
+                node.on("mwa.spread", self._on_spread)
+                node.on("mwa.down", self._on_down)
+                node.on("mwa.up", self._on_up)
+                node.on("mwa.hscan", self._on_hscan)
+                node.on("mwa.htask", self._on_htask)
 
     # ------------------------------------------------------------------
-    # helpers
+    # helpers (logical band coordinates <-> physical mesh ranks)
     # ------------------------------------------------------------------
     def rank(self, i: int, j: int) -> int:
-        return self.mesh.rank_of(i, j)
+        return self.mesh.rank_of(self.row_base + i, j)
 
     def coords(self, rank: int) -> tuple[int, int]:
-        return self.mesh.coords(rank)
+        i, j = self.mesh.coords(rank)
+        return i - self.row_base, j
 
     def st(self, i: int, j: int) -> _NodeState:
         return self.state[i * self.n2 + j]
@@ -473,11 +490,19 @@ class _MWAProtocol:
         )
 
 
-def run_mwa_protocol(machine: Machine, loads: np.ndarray) -> MWAProtocolResult:
+def run_mwa_protocol(machine: Machine, loads: np.ndarray,
+                     rows: Optional[tuple[int, int]] = None,
+                     ) -> MWAProtocolResult:
     """Run one full distributed MWA round on ``machine`` and return the
     outcome.  The machine must be freshly constructed (the protocol owns
-    its message kinds) with a :class:`MeshTopology`."""
-    proto = _MWAProtocol(machine, loads)
+    its message kinds) with a :class:`MeshTopology`.
+
+    ``rows=(lo, hi)`` runs the component-local variant over the mesh band
+    ``lo <= i < hi`` only; ``loads`` must then have shape
+    ``(hi - lo, n2)``.  Balancing is confined to the band — exactly the
+    degraded MWA a partitioned RIPS run performs per component.
+    """
+    proto = _MWAProtocol(machine, loads, rows=rows)
     proto.start()
     machine.run()
     res = proto.result()

@@ -161,9 +161,16 @@ class RIPS(Strategy):
         self._hardened = machine.faults is not None
         #: current protocol root (re-elected as min(alive) after a crash).
         self._root = 0
+        #: one root per reachability component while partitioned.
+        self._roots = [0]
         #: highest system phase abandoned because of a crash; protocol
         #: traffic for phases <= this watermark is stale by definition.
         self._max_abandoned = 0
+        #: widest post-plan quota spread seen (obs-rich runs only); the
+        #: chaos checker asserts it stays <= 1.
+        self.max_quota_spread = 0
+        if self._hardened:
+            machine.faults.on_membership_changed(self._on_membership_event)
 
     # ------------------------------------------------------------------
     # placement hooks (driver side)
@@ -205,23 +212,17 @@ class RIPS(Strategy):
         self.place_child(node, task)
 
     def on_wave_released(self, wave: int) -> None:
-        """A new wave appeared: schedule it with a fresh system phase."""
-        self._initiate(self._root)
+        """A new wave appeared: schedule it with a fresh system phase
+        (one per reachability component while partitioned)."""
+        for root in self._roots:
+            self._initiate(root)
 
     # ------------------------------------------------------------------
-    # fail-stop recovery
+    # fail-stop / membership recovery
     # ------------------------------------------------------------------
     def on_node_crashed(self, dead: int) -> list[int]:
-        """Rebuild the protocol over the survivors (driver callback).
-
-        Four steps: hand the dead node's pooled tasks back to the driver
-        for rescue; re-elect the root and rebuild every collective tree
-        over the survivors; abandon any system phase caught mid-flight
-        (nodes revert to USER with their tasks back in their RTE queues);
-        and re-synchronize the survivors' phase counters so the next
-        phase has one consistent number.  Fresh idle/ready triggers are
-        scheduled so a new system phase starts on its own.
-        """
+        """Hand the dead node's pooled tasks back to the driver for
+        rescue, then rebuild the protocol over the survivors."""
         machine = self.machine
         st_dead = self.states[dead]
         st_dead.mode = _Mode.DONE
@@ -235,13 +236,59 @@ class RIPS(Strategy):
             now = machine.sim.now
             for name in ("transfer", "gather", "init"):
                 tr.end(dead, "phase", name, now, {"outcome": "crashed"})
+        self._membership_changed()
+        return rescued
+
+    def on_node_rejoined(self, rank: int) -> None:
+        """A falsely-declared-dead node refuted and rejoined: give it a
+        fresh protocol state (its old one was written off at the false
+        death) and fold it back into the trees."""
+        self.states[rank] = _NodeState()
+        self._membership_changed()
+
+    def _on_membership_event(self, event: str) -> None:
+        """Injector callback: a scheduled mesh cut began or healed."""
+        self._membership_changed()
+
+    def _current_groups(self, alive: list[int]) -> list[list[int]]:
+        """Reachability components restricted to usable ranks."""
+        inj = self.machine.faults
+        if inj is None:
+            return [list(alive)]
+        alive_set = set(alive)
+        groups = [[r for r in comp if r in alive_set]
+                  for comp in inj.components()]
+        return [g for g in groups if g]
+
+    def _membership_changed(self) -> None:
+        """Rebuild the protocol over the current membership.
+
+        Handles crashes, partitions, heals, and rejoins uniformly: elect
+        one root per reachability component (its smallest usable rank)
+        and rebuild every collective as a *forest* over the components —
+        each component then runs system phases locally; abandon any
+        system phase caught mid-flight (nodes revert to USER with their
+        tasks back in their RTE queues); re-synchronize phase counters so
+        the next phase has one consistent number per component; and kick
+        every node so idle ones re-arm phase detection on their own.
+        """
+        machine = self.machine
         alive = machine.alive_ranks()
-        self._root = min(alive)
-        self._tree_parent, self._tree_children = survivor_tree(
-            machine.topology, alive, self._root)
-        self._gather.rebuild(alive, root=self._root)
-        self._bcast_init.set_ranks(alive)
-        self._bcast_ctrl.set_ranks(alive)
+        groups = self._current_groups(alive)
+        self._roots = [g[0] for g in groups]
+        self._root = self._roots[0]
+        n = machine.num_nodes
+        parent = [-2] * n
+        children: list[list[int]] = [[] for _ in range(n)]
+        for g in groups:
+            g_parent, g_children = survivor_tree(machine.topology, g, g[0])
+            for r in g:
+                parent[r] = g_parent[r]
+                children[r] = g_children[r]
+        self._tree_parent, self._tree_children = parent, children
+        self._gather.rebuild_groups(groups)
+        self._bcast_init.set_groups(groups)
+        self._bcast_ctrl.set_groups(groups)
         abandoned = 0
         for rank in alive:
             st = self.states[rank]
@@ -289,7 +336,6 @@ class RIPS(Strategy):
         # idle one re-arms phase detection instead of waiting forever.
         for rank in alive:
             machine.sim.schedule(0.0, self._post_crash_kick, rank)
-        return rescued
 
     def _post_crash_kick(self, rank: int) -> None:
         st = self.states[rank]
@@ -366,8 +412,8 @@ class RIPS(Strategy):
         if st.ready_counts.get(target, 0) < len(self._tree_children[rank]):
             return
         st.ready_sent_phase = target
-        if rank == self._root:
-            self._initiate(self._root)
+        if self._tree_parent[rank] == -1:  # a (forest) root
+            self._initiate(rank)
         else:
             self.machine.node(rank).send(
                 self._tree_parent[rank], "rips.ready", target, reliable=True
@@ -479,9 +525,21 @@ class RIPS(Strategy):
         for r, c in loads_by_rank.items():
             loads[r] = c
         total = int(loads.sum())
-        root_rank = self._root
+        if self._hardened:
+            # This result belongs to one gather-forest component: exactly
+            # the ranks that contributed.  Its root is the smallest member
+            # (how the forest was built; a crashed root cannot complete a
+            # round, so the min is usable).  Plan only over members still
+            # usable *now* — one may have crashed after contributing,
+            # inside the detection window.
+            nodes = machine.nodes
+            ranks = [r for r in sorted(loads_by_rank)
+                     if not nodes[r].crashed and not nodes[r].fenced]
+            root_rank = min(loads_by_rank)
+        else:
+            ranks = list(range(n))
+            root_rank = self._root
         root = machine.node(root_rank)
-        ranks = machine.alive_ranks() if self._hardened else list(range(n))
         if total == 0:
             kind = "done" if self.driver.finished else "sleep"
             root.exec_cpu(
@@ -493,6 +551,19 @@ class RIPS(Strategy):
             plan = self._plan_over_survivors(loads, ranks)
         else:
             plan = self._planner.plan(loads)
+        inj = machine.faults
+        if inj is not None and inj.obs_rich:
+            # the RIPS balance invariant, per component: post-plan quotas
+            # among the participating ranks may differ by at most 1
+            quotas = [int(plan.quotas[r]) for r in ranks]
+            spread = max(quotas) - min(quotas)
+            self.max_quota_spread = max(self.max_quota_spread, spread)
+            tr = self.tracer
+            if tr is not None:
+                tr.instant(root_rank, "phase", "phase-balance",
+                           machine.sim.now,
+                           {"phase": phase, "spread": spread,
+                            "ranks": len(ranks)})
         self.num_phases += 1
         self.migrated_tasks += sum(c for (_s, _d, c) in plan.transfers)
         self.plan_cost_total += plan.cost
@@ -654,3 +725,6 @@ class RIPS(Strategy):
         metrics.extra["global_policy"] = self.global_policy.value
         if self.abandoned_phases:
             metrics.extra["abandoned_phases"] = self.abandoned_phases
+        inj = self.machine.faults if self.machine is not None else None
+        if inj is not None and inj.obs_rich:
+            metrics.extra["max_quota_spread"] = self.max_quota_spread

@@ -55,13 +55,28 @@ def fault_levels(
     drop_rates: Sequence[float] = DEFAULT_DROP_RATES,
     crash_counts: Sequence[int] = (1,),
     crash_at: float = DEFAULT_CRASH_AT,
+    detectors: Sequence[str] = ("oracle",),
+    partition_counts: Sequence[int] = (),
 ) -> list[tuple[str, Optional[FaultPlan]]]:
-    """The fault sweep: a fault-free baseline, then drops, then crashes.
+    """The fault sweep: a fault-free baseline, then drops, then crashes,
+    then (optionally) scheduled mesh partitions.
 
     Crash levels kill ``count`` distinct ranks spread across the machine
     (never rank 0, which keeps the baseline RIPS root comparable),
-    staggered ``crash_at`` apart starting at ``crash_at``.
+    staggered ``crash_at`` apart starting at ``crash_at``.  Each crash
+    and partition level is emitted once per entry of ``detectors``
+    (``"oracle"`` and/or ``"heartbeat"``); non-oracle levels carry a
+    ``-hb`` style suffix.  Partition levels cut the machine into two
+    contiguous halves ``count`` times, each cut lasting ``crash_at`` and
+    healing before the next.
     """
+    for det in detectors:
+        if det not in ("oracle", "heartbeat"):
+            raise ValueError(f"unknown detector {det!r}")
+
+    def suffix(det: str) -> str:
+        return "" if det == "oracle" else f"-{det[:2]}"
+
     levels: list[tuple[str, Optional[FaultPlan]]] = [("none", None)]
     for rate in drop_rates:
         levels.append(
@@ -74,8 +89,22 @@ def fault_levels(
             ((i + 1) * num_nodes // (count + 1), crash_at * (i + 1))
             for i in range(count)
         )
-        levels.append(
-            (f"crash-{count}", FaultPlan.fail_stop(crashes, seed=fault_seed)))
+        for det in detectors:
+            levels.append((f"crash-{count}{suffix(det)}",
+                           FaultPlan.fail_stop(crashes, seed=fault_seed,
+                                               detector=det)))
+    halves = (tuple(range(num_nodes // 2)),
+              tuple(range(num_nodes // 2, num_nodes)))
+    for count in partition_counts:
+        if count < 1:
+            raise ValueError(f"partition count {count} must be >= 1")
+        cuts = tuple(
+            (crash_at * (2 * i + 1), crash_at, halves) for i in range(count)
+        )
+        for det in detectors:
+            levels.append((f"part-{count}{suffix(det)}",
+                           FaultPlan.partitioned(cuts, seed=fault_seed,
+                                                 detector=det)))
     return levels
 
 
@@ -89,6 +118,8 @@ def faults_requests(
     drop_rates: Sequence[float] = DEFAULT_DROP_RATES,
     crash_counts: Sequence[int] = (1,),
     crash_at: float = DEFAULT_CRASH_AT,
+    detectors: Sequence[str] = ("oracle",),
+    partition_counts: Sequence[int] = (),
     audit: bool = False,
 ) -> list[RunRequest]:
     """The fault grid: workloads x fault levels x strategies.
@@ -107,6 +138,8 @@ def faults_requests(
         drop_rates=drop_rates,
         crash_counts=crash_counts,
         crash_at=crash_at,
+        detectors=detectors,
+        partition_counts=partition_counts,
     )
     return [
         RunRequest(

@@ -1,20 +1,32 @@
 """Deterministic fault injection, protocol hardening, and conservation
 checking for the simulated machine.
 
-Three layers (see EXPERIMENTS.md "Fault model"):
+Four layers (see EXPERIMENTS.md "Fault model"):
 
 * **Injection** — :class:`FaultPlan` (pure data, seeded) +
   :class:`~repro.faults.inject.FaultInjector` (wire faults, outages,
-  stalls, fail-stop crashes), installed via ``Machine.attach_faults``;
+  stalls, fail-stop crashes, scheduled mesh partitions), installed via
+  ``Machine.attach_faults``;
+* **Detection** — the oracle (``detector="oracle"``: global infallible
+  knowledge ``detect_delay`` after each crash) or the in-protocol
+  heartbeat detector (``detector="heartbeat"``:
+  :class:`~repro.faults.detector.HeartbeatDetector`, with suspicion,
+  gossip corroboration, incarnation-numbered refutation, and fencing of
+  falsely declared nodes);
 * **Hardening** — the ack/retransmit envelope behind
   ``Node.send(reliable=True)``
   (:class:`~repro.faults.transport.ReliableTransport`) plus the
-  crash-recovery hooks in the RIPS protocol and the driver;
-* **Checking** — :func:`audit_conservation`, the post-run exactly-once
-  (or provably-lost) invariant over tracer records.
+  crash-recovery/rejoin hooks in the RIPS protocol and the driver;
+* **Checking** — :func:`audit_conservation` /:func:`audit_session`, the
+  post-run exactly-once (or provably-lost) invariant over tracer
+  records, and the :mod:`repro.faults.chaos` harness (seeded random
+  plans, invariant checking, ddmin shrinking — ``python -m repro
+  chaos``).
 """
 
-from .audit import ConservationReport, audit_conservation, executed_task_counts
+from .audit import (ConservationReport, audit_conservation, audit_session,
+                    executed_task_counts)
+from .detector import HeartbeatDetector
 from .plan import NULL_PLAN, FaultPlan
 
 __all__ = [
@@ -22,5 +34,7 @@ __all__ = [
     "NULL_PLAN",
     "ConservationReport",
     "audit_conservation",
+    "audit_session",
     "executed_task_counts",
+    "HeartbeatDetector",
 ]

@@ -21,7 +21,8 @@ from typing import Iterable, Optional, Sequence
 
 from repro.tasks.trace import WorkloadTrace
 
-__all__ = ["ConservationReport", "audit_conservation", "executed_task_counts"]
+__all__ = ["ConservationReport", "audit_conservation", "audit_session",
+           "executed_task_counts"]
 
 
 def executed_task_counts(records: Iterable[dict]) -> dict[int, int]:
@@ -125,3 +126,23 @@ def audit_conservation(
     else:
         report.unjustified_lost = sorted(lost)
     return report
+
+
+def audit_session(session, metrics=None) -> ConservationReport:
+    """Audit a completed traced :class:`~repro.session.Session` run.
+
+    Convenience wrapper over :func:`audit_conservation` pulling the
+    workload DAG, tracer records, loss declarations, and crash history
+    straight from the session (the chaos harness's main loop).  Pass the
+    :class:`RunMetrics` if you already hold them; otherwise they are
+    recomputed from the driver.
+    """
+    if metrics is None:
+        metrics = session.driver._metrics()
+    extra = metrics.extra
+    return audit_conservation(
+        session.driver.trace,
+        session.tracer.records,
+        extra.get("lost_task_ids", ()),
+        extra.get("crashed_nodes", ()),
+    )

@@ -1,0 +1,339 @@
+"""Seeded chaos testing: random fault plans, invariants, shrinking.
+
+The chaos harness closes the loop on the fault model: instead of
+hand-picked fault plans, it *generates* plans from a seed — crashes,
+stalls, outages, partitions, wire-fault rates, always under the
+heartbeat detector — runs each against RIPS, and checks the invariants
+that must hold under **any** plan the generator can produce:
+
+``termination``
+    The run completes within a generous event budget (a livelocked
+    retransmit storm or a wedged phase never drains the heap).
+``conservation``
+    Every generated task executes exactly once or is provably lost to a
+    declared fail-stop crash (:func:`repro.faults.audit_session`).
+``balance``
+    At every system-phase end, planned quotas among the live ranks of
+    the planning component differ by at most 1 (the MWA property; the
+    RIPS runtime records the worst spread it ever planned).
+``bounded-retransmits``
+    No reliable envelope retries without bound: the worst per-message
+    attempt count stays under the cap implied by finite outages plus
+    capped exponential backoff.
+
+When a case fails, :func:`shrink_plan` delta-debugs the plan down to a
+minimal reproducer: scheduled faults (each crash / stall / outage /
+partition) and each nonzero wire rate are the atoms, and ddmin finds a
+small atom subset that still fails — typically one or two faults — to
+re-run via ``python -m repro chaos --replay``.
+
+Everything is deterministic: ``chaos --cases 50 --seed 0`` generates
+and judges the same 50 plans on every machine, every time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+from .audit import audit_session
+from .plan import FaultPlan
+
+__all__ = ["ChaosCase", "ChaosReport", "random_plan", "run_case",
+           "run_chaos", "shrink_plan", "MAX_ATTEMPTS_BOUND"]
+
+#: default chaos target — small enough that 50 cases run in tens of
+#: seconds, large enough for real protocol structure (4x4 mesh).
+WORKLOAD = "queens-10"
+NUM_NODES = 16
+MACHINE_SEED = 7
+SCALE = "small"
+
+#: invariant bound on the reliable envelope's worst attempt count.
+#: Outages and partitions last at most ~12 ms; with the default RTO and
+#: capped backoff a survivor needs well under this many tries to cross
+#: a healed cut.  A retransmit storm blows straight past it.
+MAX_ATTEMPTS_BOUND = 64
+
+#: hard event budget per case — the termination invariant.  Healthy
+#: runs of the chaos target finish in well under 10% of this.
+MAX_EVENTS = 4_000_000
+_CHUNK = 250_000
+
+_RATE_FIELDS = ("drop_rate", "duplicate_rate", "delay_rate", "reorder_rate")
+
+
+# ---------------------------------------------------------------------------
+# plan generation
+# ---------------------------------------------------------------------------
+def random_plan(rng: random.Random, num_nodes: int = NUM_NODES) -> FaultPlan:
+    """Draw one fault plan from the chaos distribution.
+
+    Always ``detector="heartbeat"`` (the oracle is exercised by the
+    deterministic suite; chaos hunts the detection/fencing/rejoin
+    paths).  Rank 0 never crashes — it holds the root workload seed, so
+    crashing it makes every plan trivially "all tasks lost".  Stall
+    windows are drawn long enough that some exceed the heartbeat
+    timeout, which is exactly how false suspicions arise.
+    """
+    horizon = 0.020  # healthy fault-free run of the target is ~25 ms
+
+    def when(lo: float = 0.002) -> float:
+        return round(rng.uniform(lo, horizon), 6)
+
+    crashes = tuple(
+        (rank, when())
+        for rank in rng.sample(range(1, num_nodes), rng.randint(0, 2))
+    )
+    stalls = tuple(
+        (rng.randrange(num_nodes), when(0.001), round(rng.uniform(0.002, 0.02), 6))
+        for _ in range(rng.randint(0, 2))
+    )
+    outages = []
+    for _ in range(rng.randint(0, 2)):
+        src = rng.randrange(num_nodes)
+        dest = rng.randrange(num_nodes)
+        if src == dest:
+            dest = (dest + 1) % num_nodes
+        outages.append((src, dest, when(0.001), round(rng.uniform(0.001, 0.008), 6)))
+    partitions = ()
+    if rng.random() < 0.5:
+        # cut the default mesh into two contiguous halves (row-major
+        # rank order, so halves are horizontal mesh bands)
+        half = num_nodes // 2
+        groups = (tuple(range(half)), tuple(range(half, num_nodes)))
+        partitions = ((when(0.002), round(rng.uniform(0.004, 0.012), 6), groups),)
+    return FaultPlan(
+        seed=rng.randrange(1 << 30),
+        detector="heartbeat",
+        drop_rate=rng.choice((0.0, 0.005, 0.02)),
+        duplicate_rate=rng.choice((0.0, 0.01)),
+        delay_rate=rng.choice((0.0, 0.01)),
+        crashes=crashes,
+        stalls=stalls,
+        outages=tuple(outages),
+        partitions=partitions,
+    )
+
+
+# ---------------------------------------------------------------------------
+# case execution + invariants
+# ---------------------------------------------------------------------------
+@dataclass
+class ChaosCase:
+    """Verdict for one generated plan."""
+
+    index: int
+    plan: FaultPlan
+    violations: list[str] = field(default_factory=list)
+    sim_time: float = 0.0
+    events: int = 0
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        verdict = "ok" if self.ok else "FAIL " + ",".join(
+            v.split(":", 1)[0] for v in self.violations)
+        return (f"case {self.index:3d}  {self.plan.describe():<44s} "
+                f"T={self.sim_time * 1e3:6.2f}ms  {verdict}")
+
+
+def run_case(
+    plan: FaultPlan,
+    *,
+    index: int = 0,
+    workload: str = WORKLOAD,
+    num_nodes: int = NUM_NODES,
+    seed: int = MACHINE_SEED,
+    max_events: int = MAX_EVENTS,
+    mutate: Optional[Callable] = None,
+) -> ChaosCase:
+    """Run one plan against RIPS and check every invariant.
+
+    ``mutate(session)`` — applied after wiring, before the run — is the
+    breakage hook the test suite uses to verify the harness *catches*
+    a sabotaged injector; production callers leave it None.
+    """
+    from repro.session import Session
+
+    case = ChaosCase(index=index, plan=plan)
+    sess = Session(workload, strategy="RIPS", num_nodes=num_nodes,
+                   seed=seed, scale=SCALE, faults=plan, trace=True)
+    sess.prepare()
+    if mutate is not None:
+        mutate(sess)
+    metrics = None
+    spent = 0
+    while spent < max_events:
+        metrics = sess.run(max_events=_CHUNK)
+        spent += _CHUNK
+        if metrics is not None:
+            break
+    case.events = spent
+    case.sim_time = sess.machine.sim.now
+    if metrics is None:
+        case.violations.append(
+            f"termination: not finished after {spent:,} events "
+            f"(sim time {case.sim_time * 1e3:.2f} ms)")
+        return case  # nothing downstream is meaningful on a hung run
+
+    audit = audit_session(sess, metrics)
+    if not audit.ok:
+        case.violations.append(f"conservation: {audit.summary()}")
+    spread = metrics.extra.get("max_quota_spread", 0)
+    case.detail["max_quota_spread"] = spread
+    if spread > 1:
+        case.violations.append(
+            f"balance: planned quota spread {spread} > 1 at a phase end")
+    counts = sess.machine.faults.counts if sess.machine.faults else {}
+    attempts = counts.get("max_attempts", 1)
+    case.detail["max_attempts"] = attempts
+    if attempts > MAX_ATTEMPTS_BOUND:
+        case.violations.append(
+            f"bounded-retransmits: worst attempt count {attempts} "
+            f"> {MAX_ATTEMPTS_BOUND}")
+    case.detail["lost"] = len(metrics.extra.get("lost_task_ids", ()))
+    case.detail["rejoined"] = list(metrics.extra.get("rejoined_nodes", ()))
+    return case
+
+
+# ---------------------------------------------------------------------------
+# shrinking (ddmin over fault atoms)
+# ---------------------------------------------------------------------------
+def _atoms(plan: FaultPlan) -> list[tuple[str, object]]:
+    """Decompose a plan into independently removable fault atoms."""
+    out: list[tuple[str, object]] = []
+    out += [("crashes", c) for c in plan.crashes]
+    out += [("stalls", s) for s in plan.stalls]
+    out += [("outages", o) for o in plan.outages]
+    out += [("partitions", p) for p in plan.partitions]
+    out += [("rate", name) for name in _RATE_FIELDS if getattr(plan, name)]
+    return out
+
+
+def _build(plan: FaultPlan, atoms: list[tuple[str, object]]) -> FaultPlan:
+    """The sub-plan containing exactly ``atoms`` (order preserved)."""
+    kept: dict[str, list] = {k: [] for k in
+                             ("crashes", "stalls", "outages", "partitions")}
+    rates = {name: 0.0 for name in _RATE_FIELDS}
+    for kind, value in atoms:
+        if kind == "rate":
+            rates[value] = getattr(plan, value)
+        else:
+            kept[kind].append(value)
+    return replace(plan, **{k: tuple(v) for k, v in kept.items()}, **rates)
+
+
+def scheduled_fault_count(plan: FaultPlan) -> int:
+    return (len(plan.crashes) + len(plan.stalls)
+            + len(plan.outages) + len(plan.partitions))
+
+
+def shrink_plan(
+    plan: FaultPlan,
+    fails: Callable[[FaultPlan], bool],
+    budget: int = 64,
+) -> tuple[FaultPlan, int]:
+    """Minimize ``plan`` while ``fails`` keeps holding (classic ddmin).
+
+    ``fails(sub_plan) -> bool`` judges a candidate (True = still
+    reproduces the failure).  Evaluations are memoized on the canonical
+    form and capped at ``budget``; returns ``(smallest failing plan
+    found, evaluations spent)``.  The full plan must itself fail.
+    """
+    cache: dict[str, bool] = {}
+    spent = 0
+
+    def test(atoms: list[tuple[str, object]]) -> bool:
+        nonlocal spent
+        candidate = _build(plan, atoms)
+        key = repr(sorted(candidate.canonical().items(), key=repr))
+        if key in cache:
+            return cache[key]
+        if spent >= budget:
+            return False  # out of budget: treat as "did not reproduce"
+        spent += 1
+        verdict = bool(fails(candidate))
+        cache[key] = verdict
+        return verdict
+
+    atoms = _atoms(plan)
+    if not test(atoms):
+        raise ValueError("shrink_plan: the full plan does not fail")
+    n = 2
+    while len(atoms) >= 2 and spent < budget:
+        chunk = max(1, len(atoms) // n)
+        subsets = [atoms[i:i + chunk] for i in range(0, len(atoms), chunk)]
+        reduced = False
+        for subset in subsets:  # try each chunk alone
+            if len(subset) < len(atoms) and test(subset):
+                atoms, n, reduced = subset, 2, True
+                break
+        if not reduced:
+            for subset in subsets:  # try each complement
+                rest = [a for a in atoms if a not in subset]
+                if 0 < len(rest) < len(atoms) and test(rest):
+                    atoms, reduced = rest, True
+                    n = max(n - 1, 2)
+                    break
+        if not reduced:
+            if n >= len(atoms):
+                break
+            n = min(len(atoms), n * 2)
+    return _build(plan, atoms), spent
+
+
+# ---------------------------------------------------------------------------
+# the campaign
+# ---------------------------------------------------------------------------
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos campaign."""
+
+    seed: int
+    cases: list[ChaosCase] = field(default_factory=list)
+    #: minimal reproducers for the failing cases, parallel to
+    #: ``failures()`` — each is (case_index, shrunk_plan, evals_spent).
+    reproducers: list[tuple[int, FaultPlan, int]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.cases)
+
+    def failures(self) -> list[ChaosCase]:
+        return [c for c in self.cases if not c.ok]
+
+
+def run_chaos(
+    cases: int = 20,
+    seed: int = 0,
+    *,
+    num_nodes: int = NUM_NODES,
+    shrink: bool = True,
+    shrink_budget: int = 64,
+    mutate: Optional[Callable] = None,
+    progress: Optional[Callable[[ChaosCase], None]] = None,
+) -> ChaosReport:
+    """Generate and judge ``cases`` plans; shrink whatever fails."""
+    report = ChaosReport(seed=seed)
+    for i in range(cases):
+        # one independent stream per case: stable under reordering and
+        # under --cases growth (case i is the same plan at any count)
+        rng = random.Random((seed << 20) ^ i)
+        plan = random_plan(rng, num_nodes)
+        case = run_case(plan, index=i, num_nodes=num_nodes, mutate=mutate)
+        report.cases.append(case)
+        if progress is not None:
+            progress(case)
+        if not case.ok and shrink:
+            def fails(candidate: FaultPlan) -> bool:
+                return not run_case(candidate, index=i, num_nodes=num_nodes,
+                                    mutate=mutate).ok
+
+            shrunk, spent = shrink_plan(plan, fails, budget=shrink_budget)
+            report.reproducers.append((i, shrunk, spent))
+    return report

@@ -63,8 +63,34 @@ class FaultPlan:
     stalls: tuple[tuple[int, float, float], ...] = ()
     #: fail-stop crashes: (rank, time).  Fatal and permanent.
     crashes: tuple[tuple[int, float], ...] = ()
+    #: scheduled mesh partitions: (start, duration, components) where
+    #: ``components`` is a tuple of disjoint rank groups.  While a cut is
+    #: active every message between different groups is dropped on the
+    #: wire (reliable senders keep retransmitting until the heal).  Ranks
+    #: not named in any group form one implicit "rest" component.
+    partitions: tuple[tuple[float, float, tuple[tuple[int, ...], ...]], ...] = ()
+
+    # -- failure detection --------------------------------------------
+    #: ``"oracle"``: survivors learn of each crash ``detect_delay`` after
+    #: it, globally and infallibly (the pre-detector behavior).
+    #: ``"heartbeat"``: in-protocol detection — mesh neighbors exchange
+    #: heartbeats, missed deadlines raise SUSPECT, gossip corroboration
+    #: promotes to DEAD, and incarnation numbers let a falsely-declared
+    #: node refute and rejoin (false positives are possible).
+    detector: str = "oracle"
     #: failure-detector latency: survivors learn of a crash this long after it.
     detect_delay: float = 2e-3
+    #: heartbeat period; None derives ~8 one-way mesh traversals at install.
+    heartbeat_period: Optional[float] = None
+    #: silence before a monitor suspects a peer; None derives 3 periods.
+    heartbeat_timeout: Optional[float] = None
+    #: distinct suspecting monitors needed to promote SUSPECT -> DEAD
+    #: (clamped to the peer's monitor count at install).
+    corroboration: int = 2
+    #: lease after a false death declaration before the fenced node
+    #: re-checks, refutes with a higher incarnation, and rejoins; None
+    #: derives 2 heartbeat timeouts.
+    refute_delay: Optional[float] = None
 
     # -- reliable-envelope tuning -------------------------------------
     #: initial retransmit timeout; None derives one from the latency model.
@@ -73,7 +99,8 @@ class FaultPlan:
     max_backoff_doublings: int = 6
 
     def __post_init__(self) -> None:
-        for name in ("kinds", "links", "outages", "stalls", "crashes"):
+        for name in ("kinds", "links", "outages", "stalls", "crashes",
+                     "partitions"):
             value = getattr(self, name)
             if value is not None:
                 object.__setattr__(self, name, _freeze(value))
@@ -83,10 +110,27 @@ class FaultPlan:
                 raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
         if len({r for r, _ in self.crashes}) != len(self.crashes):
             raise ValueError("at most one crash per rank")
+        if self.detector not in ("oracle", "heartbeat"):
+            raise ValueError(
+                f"detector must be 'oracle' or 'heartbeat', got {self.detector!r}")
+        if self.corroboration < 1:
+            raise ValueError("corroboration must be >= 1")
+        for start, duration, components in self.partitions:
+            if duration <= 0:
+                raise ValueError("partition duration must be > 0")
+            named: set[int] = set()
+            for group in components:
+                if named & set(group):
+                    raise ValueError("partition components must be disjoint")
+                named |= set(group)
 
     # ------------------------------------------------------------------
     def is_null(self) -> bool:
-        """True when the plan injects nothing at all."""
+        """True when the plan injects nothing at all.
+
+        A heartbeat-detector plan is never null even without scheduled
+        faults: the detector itself adds real protocol traffic.
+        """
         return (
             self.drop_rate == 0.0
             and self.duplicate_rate == 0.0
@@ -95,6 +139,8 @@ class FaultPlan:
             and not self.outages
             and not self.stalls
             and not self.crashes
+            and not self.partitions
+            and self.detector == "oracle"
         )
 
     def describe(self) -> str:
@@ -114,6 +160,10 @@ class FaultPlan:
             parts.append(f"stall x{len(self.stalls)}")
         if self.crashes:
             parts.append(f"crash x{len(self.crashes)}")
+        if self.partitions:
+            parts.append(f"partition x{len(self.partitions)}")
+        if self.detector != "oracle":
+            parts.append(f"{self.detector}-detect")
         return "+".join(parts)
 
     def canonical(self) -> dict[str, Any]:
@@ -138,6 +188,10 @@ class FaultPlan:
     @classmethod
     def fail_stop(cls, crashes, seed: int = 0, **kw) -> "FaultPlan":
         return cls(seed=seed, crashes=tuple(crashes), **kw)
+
+    @classmethod
+    def partitioned(cls, partitions, seed: int = 0, **kw) -> "FaultPlan":
+        return cls(seed=seed, partitions=tuple(partitions), **kw)
 
 
 #: Shared do-nothing plan; ``Machine.attach_faults`` treats it like None.

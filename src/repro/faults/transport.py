@@ -76,6 +76,9 @@ class ReliableTransport:
         self.max_backoff_doublings = max_backoff_doublings
         self.retransmits = 0
         self.acks = 0
+        #: largest attempt count any single entry ever reached — the
+        #: bounded-retransmit invariant the chaos checker asserts.
+        self.max_attempts = 0
         for node in machine.nodes:
             node.on(ACK_KIND, self._on_ack)
         #: callback(msg, tasks_carried) for sends addressed to a known-dead
@@ -130,6 +133,8 @@ class ReliableTransport:
             return
         entry.attempts += 1
         self.retransmits += 1
+        if entry.attempts > self.max_attempts:
+            self.max_attempts = entry.attempts
         entry.node.exec_cpu(
             self.machine.latency.endpoint_cpu(entry.msg.size), "overhead",
             self._attempt, entry)
@@ -186,6 +191,14 @@ class ReliableTransport:
     # ------------------------------------------------------------------
     # crash integration
     # ------------------------------------------------------------------
+    def revive(self, rank: int) -> None:
+        """A falsely-declared-dead node rejoined: accept sends to it again.
+
+        Entries surfaced at its (false) death stay rescued and their ids
+        stay poisoned — only *new* traffic flows; nothing is replayed.
+        """
+        self.dead.discard(rank)
+
     def handle_crash(self, rank: int) -> list[tuple[Message, int]]:
         """Account for a detected fail-stop of ``rank``.
 

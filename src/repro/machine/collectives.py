@@ -130,6 +130,31 @@ class GatherTree:
         self._acc = [dict() for _ in range(n)]
         self._expected = [len(self.children[r]) + 1 for r in range(n)]
 
+    def rebuild_groups(self, groups: Iterable[Iterable[int]]) -> None:
+        """Rebuild as a *forest*: one independent reduction per group.
+
+        Used while the machine is partitioned — each reachability
+        component gathers to its own root (the group's smallest rank),
+        detected by ``parent[rank] == -1``, and runs system phases
+        locally.  Like :meth:`rebuild` this discards in-flight rounds.
+        """
+        n = self.machine.num_nodes
+        parent = [-2] * n
+        children: list[list[int]] = [[] for _ in range(n)]
+        roots = []
+        for group in groups:
+            group = sorted(group)
+            g_parent, g_children = survivor_tree(
+                self.machine.topology, group, group[0])
+            roots.append(group[0])
+            for r in group:
+                parent[r] = g_parent[r]
+                children[r] = g_children[r]
+        self.parent, self.children = parent, children
+        self.root = roots[0]
+        self._acc = [dict() for _ in range(n)]
+        self._expected = [len(self.children[r]) + 1 for r in range(n)]
+
     def contribute(self, rank: int, round_id: int, value: Any) -> None:
         """Node ``rank`` contributes its local value for ``round_id``."""
         self._absorb(rank, round_id, value)
@@ -164,7 +189,7 @@ class GatherTree:
             raise RuntimeError(f"over-contribution at node {rank}, round {round_id}")
         if slot[0] == self._expected[rank]:
             del acc[round_id]
-            if rank == self.root:
+            if self.parent[rank] == -1:  # a (forest) root
                 self.on_result(round_id, slot[1])
             else:
                 self.machine.node(rank).send(
@@ -207,8 +232,19 @@ class BinomialBroadcast:
         list, so with the full rank set this is exactly the classic
         ``(rank - root) mod n`` construction.
         """
-        self._ranks = sorted(ranks)
-        self._pos = {r: i for i, r in enumerate(self._ranks)}
+        self.set_groups([ranks])
+
+    def set_groups(self, groups: Iterable[Iterable[int]]) -> None:
+        """Partition the broadcast into independent groups (a forest).
+
+        While the machine is partitioned a broadcast from a root only
+        reaches the root's own group; forwards that cross groups (stale
+        traffic from before the cut) are dropped.
+        """
+        self._groups = [sorted(g) for g in groups]
+        self._pos = {r: (gi, i)
+                     for gi, group in enumerate(self._groups)
+                     for i, r in enumerate(group)}
 
     def broadcast(self, root: int, payload: Any) -> None:
         """Start a broadcast from ``root`` (callable any number of times)."""
@@ -222,13 +258,16 @@ class BinomialBroadcast:
         self.on_receive(msg.dest, payload)
 
     def _forward(self, rank: int, root: int, payload: Any) -> None:
-        pos = self._pos.get(rank)
-        rpos = self._pos.get(root)
-        if pos is None or rpos is None:
-            # stale forward involving a rank dropped by set_ranks; the
-            # restart broadcast over the survivors supersedes it
+        at = self._pos.get(rank)
+        rt = self._pos.get(root)
+        if at is None or rt is None or at[0] != rt[0]:
+            # stale forward involving a rank dropped by set_ranks / cut
+            # off by set_groups; the restart broadcast over the current
+            # membership supersedes it
             return
-        n = len(self._ranks)
+        group = self._groups[at[0]]
+        pos, rpos = at[1], rt[1]
+        n = len(group)
         rel = (pos - rpos) % n
         node = self.machine.node(rank)
         k = rel.bit_length()
@@ -236,7 +275,7 @@ class BinomialBroadcast:
             child_rel = rel + (1 << k)
             if child_rel >= n:
                 break
-            dest = self._ranks[(child_rel + rpos) % n]
+            dest = group[(child_rel + rpos) % n]
             node.send(dest, self.kind, (root, payload),
                       size=self.payload_bytes, reliable=self.reliable)
             k += 1

@@ -157,8 +157,10 @@ class Machine:
         return restore(snapshot)
 
     def alive_ranks(self) -> list[int]:
-        """Ranks of nodes that have not (yet) fail-stopped, ascending."""
-        return [n.rank for n in self.nodes if not n.crashed]
+        """Ranks usable for scheduling, ascending: not fail-stopped and
+        not fenced (a fenced node is falsely declared dead; until it
+        refutes, every protocol must treat it exactly like a crash)."""
+        return [n.rank for n in self.nodes if not n.crashed and not n.fenced]
 
     def _deliver(self, msg: Message) -> None:
         tr = self.tracer

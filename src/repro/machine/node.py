@@ -66,6 +66,14 @@ class Node:
         self.crashed = False
         #: transient stall: queued CPU work is held, nothing is lost.
         self.stalled = False
+        #: lease fence: a live node falsely declared dead behaves exactly
+        #: like a crashed one (executes nothing, receives nothing) until
+        #: the failure detector revives it — which is what keeps a false
+        #: positive from double-executing rescued tasks.
+        self.fenced = False
+        #: bumped on fence/crash-like resets; in-flight CPU bursts carry
+        #: the epoch they started under and are voided on mismatch.
+        self._cpu_epoch = 0
 
     # ------------------------------------------------------------------
     # message handling
@@ -158,7 +166,7 @@ class Node:
             raise ValueError("duration must be >= 0")
         if category not in self.cpu_time:
             raise ValueError(f"unknown CPU category {category!r}")
-        if self.crashed:
+        if self.crashed or self.fenced:
             return
         self._cpu_queue.append((duration, category, fn, args))
         if not self._cpu_busy:
@@ -189,25 +197,28 @@ class Node:
         return self.sim.schedule(delay, self._fire_timer, fn, args)
 
     def _fire_timer(self, fn: Callable[..., None], args: tuple) -> None:
-        if not self.crashed:
+        if not self.crashed and not self.fenced:
             fn(*args)
 
     def _start_next(self) -> None:
-        if self.stalled or self.crashed:
+        if self.stalled or self.crashed or self.fenced:
             return
         duration, category, fn, args = self._cpu_queue.popleft()
         self._cpu_busy = True
-        self.sim.schedule(duration, self._finish, duration, category, fn, args)
+        self.sim.schedule(duration, self._finish, self._cpu_epoch,
+                          duration, category, fn, args)
 
     def _finish(
         self,
+        epoch: int,
         duration: float,
         category: str,
         fn: Optional[Callable[..., None]],
         args: tuple,
     ) -> None:
-        if self.crashed:
-            # fail-stop mid-burst: the work never completed, charge nothing
+        if self.crashed or epoch != self._cpu_epoch:
+            # fail-stop or fence mid-burst: the work never completed,
+            # charge nothing (a stale burst must not fire after a revive)
             return
         self.cpu_time[category] += duration
         self.last_active = self.sim.now

@@ -63,7 +63,10 @@ __all__ = [
 
 #: Format/semantics version of the serialized state.  Bump on any change
 #: to simulator internals that a pickled object graph would bake in.
-SNAPSHOT_VERSION = 1
+#: v2: Node fencing fields (``fenced``/``_cpu_epoch``, epoch-stamped
+#: ``_finish`` events), partition state and the heartbeat detector in
+#: the FaultInjector graph.
+SNAPSHOT_VERSION = 2
 
 _MAGIC = b"repro-snapshot\n"
 

@@ -1,0 +1,89 @@
+"""The PR-5 compatibility gate: the fault-model extension is invisible
+unless you opt in.
+
+Zero-fault runs and every ``detector="oracle"`` plan (the default) must
+be *bit-identical* to the pre-detector behavior: same metrics, same
+tracer records, same runner cache keys.  The golden fingerprints below
+were captured from the seed revision and verified unchanged across the
+detector/partition/fencing refactor — drift in any of them means a
+default-path behavior change, which this PR promises not to make.
+"""
+
+import hashlib
+import json
+
+from repro.faults import FaultPlan
+from repro.runner import RunRequest
+from repro.session import Session
+
+#: the shared probe cell: queens-10 on the default 4x4 mesh
+ORACLE_PLAN = FaultPlan(seed=404, crashes=((5, 0.01),), drop_rate=0.01)
+
+GOLDEN = {
+    # plan-or-None -> (metrics fingerprint, tracer-records fingerprint)
+    None: ("3d6439676ba4cc21", "7ed2680d9d08794c"),
+    ORACLE_PLAN: ("d37d11951bc5fa63", "cb269a7909fee53c"),
+}
+
+CACHE_KEYS = {
+    None: "614f149db6352566",
+    ORACLE_PLAN: "ce80a5c2d8bd3cd4",
+}
+
+
+def _fp(obj) -> str:
+    return hashlib.sha256(
+        json.dumps(obj, sort_keys=True, default=repr).encode()
+    ).hexdigest()[:16]
+
+
+def _run(plan):
+    sess = Session("queens-10", strategy="RIPS", num_nodes=16, seed=7,
+                   scale="small", faults=plan, trace=True)
+    metrics = sess.run()
+    d = dict(metrics.__dict__)
+    extra = dict(d.pop("extra"))
+    return _fp({"m": d, "extra": extra}), _fp(sess.tracer.records)
+
+
+def test_zero_fault_run_matches_seed_fingerprints():
+    assert _run(None) == GOLDEN[None]
+
+
+def test_oracle_plan_matches_seed_fingerprints():
+    assert _run(ORACLE_PLAN) == GOLDEN[ORACLE_PLAN]
+
+
+def test_cache_keys_unchanged():
+    # new FaultPlan fields sit at their defaults -> canonical() omits
+    # them -> RunRequest cache keys (and thus every cached result) from
+    # before this PR stay valid.
+    for plan, expected in CACHE_KEYS.items():
+        req = RunRequest("queens-10", "RIPS", num_nodes=16, seed=7,
+                         scale="small", faults=plan)
+        key = hashlib.sha256(req.canonical_json().encode()).hexdigest()[:16]
+        assert key == expected
+
+
+def test_new_fields_do_not_leak_into_canonical_form():
+    assert "detector" not in ORACLE_PLAN.canonical()
+    assert "partitions" not in ORACLE_PLAN.canonical()
+    explicit = FaultPlan(seed=404, crashes=((5, 0.01),), drop_rate=0.01,
+                         detector="oracle", partitions=())
+    assert explicit == ORACLE_PLAN
+    assert explicit.canonical() == ORACLE_PLAN.canonical()
+
+
+def test_heartbeat_and_partitions_do_change_the_cache_key():
+    base = RunRequest("queens-10", "RIPS", num_nodes=16, seed=7,
+                      scale="small", faults=ORACLE_PLAN)
+    import dataclasses
+
+    hb = dataclasses.replace(ORACLE_PLAN, detector="heartbeat")
+    cut = dataclasses.replace(
+        ORACLE_PLAN, partitions=(((0.004, 0.008,
+                                   (tuple(range(8)), tuple(range(8, 16))))),))
+    for plan in (hb, cut):
+        req = RunRequest("queens-10", "RIPS", num_nodes=16, seed=7,
+                         scale="small", faults=plan)
+        assert req.canonical_json() != base.canonical_json()

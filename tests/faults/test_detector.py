@@ -1,0 +1,124 @@
+"""Heartbeat failure detection: true positives, false suspicion,
+incarnation refutation, fencing, and the fault-timeline observability.
+"""
+
+from repro.faults import FaultPlan, audit_session
+from repro.session import Session
+
+NODES = 16
+
+
+def _run(plan, **kw):
+    sess = Session("queens-10", strategy="RIPS", num_nodes=NODES, seed=7,
+                   scale="small", faults=plan, trace=True, **kw)
+    metrics = sess.run()
+    return sess, metrics
+
+
+# ----------------------------------------------------------------------
+# true positive: a real crash is found over the wire
+# ----------------------------------------------------------------------
+def test_heartbeat_detects_a_real_crash():
+    plan = FaultPlan(seed=404, detector="heartbeat", crashes=((5, 0.01),))
+    sess, metrics = _run(plan)
+    inj = sess.machine.faults
+    assert metrics.extra["crashed_nodes"] == [5]
+    assert 5 in inj.detected_dead
+    # detection came from gossip corroboration, not the oracle: the
+    # monitors' notes record the suspect -> dead transition
+    assert inj.counts.get("false_deaths", 0) == 0
+    assert metrics.extra.get("lost_tasks", 0) == 0
+    report = audit_session(sess, metrics)
+    assert report.ok, report.summary()
+
+
+def test_heartbeat_matches_oracle_crash_outcome():
+    # same crash, both detectors: the heartbeat run pays detection
+    # latency and protocol traffic but loses nothing and conserves all
+    # tasks, exactly like the oracle run
+    oracle = FaultPlan(seed=404, crashes=((5, 0.01),))
+    hb = FaultPlan(seed=404, detector="heartbeat", crashes=((5, 0.01),))
+    for plan in (oracle, hb):
+        sess, metrics = _run(plan)
+        assert metrics.extra["crashed_nodes"] == [5]
+        assert audit_session(sess, metrics).ok
+
+
+# ----------------------------------------------------------------------
+# false positive: a long stall looks exactly like a crash
+# ----------------------------------------------------------------------
+def test_long_stall_causes_false_suspicion_then_rejoin():
+    # 20 ms of silence vastly exceeds the derived heartbeat timeout, so
+    # rank 3 is declared dead while alive; the declaration fences it,
+    # the stall's end triggers refutation, and it rejoins — no task may
+    # be lost or double-executed through the whole episode.
+    plan = FaultPlan(seed=404, detector="heartbeat",
+                     stalls=((3, 0.004, 0.020),))
+    sess, metrics = _run(plan)
+    inj = sess.machine.faults
+    assert inj.counts.get("false_deaths", 0) >= 1
+    assert inj.counts.get("rejoins", 0) >= 1
+    assert metrics.extra["rejoined_nodes"] == [3]
+    assert metrics.extra.get("crashed_nodes", []) == []
+    assert metrics.extra.get("lost_tasks", 0) == 0
+    # the refutation bumped rank 3's incarnation and cleared the death
+    assert inj.detector.incarnation[3] >= 1
+    assert 3 not in inj.detected_dead
+    assert not sess.machine.nodes[3].fenced
+    report = audit_session(sess, metrics)
+    assert report.ok, report.summary()
+
+
+def test_short_stall_is_not_suspected():
+    # a stall well under the timeout never even raises SUSPECT
+    plan = FaultPlan(seed=404, detector="heartbeat",
+                     heartbeat_period=2e-3, heartbeat_timeout=20e-3,
+                     stalls=((3, 0.004, 0.002),))
+    sess, metrics = _run(plan)
+    inj = sess.machine.faults
+    assert inj.counts.get("false_deaths", 0) == 0
+    assert metrics.extra.get("rejoined_nodes", []) == []
+    assert audit_session(sess, metrics).ok
+
+
+# ----------------------------------------------------------------------
+# observability: the fault timeline is in the tracer
+# ----------------------------------------------------------------------
+def test_detector_transitions_surface_in_the_tracer():
+    plan = FaultPlan(seed=404, detector="heartbeat",
+                     stalls=((3, 0.004, 0.020),))
+    sess, _metrics = _run(plan)
+    records = sess.tracer.records
+    fault_counters = {r["name"] for r in records
+                      if r.get("ph") == "C" and r.get("cat") == "fault"}
+    assert "false_deaths" in fault_counters
+    assert "rejoins" in fault_counters
+    instants = {r["name"] for r in records
+                if r.get("ph") == "i" and r.get("cat") == "fault"}
+    # suspicion, death, fencing, and the rejoin all leave timeline marks
+    assert {"hb-suspect", "hb-dead", "fenced", "rejoin"} <= instants
+
+
+def test_injector_counts_in_stats_summary():
+    plan = FaultPlan(seed=404, detector="heartbeat", crashes=((5, 0.01),),
+                     drop_rate=0.01)
+    sess, metrics = _run(plan)
+    stats = metrics.extra["fault_stats"]
+    assert stats["crashes"] == 1
+    assert "max_attempts" in stats  # obs-rich plans surface the envelope
+    assert "rejoined" in stats
+
+
+# ----------------------------------------------------------------------
+# tuning knobs
+# ----------------------------------------------------------------------
+def test_detector_knobs_are_respected():
+    plan = FaultPlan(detector="heartbeat", heartbeat_period=1e-3,
+                     heartbeat_timeout=5e-3, refute_delay=7e-3,
+                     corroboration=3)
+    sess, metrics = _run(plan)
+    det = sess.machine.faults.detector
+    assert det.period == 1e-3
+    assert det.timeout == 5e-3
+    assert det.refute_delay == 7e-3
+    assert audit_session(sess, metrics).ok

@@ -1,0 +1,109 @@
+"""Fault-edge interactions: overlapping fault windows and fault state
+crossing a checkpoint/restore boundary."""
+
+from repro.faults import FaultPlan, audit_session
+from repro.session import Session
+from repro.snapshot import Snapshot
+
+
+def _session(plan, trace=True):
+    return Session("queens-10", strategy="RIPS", num_nodes=16, seed=7,
+                   scale="small", faults=plan, trace=trace)
+
+
+# ----------------------------------------------------------------------
+# outage overlapping a crash window
+# ----------------------------------------------------------------------
+def test_outage_overlapping_crash_window():
+    # the links into/out of rank 5 black out just before and across its
+    # crash: retransmits pile onto a node that then really dies, and the
+    # outage outlives the crash — recovery must not double-count either
+    plan = FaultPlan(
+        seed=404,
+        crashes=((5, 0.010),),
+        outages=((4, 5, 0.006, 0.010), (5, 6, 0.006, 0.010)),
+    )
+    sess = _session(plan)
+    metrics = sess.run()
+    inj = sess.machine.faults
+    assert metrics.extra["crashed_nodes"] == [5]
+    assert inj.counts.get("outage_drops", 0) > 0
+    report = audit_session(sess, metrics)
+    assert report.ok, report.summary()
+
+
+def test_outage_overlapping_crash_with_heartbeat_detector():
+    # same overlap, detected over the wire: the outage also severs the
+    # 4<->5 heartbeat path, so detection leans on the other monitors
+    plan = FaultPlan(
+        seed=404, detector="heartbeat",
+        crashes=((5, 0.010),),
+        outages=((4, 5, 0.006, 0.010), (5, 4, 0.006, 0.010)),
+    )
+    sess = _session(plan)
+    metrics = sess.run()
+    assert metrics.extra["crashed_nodes"] == [5]
+    assert 5 in sess.machine.faults.detected_dead
+    assert audit_session(sess, metrics).ok
+
+
+def test_stall_inside_outage_recovers():
+    # a stalled node behind a dead link: both clear, nothing is lost
+    plan = FaultPlan(
+        seed=404, detector="heartbeat",
+        stalls=((6, 0.004, 0.018),),
+        outages=((2, 6, 0.004, 0.012),),
+    )
+    sess = _session(plan)
+    metrics = sess.run()
+    assert metrics.extra.get("crashed_nodes", []) == []
+    assert metrics.extra.get("lost_tasks", 0) == 0
+    assert audit_session(sess, metrics).ok
+
+
+# ----------------------------------------------------------------------
+# fault state across checkpoint/restore
+# ----------------------------------------------------------------------
+def test_duplicate_suppression_survives_restore_mid_retransmit(tmp_path):
+    # Aggressive drops + duplicates guarantee the reliable envelope is
+    # mid-retransmit (unacked sends, pending timers, seen-set entries)
+    # at any pause point.  A restored run must behave exactly like the
+    # uninterrupted one: same metrics, same records, and in particular
+    # no duplicate delivery slipping past a reset seen-set.
+    plan = FaultPlan(seed=42, drop_rate=0.05, duplicate_rate=0.05)
+    ref_sess = _session(plan)
+    ref = ref_sess.run()
+    assert ref_sess.machine.faults.counts.get("duplicates", 0) > 0
+
+    sess = _session(plan)
+    partial = sess.run(max_events=2000)
+    assert partial is None, "pause budget must land mid-run"
+    path = sess.checkpoint().save(tmp_path / "midretx.ckpt")
+    resumed_sess = Session.restore(Snapshot.load(path))
+    resumed = resumed_sess.run()
+
+    assert resumed == ref
+    assert resumed_sess.tracer.records == ref_sess.tracer.records
+    assert audit_session(resumed_sess, resumed).ok
+
+
+def test_detector_state_survives_restore_mid_suspicion(tmp_path):
+    # pause while a stalled node is being suspected/declared: views,
+    # incarnations, fencing, and the pending lease must all come back
+    plan = FaultPlan(seed=404, detector="heartbeat",
+                     stalls=((3, 0.004, 0.020),))
+    ref_sess = _session(plan)
+    ref = ref_sess.run()
+    assert ref.extra["rejoined_nodes"] == [3]
+
+    sess = _session(plan)
+    partial = sess.run(max_events=3000)
+    assert partial is None, "pause budget must land mid-run"
+    path = sess.checkpoint().save(tmp_path / "midsuspect.ckpt")
+    resumed_sess = Session.restore(Snapshot.load(path))
+    resumed = resumed_sess.run()
+
+    assert resumed == ref
+    assert resumed_sess.tracer.records == ref_sess.tracer.records
+    det = resumed_sess.machine.faults.detector
+    assert det.incarnation[3] >= 1

@@ -115,3 +115,77 @@ def test_describe_labels():
         drop_rate=0.01, duplicate_rate=0.02, crashes=((3, 0.1), (5, 0.2))
     )
     assert combo.describe() == "drop 1%+dup 2%+crash x2"
+
+
+def test_describe_covers_detector_and_partitions():
+    plan = FaultPlan(detector="heartbeat",
+                     partitions=((0.1, 0.2, ((0, 1), (2, 3))),))
+    assert plan.describe() == "partition x1+heartbeat-detect"
+    assert not plan.is_null()
+    # the detector alone makes a plan non-null: heartbeats are traffic
+    assert not FaultPlan(detector="heartbeat").is_null()
+
+
+def test_detector_validation():
+    with pytest.raises(ValueError, match="detector"):
+        FaultPlan(detector="psychic")
+    with pytest.raises(ValueError, match="corroboration"):
+        FaultPlan(corroboration=0)
+
+
+# ----------------------------------------------------------------------
+# property test: canonical round trip over randomized plans
+# ----------------------------------------------------------------------
+def _random_full_plan(rng):
+    """A plan drawing from *every* field group, lists included (the
+    freezer must canonicalize them identically to tuples)."""
+    maybe = lambda v, p=0.5: v if rng.random() < p else None
+    kw = dict(
+        seed=rng.randrange(1 << 16),
+        drop_rate=rng.choice([0.0, 0.01, 0.3]),
+        duplicate_rate=rng.choice([0.0, 0.02]),
+        delay_rate=rng.choice([0.0, 0.05]),
+        delay_max=rng.choice([1e-3, 5e-3]),
+        reorder_rate=rng.choice([0.0, 0.1]),
+        outages=[[rng.randrange(8), rng.randrange(8),
+                  round(rng.uniform(0, 0.1), 4), 0.01]
+                 for _ in range(rng.randrange(3))],
+        stalls=[[rng.randrange(8), round(rng.uniform(0, 0.1), 4), 0.02]
+                for _ in range(rng.randrange(3))],
+        crashes=[[rank, round(rng.uniform(0.01, 0.1), 4)]
+                 for rank in rng.sample(range(1, 8), rng.randrange(3))],
+        detector=rng.choice(["oracle", "heartbeat"]),
+        detect_delay=rng.choice([2e-3, 5e-3]),
+        corroboration=rng.randrange(1, 4),
+        max_backoff_doublings=rng.randrange(1, 8),
+    )
+    if rng.random() < 0.5:
+        half = ((0, 1, 2, 3), (4, 5, 6, 7))
+        kw["partitions"] = [[round(rng.uniform(0, 0.05), 4), 0.02, half]]
+    if (k := maybe(("work", "rips.load"))) is not None:
+        kw["kinds"] = k
+    if (lk := maybe([[0, 1], [1, 0]])) is not None:
+        kw["links"] = lk
+    for field_name in ("heartbeat_period", "heartbeat_timeout",
+                      "refute_delay", "rto", "reorder_window"):
+        if (v := maybe(round(rng.uniform(1e-4, 1e-2), 6), 0.3)) is not None:
+            kw[field_name] = v
+    return FaultPlan(**kw)
+
+
+def test_canonical_round_trip_property():
+    import json
+    import random
+
+    for i in range(100):
+        plan = _random_full_plan(random.Random(i))
+        canon = plan.canonical()
+        # canonical form is JSON-stable and rebuilds the exact plan
+        rebuilt = FaultPlan.from_canonical(json.loads(json.dumps(canon)))
+        assert rebuilt == plan, f"seed {i}: round trip diverged"
+        assert hash(rebuilt) == hash(plan)
+        assert rebuilt.describe() == plan.describe()
+        assert rebuilt.canonical() == canon
+        # defaults never appear in the canonical form
+        assert "detector" not in canon or plan.detector != "oracle"
+        assert "partitions" not in canon or plan.partitions
