@@ -1,0 +1,72 @@
+"""Sharded window engine throughput at 1/2/4 shards, both shapes.
+
+The headline artifact of the shard engine: events/sec through
+:func:`repro.shard.run_program` as the mesh is split into more blocks.
+``loaded`` rides the vectorized :class:`~repro.machine.event.EventLanes`
+batch kernel (whole same-window waves dispatch in one call) and is the
+number gated by ``bench --check``; ``chain`` is one serial chain per
+shard on the per-event drain — the honest floor showing what window
+barriers cost when there is nothing to batch.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.machine.network import PARAGON_LIKE
+from repro.metrics import format_table
+from repro.shard import run_program
+from repro.shard.programs import ChainStorm, LoadedStorm
+
+from benchmarks.conftest import save_and_print
+
+SHARD_COUNTS = (1, 2, 4)
+DELTA = PARAGON_LIKE.per_hop  # one minimum-distance mesh hop
+
+
+def _rate(program_factory, budget, shards, reps=3):
+    best = 0.0
+    executed = 0
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        res = run_program(program_factory(), num_nodes=32, shards=shards,
+                          delta=DELTA, budget_events=budget)
+        dt = time.perf_counter() - t0
+        executed = sum(r["executed"] for r in res)
+        best = max(best, executed / dt)
+    return best, executed
+
+
+def test_shard_scaling(benchmark, results_dir):
+    def run_grid():
+        out = {}
+        for shards in SHARD_COUNTS:
+            out[("loaded", shards)] = _rate(
+                lambda: LoadedStorm(fanout=1000), 500_000, shards)
+            out[("chain", shards)] = _rate(
+                lambda: ChainStorm(), 100_000, shards)
+        return out
+
+    results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    rows = [
+        {
+            "shape": shape,
+            "shards": shards,
+            "events": executed,
+            "events/sec": f"{rate:,.0f}",
+        }
+        for (shape, shards), (rate, executed) in results.items()
+    ]
+    save_and_print(
+        results_dir, "shard_scaling",
+        format_table(rows, title="sharded engine throughput "
+                                 f"(window {DELTA * 1e6:.0f}us, inline)"))
+
+    # structural gates only — absolute rates live in BENCH via `bench`
+    for shards in SHARD_COUNTS:
+        loaded_rate, loaded_events = results[("loaded", shards)]
+        chain_rate, chain_events = results[("chain", shards)]
+        assert loaded_events >= 500_000
+        assert chain_events >= 100_000
+        # batching must dominate the per-event path by a wide margin
+        assert loaded_rate > 2 * chain_rate

@@ -74,6 +74,10 @@ class Node:
         #: bumped on fence/crash-like resets; in-flight CPU bursts carry
         #: the epoch they started under and are voided on mismatch.
         self._cpu_epoch = 0
+        #: sharded execution: which mesh shard owns this node (set by
+        #: repro.shard while a sharded run is driven; None = unsharded).
+        #: Used for per-shard CPU accounting and shard-grouped traces.
+        self.shard: Optional[int] = None
 
     # ------------------------------------------------------------------
     # message handling

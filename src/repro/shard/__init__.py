@@ -1,0 +1,43 @@
+"""Sharded execution: mesh-partitioned workers with conservative windows.
+
+One simulation is split into contiguous rank blocks (shards).  Local
+work drains window by window; cross-shard traffic moves only at window
+boundaries as whole batches.  The window width is the minimum
+cross-shard link latency, so no message can arrive in the window it was
+sent — the conservative-PDES lookahead argument that makes sharded
+results bit-identical to serial (see DESIGN.md).
+
+Strategy runs go through :func:`~repro.shard.engine.drive_sharded` (via
+``Session(shards=N)``); custom shard-parallel programs — including the
+sharded benchmark — go through :func:`~repro.shard.engine.run_program`
+with per-shard :class:`~repro.machine.event.EventLanes` batch kernels.
+"""
+
+from .engine import drive_sharded, run_program
+from .partition import (
+    Partition,
+    ShardConfigError,
+    conservative_window,
+    contiguous_blocks,
+    make_partition,
+)
+from .router import ConservativeWindowViolation, ShardRouter
+from .window import is_conservative, window_end, window_index
+from .worker import ShardProgram, ShardWorker
+
+__all__ = [
+    "ConservativeWindowViolation",
+    "Partition",
+    "ShardConfigError",
+    "ShardProgram",
+    "ShardRouter",
+    "ShardWorker",
+    "conservative_window",
+    "contiguous_blocks",
+    "drive_sharded",
+    "is_conservative",
+    "make_partition",
+    "run_program",
+    "window_end",
+    "window_index",
+]

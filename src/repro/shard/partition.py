@@ -1,0 +1,127 @@
+"""Mesh partitioning for sharded execution.
+
+A *shard* is a contiguous block of ranks.  Ranks are row-major on the
+mesh (``rank = i * n2 + j``), so contiguous rank blocks are horizontal
+row bands — the same decomposition a PE-grid code would use, and the one
+that minimizes the cross-shard cut for the paper's ``n1 >= n2`` mesh
+shapes.  The partitioner is topology-agnostic: any
+:class:`~repro.machine.topology.Topology` can be sharded, the blocks are
+just contiguous rank ranges.
+
+The quantity everything else depends on is the **conservative window**:
+
+    delta = latency.per_hop * min_cross_shard_distance
+
+No cross-shard message can be in flight for less time than one hop's
+wire latency times the minimum hop distance between shards, so a message
+*sent* during window ``k`` (the half-open interval
+``(k * delta, (k+1) * delta]``) always *arrives* in window ``k+1`` or
+later.  Draining whole windows locally and exchanging batched traffic at
+window boundaries therefore never delivers a message early — the
+classical conservative-PDES lookahead argument (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.machine.network import LatencyModel
+from repro.machine.topology import Topology, min_cross_block_distance
+
+__all__ = [
+    "ShardConfigError",
+    "Partition",
+    "contiguous_blocks",
+    "make_partition",
+    "conservative_window",
+]
+
+
+class ShardConfigError(ValueError):
+    """Invalid shard configuration (too many shards, zero lookahead, ...)."""
+
+
+def contiguous_blocks(num_nodes: int, shards: int) -> tuple[tuple[int, int], ...]:
+    """Split ``0..num_nodes`` into ``shards`` contiguous half-open ranges.
+
+    Sizes differ by at most one; larger blocks come first (deterministic).
+    """
+    if shards < 1:
+        raise ShardConfigError(f"shards must be >= 1, got {shards}")
+    if shards > num_nodes:
+        raise ShardConfigError(
+            f"cannot split {num_nodes} node(s) into {shards} shards"
+        )
+    base, extra = divmod(num_nodes, shards)
+    blocks = []
+    lo = 0
+    for s in range(shards):
+        hi = lo + base + (1 if s < extra else 0)
+        blocks.append((lo, hi))
+        lo = hi
+    return tuple(blocks)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An immutable shard layout: contiguous rank blocks covering the mesh."""
+
+    num_nodes: int
+    blocks: tuple[tuple[int, int], ...]
+
+    @property
+    def shards(self) -> int:
+        return len(self.blocks)
+
+    def block(self, shard: int) -> tuple[int, int]:
+        return self.blocks[shard]
+
+    def ranks(self, shard: int) -> range:
+        lo, hi = self.blocks[shard]
+        return range(lo, hi)
+
+    def shard_of(self, rank: int) -> int:
+        """Owning shard of ``rank`` (O(log shards))."""
+        if not 0 <= rank < self.num_nodes:
+            raise ValueError(f"rank {rank} out of range [0, {self.num_nodes})")
+        starts = [lo for lo, _ in self.blocks]
+        return bisect_right(starts, rank) - 1
+
+    def owners(self) -> list[int]:
+        """Dense rank -> shard lookup table."""
+        out = [0] * self.num_nodes
+        for s, (lo, hi) in enumerate(self.blocks):
+            for r in range(lo, hi):
+                out[r] = s
+        return out
+
+
+def make_partition(num_nodes: int, shards: int) -> Partition:
+    """Standard partition: near-equal contiguous rank blocks."""
+    return Partition(num_nodes, contiguous_blocks(num_nodes, shards))
+
+
+def conservative_window(topology: Topology, latency: LatencyModel,
+                        partition: Partition) -> float:
+    """The safe window width ``delta`` for this layout (seconds).
+
+    ``delta = per_hop * dmin`` where ``dmin`` is the minimum hop count
+    between ranks of different shards.  Valid for both transports: the
+    ideal network delivers at ``per_hop * hops + per_byte * size`` and
+    the contention network's first-hop occupancy alone is
+    ``per_hop + per_byte * size``; fault injection only ever *adds*
+    delay.  All of these are ``>= per_hop * dmin`` for cross-shard
+    traffic, so every cross-shard in-flight time is at least ``delta``.
+    """
+    if partition.shards < 2:
+        raise ShardConfigError("conservative window needs >= 2 shards")
+    dmin = min_cross_block_distance(topology, partition.blocks)
+    delta = latency.per_hop * dmin
+    if delta <= 0.0:
+        raise ShardConfigError(
+            "latency model has zero per-hop cost: cross-shard messages "
+            "could arrive instantly, so no conservative window exists "
+            "(sharded execution needs per_hop > 0)"
+        )
+    return delta

@@ -1,0 +1,107 @@
+"""Shard programs used by the sharded benchmark (and its tests).
+
+These mirror the two single-process benchmark shapes of
+:mod:`repro.runner.bench`:
+
+* :class:`LoadedStorm` — the "loaded" shape: a wide population of
+  independent tick chains with data-dependent reschedule delays.  This
+  is the shape the vectorized :class:`~repro.machine.event.EventLanes`
+  kernel exists for: every window, each shard advances its whole chain
+  population with a handful of numpy calls instead of one Python
+  dispatch per event.  Every ``cross_every``-th tick of a chain emits a
+  cross-shard arrival to the next shard (round-robin), so the window
+  barrier and channel batching are genuinely exercised.
+* :class:`ChainStorm` — the "chain" shape: one strictly serial
+  self-rescheduling chain per shard, run on the per-event simulator
+  path.  Batch width is 1, so this measures the windowed drain's
+  per-event floor plus barrier overhead — the honest worst case.
+
+Programs carry only plain attributes (picklable); per-worker state is
+built in ``setup`` inside the worker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .partition import contiguous_blocks
+from .worker import ShardProgram, ShardWorker
+
+__all__ = ["LoadedStorm", "ChainStorm"]
+
+
+class LoadedStorm(ShardProgram):
+    """``fanout`` tick chains spread over the shards, lane-vectorized."""
+
+    def __init__(self, fanout: int = 1000, cross_every: int = 16) -> None:
+        self.fanout = fanout
+        self.cross_every = cross_every
+
+    def setup(self, worker: ShardWorker) -> None:
+        shards = worker.partition.shards
+        lo, hi = contiguous_blocks(self.fanout, shards)[worker.shard]
+        n = hi - lo
+        # strictly positive staggered starts (t=0 sits on a window seam)
+        times0 = 1e-6 * ((np.arange(lo, hi, dtype=np.float64) % 97) + 1)
+        step = np.zeros(n, dtype=np.int64)
+        dst = (worker.shard + 1) % shards
+        cross_every = self.cross_every
+        delta = worker.delta
+        emit = worker.emit
+
+        def tick(times: np.ndarray, idx: np.ndarray) -> None:
+            step[idx] += 1
+            # same data-dependent delay as the serial loaded benchmark
+            times[idx] += 1e-6 * ((step[idx] % 7) + 1)
+            if cross_every and shards > 1:
+                sel = step[idx] % cross_every == 0
+                if sel.any():
+                    # one minimum-distance hop: in flight exactly delta,
+                    # landing strictly inside the next window
+                    emit(dst, times[idx][sel] + delta)
+
+        worker.state["step"] = step
+        worker.lanes.add_lane(times0, tick)
+
+        def absorb(times: np.ndarray, idx: np.ndarray) -> None:
+            times[idx] = np.inf  # arrival tally: deliver and retire
+
+        worker.state["arrivals_lane"] = worker.lanes.add_lane(
+            np.empty(0), absorb)
+
+    def receive(self, worker: ShardWorker, src_shard: int,
+                arrival_times: np.ndarray) -> None:
+        worker.lanes.push(worker.state["arrivals_lane"], arrival_times)
+
+    def finish(self, worker: ShardWorker) -> dict:
+        out = super().finish(worker)
+        out["ticks"] = int(worker.state["step"].sum())
+        return out
+
+
+class _Chain:
+    """Self-rescheduling serial chain (bound-method events, per-event path)."""
+
+    __slots__ = ("sim", "count")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.count = 0
+
+    def __call__(self) -> None:
+        self.count += 1
+        self.sim.schedule(1e-6 * ((self.count % 7) + 1), self)
+
+
+class ChainStorm(ShardProgram):
+    """One strictly serial tick chain per shard; no batching possible."""
+
+    def setup(self, worker: ShardWorker) -> None:
+        chain = _Chain(worker.sim)
+        worker.state["chain"] = chain
+        worker.sim.schedule(1e-6, chain)
+
+    def finish(self, worker: ShardWorker) -> dict:
+        out = super().finish(worker)
+        out["ticks"] = worker.state["chain"].count
+        return out

@@ -1,0 +1,125 @@
+"""Cross-shard traffic interception at the network layer.
+
+The :class:`ShardRouter` hangs off a network's ``shard_router`` hook
+(:mod:`repro.machine.network`) for the duration of a sharded run.  Every
+non-loopback ``transmit`` reports ``(msg, send_time, arrival_time)``;
+the router classifies it intra- vs cross-shard, appends cross-shard
+traffic to the open batch of the *send* window, and checks the
+conservative invariant (arrival strictly after the send window closes).
+
+In-process sharded strategy runs execute on one simulator in exact
+serial event order, so the router is **observation-only**: it never
+delays, reorders, or re-delivers a message — bit-identity with serial is
+by construction, and the batches are exactly what a multi-process
+deployment would put on the wire at each window boundary.  The router is
+attached only while the engine drives windows and detached before any
+checkpoint can be taken, so it is never pickled into a snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .partition import Partition
+from .window import is_conservative, window_index
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.message import Message
+
+__all__ = ["ShardRouter", "ConservativeWindowViolation"]
+
+
+class ConservativeWindowViolation(RuntimeError):
+    """A cross-shard message arrived within its own send window."""
+
+
+class ShardRouter:
+    """Observes transport sends, batches cross-shard traffic per window."""
+
+    def __init__(self, partition: Partition, delta: float,
+                 strict: bool = True) -> None:
+        self.partition = partition
+        self.delta = delta
+        self.strict = strict
+        self._owners = partition.owners()
+        # open per-window batches: window -> list of
+        # (send_t, arrival_t, src_shard, dst_shard, size, tasks)
+        self._open: dict[int, list[tuple]] = {}
+        self._flushed_through = -1
+        # aggregate stats
+        self.cross_messages = 0
+        self.cross_bytes = 0
+        self.cross_tasks = 0
+        self.intra_messages = 0
+        self.max_window_batch = 0
+        self.violations = 0
+        self.shard_messages_out = [0] * partition.shards
+
+    # ------------------------------------------------------------------
+    # network-side hook
+    # ------------------------------------------------------------------
+    def observe(self, msg: "Message", send_t: float, arrival_t: float,
+                tasks_carried: int = 0) -> None:
+        """Record one transmission (called from ``Network.transmit``)."""
+        owners = self._owners
+        s = owners[msg.src]
+        d = owners[msg.dest]
+        if s == d:
+            self.intra_messages += 1
+            return
+        if not is_conservative(send_t, arrival_t, self.delta):
+            self.violations += 1
+            if self.strict:
+                raise ConservativeWindowViolation(
+                    f"cross-shard message {msg.kind!r} {msg.src}->{msg.dest} "
+                    f"sent at {send_t!r} arrives at {arrival_t!r}, inside "
+                    f"its own window (delta={self.delta!r}); the window "
+                    "under-estimates the minimum cross-shard latency"
+                )
+        k = window_index(send_t, self.delta)
+        self._open.setdefault(k, []).append(
+            (send_t, arrival_t, s, d, msg.size, tasks_carried)
+        )
+        self.shard_messages_out[s] += 1
+
+    # ------------------------------------------------------------------
+    # engine-side: window boundaries
+    # ------------------------------------------------------------------
+    def flush_through(self, k: int) -> int:
+        """Close every window up to and including ``k``; returns the
+        number of cross-shard messages those windows carried.
+
+        In a multi-process deployment this is the point where each
+        shard's outbound batches would be posted to peer channels; here
+        the batches fold into the aggregate traffic statistics.
+        """
+        flushed = 0
+        for w in sorted(w for w in self._open if w <= k):
+            batch = self._open.pop(w)
+            flushed += len(batch)
+            self.max_window_batch = max(self.max_window_batch, len(batch))
+            for _send_t, _arr_t, _s, _d, size, tasks in batch:
+                self.cross_messages += 1
+                self.cross_bytes += size
+                self.cross_tasks += tasks
+        if k > self._flushed_through:
+            self._flushed_through = k
+        return flushed
+
+    def flush_all(self) -> int:
+        """Close any still-open windows (end of run)."""
+        if not self._open:
+            return 0
+        return self.flush_through(max(self._open))
+
+    def summary(self) -> dict:
+        """JSON-able aggregate for ``metrics.extra['shard']``."""
+        return {
+            "cross_messages": self.cross_messages,
+            "cross_bytes": self.cross_bytes,
+            "cross_tasks": self.cross_tasks,
+            "intra_messages": self.intra_messages,
+            "max_window_batch": self.max_window_batch,
+            "violations": self.violations,
+            "messages_out": list(self.shard_messages_out),
+        }

@@ -1,0 +1,53 @@
+"""Conservative time-window arithmetic.
+
+Windows are half-open-from-below, closed-from-above intervals of width
+``delta``: window ``k`` is ``(k*delta, (k+1)*delta]``, except window 0
+which also contains ``t = 0``.  The upper-inclusive convention matches
+:meth:`repro.machine.event.Simulator.drain_window`, whose ``end`` is
+inclusive — draining to ``window_end(k)`` executes exactly the events of
+windows ``0..k``.
+
+The invariant the shard engine relies on: a message *sent* at any time
+inside window ``k`` with in-flight time ``>= delta`` *arrives* strictly
+after ``window_end(k)``, i.e. in window ``k+1`` or later.  Proof sketch:
+``send > k*delta`` (half-open below) and ``arrival >= send + delta >
+(k+1)*delta = window_end(k)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["window_index", "window_end", "is_conservative"]
+
+#: relative tolerance for boundary classification — float round-off in
+#: ``t / delta`` must not misfile an event sitting exactly on a boundary
+_REL_EPS = 1e-9
+
+
+def window_index(t: float, delta: float) -> int:
+    """Index of the window containing time ``t`` (``t <= 0`` -> 0)."""
+    if t <= 0.0:
+        return 0
+    k = math.ceil(t / delta - _REL_EPS) - 1
+    return k if k > 0 else 0
+
+
+def window_end(k: int, delta: float) -> float:
+    """Inclusive upper boundary of window ``k``."""
+    return (k + 1) * delta
+
+
+def is_conservative(send_t: float, arrival_t: float, delta: float) -> bool:
+    """True iff an arrival lands strictly after its send window closes.
+
+    This is the per-message check the router applies to every observed
+    cross-shard transmission; a violation means the configured ``delta``
+    under-estimates the actual minimum in-flight time and windowed
+    execution could deliver early.  The comparison carries a relative
+    ulp-grace: ``arrival = send + delta`` can round down onto the
+    boundary itself, and boundary arrivals are delivered by the next
+    window's drain, which is still safe.
+    """
+    k = window_index(send_t, delta)
+    return arrival_t + delta * _REL_EPS > window_end(k, delta)

@@ -54,6 +54,7 @@ __all__ = [
     "Snapshot",
     "SnapshotError",
     "SnapshotVersionError",
+    "SnapshotShardMismatch",
     "SnapshotCache",
     "capture",
     "restore",
@@ -66,7 +67,9 @@ __all__ = [
 #: v2: Node fencing fields (``fenced``/``_cpu_epoch``, epoch-stamped
 #: ``_finish`` events), partition state and the heartbeat detector in
 #: the FaultInjector graph.
-SNAPSHOT_VERSION = 2
+#: v3: sharded execution — ``Node.shard``, the networks' ``shard_router``
+#: hook, and the session meta's ``shards`` count.
+SNAPSHOT_VERSION = 3
 
 _MAGIC = b"repro-snapshot\n"
 
@@ -85,6 +88,28 @@ class SnapshotVersionError(SnapshotError):
         )
         self.found = found
         self.expected = expected
+
+
+class SnapshotShardMismatch(SnapshotVersionError):
+    """A checkpoint's shard configuration disagrees with the restore's.
+
+    Raised by :meth:`repro.session.Session.restore` before any state is
+    adopted, so a stale ``--shards`` flag fails with the two counts
+    named instead of a confusing downstream pickle/driver error.
+    """
+
+    def __init__(self, found_shards: int, expected_shards: int) -> None:
+        def _label(n: int) -> str:
+            return f"{n}-shard" if n >= 2 else "unsharded"
+
+        SnapshotError.__init__(
+            self,
+            f"snapshot was captured from a {_label(found_shards)} session "
+            f"and cannot restore into a {_label(expected_shards)} "
+            f"configuration; re-create the checkpoint or match --shards"
+        )
+        self.found = found_shards
+        self.expected = expected_shards
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,91 @@
+"""Sharded execution is bit-identical to serial execution.
+
+The contract of :func:`repro.shard.drive_sharded`: for every strategy,
+with and without a seeded fault plan, at 2 and 4 shards, a sharded run
+produces *exactly* the serial run's observables — metrics, tracer record
+stream, and conservation audit.  The shard engine may only add the
+``extra["shard"]`` info block.
+
+The golden-fingerprint cases additionally pin the sharded probe cell to
+the seed revision's fingerprints (the same constants
+``tests/faults/test_bit_identity.py`` guards), so sharding cannot drift
+the default path even if serial and sharded drift together.
+"""
+
+import pytest
+
+from repro.faults import audit_session
+from repro.session import Session
+
+from tests.faults.test_bit_identity import GOLDEN, ORACLE_PLAN, _fp
+
+STRATEGIES = ("random", "gradient", "RID", "RIPS")
+PLANS = {"none": None, "faults": ORACLE_PLAN}
+
+_serial_cache: dict = {}
+
+
+def _run(strategy, plan, shards=0, trace=True):
+    sess = Session("queens-10", strategy=strategy, num_nodes=16, seed=7,
+                   scale="small", faults=plan, trace=trace, shards=shards)
+    metrics = sess.run()
+    return sess, metrics
+
+
+def _observables(sess, metrics):
+    """(metrics-sans-shard-info, records, audit) plus the shard info."""
+    d = dict(metrics.__dict__)
+    extra = dict(d.pop("extra"))
+    shard_info = extra.pop("shard", None)
+    audit = audit_session(sess, metrics)
+    return (d, extra, list(sess.tracer.records), audit), shard_info
+
+
+def _serial(strategy, plan_name):
+    key = (strategy, plan_name)
+    if key not in _serial_cache:
+        sess, metrics = _run(strategy, PLANS[plan_name])
+        obs, shard_info = _observables(sess, metrics)
+        assert shard_info is None
+        _serial_cache[key] = obs
+    return _serial_cache[key]
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_sharded_bit_identical_to_serial(strategy, plan_name, shards):
+    ref_metrics, ref_extra, ref_records, ref_audit = _serial(
+        strategy, plan_name)
+    sess, metrics = _run(strategy, PLANS[plan_name], shards=shards)
+    (got_metrics, got_extra, got_records, got_audit), shard_info = \
+        _observables(sess, metrics)
+    assert shard_info is not None
+    assert shard_info["shards"] == shards
+    assert shard_info["violations"] == 0
+    assert got_metrics == ref_metrics
+    assert got_extra == ref_extra
+    assert got_records == ref_records
+    assert got_audit == ref_audit
+    assert got_audit.ok or PLANS[plan_name] is not None
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_sharded_untraced_metrics_identical(strategy):
+    _sess, ref = _run(strategy, None, trace=False)
+    sess, got = _run(strategy, None, shards=2, trace=False)
+    shard_info = got.extra.pop("shard")
+    assert shard_info["cross_messages"] + shard_info["intra_messages"] > 0
+    assert got == ref
+
+
+@pytest.mark.parametrize("plan", [None, ORACLE_PLAN],
+                         ids=["none", "oracle-plan"])
+def test_sharded_probe_matches_seed_golden_fingerprints(plan):
+    """The 2-shard probe cell reproduces the seed revision bit-for-bit."""
+    sess, metrics = _run("RIPS", plan, shards=2)
+    d = dict(metrics.__dict__)
+    extra = dict(d.pop("extra"))
+    extra.pop("shard")
+    fp = (_fp({"m": d, "extra": extra}), _fp(sess.tracer.records))
+    assert fp == GOLDEN[plan]

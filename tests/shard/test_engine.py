@@ -1,0 +1,93 @@
+"""The worker-based shard engine: inline == process, stops, violations."""
+
+import numpy as np
+import pytest
+
+from repro.shard import (
+    ConservativeWindowViolation,
+    ShardConfigError,
+    ShardProgram,
+    run_program,
+)
+from repro.shard.programs import ChainStorm, LoadedStorm
+
+DELTA = 40e-6
+
+
+def test_inline_and_process_modes_agree():
+    kwargs = dict(num_nodes=8, shards=2, delta=DELTA, budget_events=5_000)
+    inline = run_program(LoadedStorm(fanout=64), **kwargs)
+    proc = run_program(LoadedStorm(fanout=64), mode="process", **kwargs)
+    assert inline == proc
+
+
+def test_chain_program_inline_and_process_agree():
+    kwargs = dict(num_nodes=8, shards=2, delta=DELTA, budget_events=2_000)
+    inline = run_program(ChainStorm(), **kwargs)
+    proc = run_program(ChainStorm(), mode="process", **kwargs)
+    assert inline == proc
+
+
+def test_budget_stops_the_run():
+    res = run_program(LoadedStorm(fanout=64), num_nodes=8, shards=2,
+                      delta=DELTA, budget_events=3_000)
+    total = sum(r["executed"] for r in res)
+    assert total >= 3_000
+    # the budget is checked at window barriers, so overshoot is bounded
+    # by one window's worth of work, not unbounded
+    assert total < 3_000 + 64 * 200
+
+
+def test_max_windows_stops_the_run():
+    res = run_program(LoadedStorm(fanout=64), num_nodes=8, shards=2,
+                      delta=DELTA, max_windows=3)
+    assert all(r["windows"] <= 3 for r in res)
+
+
+def test_single_shard_needs_no_window_math():
+    res = run_program(LoadedStorm(fanout=64), num_nodes=8, shards=1,
+                      delta=DELTA, budget_events=2_000)
+    assert len(res) == 1 and res[0]["executed"] >= 2_000
+
+
+class _EagerEmitter(ShardProgram):
+    """Emits a message due *inside* the sending window: a protocol bug."""
+
+    def setup(self, worker):
+        if worker.shard == 0:
+            def fire():
+                worker.emit(1, np.array([worker.sim.now + DELTA / 4]))
+
+            worker.sim.schedule(1e-6, fire)
+        else:
+            worker.sim.schedule(1e-6, lambda: None)
+
+
+def test_conservative_violation_is_raised():
+    with pytest.raises(ConservativeWindowViolation):
+        run_program(_EagerEmitter(), num_nodes=8, shards=2, delta=DELTA,
+                    max_windows=5)
+
+
+class _SelfSender(ShardProgram):
+    def setup(self, worker):
+        def fire():
+            worker.emit(worker.shard, np.array([worker.sim.now + DELTA * 2]))
+
+        worker.sim.schedule(1e-6, fire)
+
+
+def test_self_sends_are_rejected():
+    with pytest.raises(ValueError, match="cross-shard"):
+        run_program(_SelfSender(), num_nodes=8, shards=2, delta=DELTA,
+                    max_windows=5)
+
+
+def test_engine_validates_configuration():
+    with pytest.raises(ShardConfigError):
+        run_program(ChainStorm(), num_nodes=8, shards=0, delta=DELTA)
+    with pytest.raises(ShardConfigError):
+        run_program(ChainStorm(), num_nodes=8, shards=2, delta=0.0)
+    with pytest.raises(ShardConfigError):
+        run_program(ChainStorm(), num_nodes=8, shards=2, delta=DELTA,
+                    mode="threads")

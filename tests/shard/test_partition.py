@@ -1,0 +1,80 @@
+"""Mesh partitioning: contiguous blocks, ownership, window width."""
+
+import pytest
+
+from repro.machine import MeshTopology
+from repro.machine.network import PARAGON_LIKE
+from repro.machine.topology import min_cross_block_distance
+from repro.shard import (
+    Partition,
+    ShardConfigError,
+    conservative_window,
+    contiguous_blocks,
+    make_partition,
+)
+
+
+def test_contiguous_blocks_cover_and_balance():
+    assert contiguous_blocks(16, 4) == ((0, 4), (4, 8), (8, 12), (12, 16))
+    # remainder nodes go to the leading blocks
+    assert contiguous_blocks(10, 4) == ((0, 3), (3, 6), (6, 8), (8, 10))
+    blocks = contiguous_blocks(37, 5)
+    assert blocks[0][0] == 0 and blocks[-1][1] == 37
+    for (_, hi), (lo, _) in zip(blocks, blocks[1:]):
+        assert hi == lo  # seamless
+    sizes = [hi - lo for lo, hi in blocks]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_contiguous_blocks_rejects_bad_shapes():
+    with pytest.raises(ShardConfigError):
+        contiguous_blocks(4, 0)
+    with pytest.raises(ShardConfigError):
+        contiguous_blocks(2, 4)  # more shards than nodes
+
+
+def test_shard_of_and_owners_agree():
+    part = make_partition(16, 4)
+    owners = part.owners()
+    assert len(owners) == 16
+    for rank in range(16):
+        s = part.shard_of(rank)
+        assert owners[rank] == s
+        assert rank in part.ranks(s)
+
+
+def test_partition_is_value_like():
+    assert make_partition(16, 4) == make_partition(16, 4)
+    assert make_partition(16, 4) != make_partition(16, 2)
+    hash(make_partition(16, 4))  # usable as a cache key
+
+
+def test_min_cross_block_distance_adjacent_blocks():
+    topo = MeshTopology(4, 4)
+    blocks = [(0, 8), (8, 16)]
+    # row-major 4x4: ranks 7 and 8 sit in different rows but the
+    # boundary pair (4, 8) / (7, 11) are vertical neighbours
+    assert min_cross_block_distance(topo, blocks) == 1
+
+
+def test_conservative_window_is_min_distance_times_per_hop():
+    topo = MeshTopology(4, 4)
+    part = make_partition(16, 2)
+    delta = conservative_window(topo, PARAGON_LIKE, part)
+    dmin = min_cross_block_distance(topo, part.blocks)
+    assert delta == pytest.approx(PARAGON_LIKE.per_hop * dmin)
+    assert delta > 0
+
+
+def test_conservative_window_requires_two_shards():
+    topo = MeshTopology(4, 4)
+    with pytest.raises(ShardConfigError):
+        conservative_window(topo, PARAGON_LIKE, make_partition(16, 1))
+
+
+def test_shard_of_rejects_out_of_range_ranks():
+    part = Partition(num_nodes=8, blocks=((0, 4), (4, 8)))
+    with pytest.raises(ValueError):
+        part.shard_of(-1)
+    with pytest.raises(ValueError):
+        part.shard_of(8)

@@ -1,0 +1,100 @@
+"""Runner integration: cache keys, labels, validation, the jobs clamp."""
+
+import hashlib
+import os
+
+import pytest
+
+from repro.runner import RunRequest, execute_request
+from repro.runner.executor import (
+    _ENV_ALLOW_OVERSUBSCRIBE,
+    clamp_jobs_for_shards,
+)
+
+from tests.faults.test_bit_identity import CACHE_KEYS
+
+
+def _key(req):
+    return hashlib.sha256(req.canonical_json().encode()).hexdigest()[:16]
+
+
+def _req(**kw):
+    return RunRequest("queens-10", "RIPS", num_nodes=16, seed=7,
+                      scale="small", **kw)
+
+
+def test_unsharded_cache_keys_unchanged():
+    # shards=0 must not leak into canonical form: every cached result
+    # from before the shard engine stays valid
+    assert "shards" not in _req().canonical()
+    assert _key(_req()) == CACHE_KEYS[None]
+    assert _key(_req(shards=0)) == CACHE_KEYS[None]
+
+
+def test_sharded_requests_change_the_cache_key():
+    assert _req(shards=2).canonical()["shards"] == 2
+    assert _key(_req(shards=2)) != CACHE_KEYS[None]
+    assert _key(_req(shards=2)) != _key(_req(shards=4))
+
+
+def test_label_names_the_shard_count():
+    assert "/shards2" in _req(shards=2).label()
+    assert "shards" not in _req().label()
+
+
+def test_execute_request_rejects_sharded_non_sim_cells():
+    with pytest.raises(ValueError, match="shards"):
+        execute_request(_req(shards=2, kind="mwa_quality"))
+    with pytest.raises(ValueError, match="shards"):
+        execute_request(_req(shards=2, topology_case="mesh4x4"))
+
+
+def test_execute_request_sharded_equals_serial():
+    serial = execute_request(_req())
+    sharded = execute_request(_req(shards=2))
+    shard_info = sharded.extra.pop("shard")
+    assert shard_info["shards"] == 2
+    assert sharded == serial
+
+
+@pytest.fixture
+def _cores(monkeypatch):
+    def set_cores(n):
+        monkeypatch.setattr("repro.runner.executor._available_cores",
+                            lambda: n)
+    monkeypatch.delenv(_ENV_ALLOW_OVERSUBSCRIBE, raising=False)
+    return set_cores
+
+
+def test_clamp_leaves_fitting_grids_alone(_cores):
+    _cores(8)
+    reqs = [_req(shards=2)]
+    assert clamp_jobs_for_shards(4, reqs) == 4
+
+
+def test_clamp_reduces_oversubscribed_grids(_cores):
+    _cores(4)
+    reqs = [_req(shards=4)]
+    with pytest.warns(RuntimeWarning, match="oversubscrib"):
+        assert clamp_jobs_for_shards(4, reqs) == 1
+    _cores(8)
+    with pytest.warns(RuntimeWarning):
+        assert clamp_jobs_for_shards(8, reqs) == 2
+
+
+def test_clamp_ignores_unsharded_grids(_cores):
+    # an unsharded grid may oversubscribe freely (pre-existing behavior)
+    _cores(1)
+    assert clamp_jobs_for_shards(8, [_req()]) == 8
+
+
+def test_clamp_env_override(_cores, monkeypatch):
+    _cores(2)
+    monkeypatch.setenv(_ENV_ALLOW_OVERSUBSCRIBE, "1")
+    assert clamp_jobs_for_shards(8, [_req(shards=4)]) == 8
+
+
+def test_clamp_never_drops_below_one_job(_cores):
+    _cores(1)
+    with pytest.warns(RuntimeWarning):
+        assert clamp_jobs_for_shards(2, [_req(shards=4)]) == 1

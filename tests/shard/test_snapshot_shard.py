@@ -1,0 +1,75 @@
+"""Checkpoint/restore interplay with sharded sessions."""
+
+import pytest
+
+from repro.session import Session
+from repro.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotShardMismatch,
+    SnapshotVersionError,
+)
+
+
+def _session(shards=0):
+    return Session("queens-10", strategy="RIPS", num_nodes=16, seed=7,
+                   scale="small", shards=shards)
+
+
+def test_snapshot_version_bumped_for_shard_state():
+    # v3: Node.shard, the network shard_router hook, session meta shards
+    assert SNAPSHOT_VERSION >= 3
+
+
+def test_mismatch_is_a_version_error_naming_both_counts():
+    err = SnapshotShardMismatch(2, 4)
+    assert isinstance(err, SnapshotVersionError)
+    assert "2-shard" in str(err) and "4-shard" in str(err)
+    assert SnapshotShardMismatch(0, 2).found == 0
+    assert "unsharded" in str(SnapshotShardMismatch(0, 2))
+
+
+def test_checkpoint_records_the_shard_count():
+    sess = _session(shards=2)
+    sess.run(max_events=500)
+    snap = sess.checkpoint()
+    assert snap.meta["shards"] == 2
+
+
+def test_restore_rejects_mismatched_shards():
+    sess = _session(shards=2)
+    sess.run(max_events=500)
+    snap = sess.checkpoint()
+    with pytest.raises(SnapshotShardMismatch) as exc:
+        Session.restore(snap, shards=4)
+    assert exc.value.found == 2 and exc.value.expected == 4
+    with pytest.raises(SnapshotShardMismatch):
+        Session.restore(snap, shards=0)  # explicit unsharded restore
+
+
+def test_restore_adopts_the_snapshot_shard_count():
+    sess = _session(shards=2)
+    sess.run(max_events=500)
+    resumed = Session.restore(sess.checkpoint())
+    assert resumed.shards == 2
+    explicit = Session.restore(sess.checkpoint(), shards=2)
+    assert explicit.shards == 2
+
+
+def test_unsharded_snapshots_restore_as_before():
+    sess = _session()
+    sess.run(max_events=500)
+    resumed = Session.restore(sess.checkpoint())
+    assert resumed.shards == 0
+    with pytest.raises(SnapshotShardMismatch):
+        Session.restore(sess.checkpoint(), shards=2)
+
+
+def test_sharded_resume_is_bit_identical_to_serial():
+    ref = _session().run()
+    sess = _session(shards=2)
+    partial = sess.run(max_events=1000)  # slice runs serial by design
+    assert partial is None
+    resumed = Session.restore(sess.checkpoint())
+    got = resumed.run()  # remainder runs through the shard engine
+    got.extra.pop("shard")
+    assert got == ref
