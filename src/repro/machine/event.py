@@ -83,6 +83,11 @@ class EventHandle:
         self.fn = None
         self.args = ()
         sim = self._sim
+        if sim is None:
+            # extracted by a batched drain: no longer in the queue, so
+            # there is nothing to account for — the dispatch loop skips
+            # cancelled entries by flag
+            return
         sim._dead += 1
         if sim._dead >= _COMPACT_MIN_DEAD and sim._dead * 2 >= len(sim._queue):
             sim._compact()
@@ -138,9 +143,7 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of scheduled, not-yet-cancelled events.  O(1)."""
-        # clamp: cancelling an event a batched drain already extracted
-        # can transiently overcount _dead (see _drain_window_batched)
-        return max(0, len(self._queue) - self._dead)
+        return len(self._queue) - self._dead
 
     # ------------------------------------------------------------------
     # observability
@@ -439,11 +442,13 @@ class Simulator:
             batch = [q[i] for i in idx]
             q[:] = [q[i] for i in np.nonzero(~due)[0]]
             heapq.heapify(q)
-            # Dead events extracted with the batch leave the queue here;
-            # events cancelled *after* extraction are skipped at dispatch
-            # (their handles are no longer in the queue, so cancel()'s
-            # _dead increment briefly overcounts — pending() clamps and
-            # the next _compact() resets, so the drift is harmless).
+            # Extracted handles leave the queue here: detach them from the
+            # simulator so a cancel() between extraction and dispatch does
+            # not bump _dead for an event no longer in the queue (the
+            # dispatch loop below skips cancelled entries by flag).
+            for ev in batch:
+                ev._sim = None
+            # Events already dead at extraction leave _dead with them.
             dead = sum(1 for ev in batch if ev.cancelled)
             if dead:
                 self._dead = max(0, self._dead - dead)
@@ -557,7 +562,14 @@ class EventLanes:
         return len(self._times)
 
     def add_lane(self, times, dispatch) -> int:
-        """Register a lane; returns its index.  ``times`` is copied."""
+        """Register a lane; returns its index.  ``times`` is copied.
+
+        Slot indices within a lane are stable **only while the lane is
+        never** :meth:`push`\\ ed **to**: a fixed-population lane (like
+        LoadedStorm's tick lane) may keep per-slot state arrays aligned
+        with ``times``, but :meth:`push` compacts retired slots and would
+        silently desync them — see its docstring.
+        """
         arr = np.array(times, dtype=np.float64)
         if arr.ndim != 1:
             raise ValueError("lane times must be a 1-d array")
@@ -570,7 +582,14 @@ class EventLanes:
         return self._times[lane]
 
     def push(self, lane: int, times) -> None:
-        """Append new pending slots to a lane (e.g. remote arrivals)."""
+        """Append new pending slots to a lane (e.g. remote arrivals).
+
+        ``push`` may *compact* the lane (drop retired ``inf`` slots) to
+        keep long-lived arrival lanes bounded, which shifts the indices
+        of surviving slots.  Use it only on append-only lanes whose
+        dispatch is a pure function of ``(times, idx)`` — never on a
+        lane whose program keeps external per-slot state keyed by index.
+        """
         arr = np.asarray(times, dtype=np.float64)
         if arr.size == 0:
             return

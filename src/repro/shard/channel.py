@@ -13,9 +13,11 @@ Two implementations share the protocol:
   numbers use; on a single visible core it is also the *fastest* mode,
   since the win comes from batching, not from process parallelism.
 * :class:`ProcessChannels` — one ``multiprocessing.SimpleQueue`` inbox
-  per shard.  Lockstep window barriers mean a worker can be at most one
-  window ahead of any peer, so out-of-order messages need only a one-
-  window reorder buffer.
+  per shard.  Lockstep barriers mean a worker can be at most one
+  *barrier* ahead of any peer, so out-of-order messages need only a
+  one-barrier reorder buffer — provided barrier keys increase
+  monotonically over the run (the engine uses ``2k``/``2k+1`` for the
+  two barriers of window ``k``), so "ahead" is decidable by key order.
 """
 
 from __future__ import annotations
@@ -62,9 +64,17 @@ class ProcessChannels:
     """Queue-backed channel set for one worker process.
 
     Each worker owns inbox ``queues[shard]`` and holds references to all
-    peers' inboxes.  Messages are ``(window, src, payload)`` tuples;
+    peers' inboxes.  Messages are ``(barrier, src, payload)`` tuples;
     ``payload`` carries the batch plus piggybacked worker state (e.g.
     executed-event counts used for the global stop decision).
+
+    Barrier keys must be strictly increasing over the run (every worker
+    walks the identical key sequence — the engine derives it from
+    globally exchanged data only).  Lockstep then bounds the skew: while
+    this worker collects barrier ``b``, a peer can have posted at most
+    through the *next* barrier, so anything with a higher key is
+    stashed for its own collect and anything with a lower key is a
+    protocol violation, not a race.
     """
 
     def __init__(self, shard: int, queues: list) -> None:
@@ -75,24 +85,33 @@ class ProcessChannels:
         # window -> {src: payload} for messages that arrived early
         self._stash: dict[int, dict[int, object]] = {}
 
-    def post_all(self, window: int, payloads: dict[int, object]) -> None:
+    def post_all(self, barrier: int, payloads: dict[int, object]) -> None:
         """Send one payload to every peer (null messages included)."""
         for dst in range(self.shards):
             if dst == self.shard:
                 continue
-            self._queues[dst].put((window, self.shard, payloads.get(dst)))
+            self._queues[dst].put((barrier, self.shard, payloads.get(dst)))
 
-    def collect(self, window: int, timeout: Optional[float] = None
+    def collect(self, barrier: int, timeout: Optional[float] = None
                 ) -> dict[int, object]:
-        """Block until every peer's window-``window`` payload arrived."""
-        got = self._stash.pop(window, {})
+        """Block until every peer's ``barrier`` payload arrived."""
+        got = self._stash.pop(barrier, {})
         expect = self.shards - 1
         while len(got) < expect:
-            w, src, payload = self._inbox.get()
-            if w == window:
+            b, src, payload = self._inbox.get()
+            if b == barrier:
                 got[src] = payload
-            elif w > window:
-                self._stash.setdefault(w, {})[src] = payload
-            # w < window: stale duplicate from a peer restart; impossible
-            # under lockstep barriers, dropped defensively
+            elif b > barrier:
+                # a fast peer already posted a later barrier: hold it
+                self._stash.setdefault(b, {})[src] = payload
+            else:
+                # keys increase monotonically and per-sender FIFO order is
+                # preserved, so an earlier key here means the barrier
+                # protocol itself is broken — never drop it silently (a
+                # dropped payload deadlocks the peer's collect forever)
+                raise RuntimeError(
+                    f"shard {self.shard} collecting barrier {barrier}: "
+                    f"stale barrier-{b} message from shard {src} "
+                    "(barrier keys must be monotonically increasing)"
+                )
         return got

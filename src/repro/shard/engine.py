@@ -132,7 +132,15 @@ def drive_sharded(machine: "Machine", shards: int, strict: bool = True) -> dict:
 # shard programs: per-worker simulators + lanes, barrier exchange
 # ----------------------------------------------------------------------
 def _check_outbound(out: dict, k: int, delta: float) -> float:
-    """Validate window-``k`` emissions; returns their earliest arrival."""
+    """Validate window-``k`` emissions; returns their earliest arrival.
+
+    Mirrors :func:`repro.shard.window.is_conservative`, ulp-grace
+    included — and inherits its ordering caveat: an arrival that rounds
+    onto a window boundary is delivered into the *next* window and so
+    runs after equal-timestamp events local to the destination.  Fine
+    for order-free lanes; see ``is_conservative`` for the nudge an
+    order-exact Simulator program must apply.
+    """
     earliest = math.inf
     for dst, arrays in out.items():
         for arr in arrays:
@@ -239,10 +247,15 @@ def _worker_main(program, shard, partition, delta, budget_events,
             inbox, pending = pending, {}
             _deliver(program, worker, inbox)
             local_next = worker.next_time()
-            # barrier A: agree on the next non-empty window (or idle stop)
-            channels.post_all(k, {d: ("next", local_next)
-                                  for d in range(partition.shards)})
-            peer_next = [p[1] for p in channels.collect(k).values()]
+            # barrier A: agree on the next non-empty window (or idle stop).
+            # Barrier keys must be *monotonically increasing* across the
+            # whole run (2k for A, 2k+1 for B): a fast peer can post its
+            # barrier-B payload while this worker is still collecting
+            # barrier A, and ProcessChannels tells "from the future, stash"
+            # apart from "stale, protocol bug" purely by key order.
+            channels.post_all(2 * k, {d: ("next", local_next)
+                                      for d in range(partition.shards)})
+            peer_next = [p[1] for p in channels.collect(2 * k).values()]
             nxt = min([local_next, *peer_next])
             if nxt == math.inf:
                 break
@@ -253,8 +266,8 @@ def _worker_main(program, shard, partition, delta, budget_events,
             # barrier B: exchange batches + executed counts (nulls incl.)
             payloads = {d: ("batch", worker.executed, out.get(d, []))
                         for d in range(partition.shards)}
-            channels.post_all(-k - 1, payloads)  # distinct key space
-            got = channels.collect(-k - 1)
+            channels.post_all(2 * k + 1, payloads)
+            got = channels.collect(2 * k + 1)
             total = worker.executed
             for src in sorted(got):
                 _tag, peer_exec, arrays = got[src]

@@ -48,6 +48,20 @@ def is_conservative(send_t: float, arrival_t: float, delta: float) -> bool:
     ulp-grace: ``arrival = send + delta`` can round down onto the
     boundary itself, and boundary arrivals are delivered by the next
     window's drain, which is still safe.
+
+    Ordering caveat of the grace: the destination has already drained
+    window ``k`` (its drain is upper-inclusive) when a boundary-rounded
+    arrival is handed over, so that message executes during window
+    ``k+1`` — *after* any destination-local events carrying the same
+    timestamp, i.e. out of global ``(time, priority, seq)`` order at
+    that one instant.  This cannot happen in :func:`drive_sharded`
+    (one simulator, serial order by construction); for worker programs
+    it is harmless when within-window semantics are order-free (the
+    :class:`~repro.machine.event.EventLanes` contract).  A
+    Simulator-based :class:`~repro.shard.worker.ShardProgram` that
+    needs exact cross-shard tie-breaking must keep equal-timestamp
+    collisions off the boundary itself, e.g. by nudging such arrivals
+    to ``math.nextafter(end, math.inf)`` on delivery.
     """
     k = window_index(send_t, delta)
     return arrival_t + delta * _REL_EPS > window_end(k, delta)

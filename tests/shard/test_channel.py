@@ -1,0 +1,61 @@
+"""Channel protocol: barrier-key reorder stash, stale detection, nulls.
+
+Regression focus: barrier keys are monotonically increasing over a run
+(``2k`` / ``2k+1`` for the two barriers of window ``k``).  With >= 3
+shards a fast peer that has cleared barrier ``2k`` can post its barrier
+``2k+1`` payload while a slower worker is still collecting barrier
+``2k`` — that payload must be stashed for its own collect, never
+dropped (a dropped payload deadlocks the receiver's next collect
+forever, which is exactly what the old alternating ``k`` / ``-k-1``
+key scheme allowed).
+"""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.shard.channel import LoopbackChannels, ProcessChannels
+
+
+def _channels(shards=3, shard=0):
+    ctx = mp.get_context()
+    queues = [ctx.SimpleQueue() for _ in range(shards)]
+    return ProcessChannels(shard, queues), queues[shard]
+
+
+def test_future_barrier_payload_is_stashed_not_dropped():
+    ch, inbox = _channels()
+    # shard 2 is fast: its *next*-barrier payload lands first
+    inbox.put((1, 2, "B-from-2"))
+    inbox.put((0, 1, "A-from-1"))
+    inbox.put((0, 2, "A-from-2"))
+    assert ch.collect(0) == {1: "A-from-1", 2: "A-from-2"}
+    # the stashed payload satisfies the next collect without a new recv
+    inbox.put((1, 1, "B-from-1"))
+    assert ch.collect(1) == {1: "B-from-1", 2: "B-from-2"}
+
+
+def test_stash_spans_barrier_key_jumps():
+    # window jumps skip keys (2k -> 2k'+1 with k' > k); stash is keyed
+    # by exact barrier id, so gaps in the sequence are fine
+    ch, inbox = _channels()
+    inbox.put((7, 2, "late-barrier"))
+    inbox.put((2, 1, "now-1"))
+    inbox.put((2, 2, "now-2"))
+    assert ch.collect(2) == {1: "now-1", 2: "now-2"}
+    inbox.put((7, 1, "x"))
+    assert ch.collect(7) == {1: "x", 2: "late-barrier"}
+
+
+def test_stale_barrier_message_raises_instead_of_silent_drop():
+    ch, inbox = _channels()
+    inbox.put((0, 1, "late"))
+    with pytest.raises(RuntimeError, match="stale barrier-0"):
+        ch.collect(5)
+
+
+def test_loopback_missing_null_message_raises():
+    ch = LoopbackChannels(3)
+    ch.post(1, 0, 0, ["x"])
+    with pytest.raises(RuntimeError, match="missing"):
+        ch.collect(0, 0)

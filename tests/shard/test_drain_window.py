@@ -95,6 +95,33 @@ def test_drain_window_batched_path_handles_cancellation():
     assert sim.pending() == 0
 
 
+def test_cancel_of_extracted_event_keeps_accounting_exact():
+    """Cancelling a handle the batched drain already pulled out of the
+    heap must not count it as a dead *queue* entry — an inflated _dead
+    would make pending() under-report and trigger pointless compactions.
+    """
+    sim = Simulator()
+    ran = []
+    victims = []
+
+    def cancel_victims():
+        for h in victims:
+            h.cancel()
+
+    # runs first inside the batch (t=0, priority -1) and cancels later
+    # members of the same extracted batch
+    sim.schedule(0.0, cancel_victims, priority=-1)
+    for i in range(300):  # wide enough to force the batched path
+        h = sim.schedule(1e-6, ran.append, i)
+        if i % 3 == 0:
+            victims.append(h)
+    sim.schedule(1.0, ran.append, "survivor")
+    sim.drain_window(1e-3)
+    assert len(ran) == 300 - len(victims)
+    assert sim._dead == 0
+    assert sim.pending() == 1  # exactly the far-future survivor
+
+
 def test_event_lanes_dispatch_waves():
     lanes = EventLanes()
     hits = []

@@ -28,6 +28,17 @@ def test_chain_program_inline_and_process_agree():
     assert inline == proc
 
 
+def test_three_shard_process_mode_agrees_with_inline():
+    # >= 3 shards is the configuration where a fast peer's barrier-B
+    # payload can reach a worker still collecting barrier A; with the
+    # old non-monotone barrier keys that payload was dropped as stale
+    # and the run deadlocked (see tests/shard/test_channel.py)
+    kwargs = dict(num_nodes=9, shards=3, delta=DELTA, budget_events=4_000)
+    inline = run_program(LoadedStorm(fanout=96), **kwargs)
+    proc = run_program(LoadedStorm(fanout=96), mode="process", **kwargs)
+    assert inline == proc
+
+
 def test_budget_stops_the_run():
     res = run_program(LoadedStorm(fanout=64), num_nodes=8, shards=2,
                       delta=DELTA, budget_events=3_000)
