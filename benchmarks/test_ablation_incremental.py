@@ -12,7 +12,8 @@ from __future__ import annotations
 import pytest
 
 from repro.apps import gromos_trace, nqueens_trace
-from repro.balancers import StaticPreschedule, run_trace
+from repro.balancers import StaticPreschedule
+from repro.session import Session
 from repro.core import RIPS
 from repro.machine import Machine, MeshTopology
 from repro.metrics import format_table
@@ -22,7 +23,7 @@ from benchmarks.conftest import save_and_print
 
 def _run(trace, strategy, seed=13):
     machine = Machine(MeshTopology(4, 4), seed=seed)
-    return run_trace(trace, strategy, machine)
+    return Session.from_parts(trace, strategy, machine).run()
 
 
 def test_ablation_incremental_vs_static(benchmark, results_dir):

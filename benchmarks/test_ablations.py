@@ -11,7 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.apps import nqueens_trace
-from repro.balancers import run_trace
+from repro.session import Session
 from repro.core import RIPS
 from repro.core.schedulers import OptimalPlanner
 from repro.machine import Machine, MeshTopology
@@ -27,7 +27,7 @@ def trace():
 
 def _run(trace, strategy, shape=(4, 4), seed=31):
     machine = Machine(MeshTopology(*shape), seed=seed)
-    return run_trace(trace, strategy, machine)
+    return Session.from_parts(trace, strategy, machine).run()
 
 
 def test_ablation_policy_grid(benchmark, results_dir, trace):

@@ -19,7 +19,7 @@ from repro import (
     RandomAllocation,
     ReceiverInitiatedDiffusion,
     RIPS,
-    run_trace,
+    Session,
 )
 from repro.apps import gromos_trace
 from repro.metrics import format_table
@@ -44,7 +44,7 @@ def main() -> None:
         RIPS("lazy", "any"),
     ):
         machine = Machine(MeshTopology(4, 4), seed=7)
-        m = run_trace(trace, strategy, machine)
+        m = Session.from_parts(trace, strategy, machine).run()
         rows.append(
             {
                 "strategy": m.strategy,

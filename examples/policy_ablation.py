@@ -10,7 +10,7 @@ nothing while being a realistic runtime algorithm.
 Run:  python examples/policy_ablation.py
 """
 
-from repro import Machine, MeshTopology, RIPS, run_trace
+from repro import Machine, MeshTopology, RIPS, Session
 from repro.core.schedulers import OptimalPlanner
 from repro.apps import nqueens_trace
 from repro.metrics import format_table
@@ -25,7 +25,7 @@ def main() -> None:
     for local in ("lazy", "eager"):
         for global_ in ("any", "all"):
             machine = Machine(MeshTopology(*topo_shape), seed=31)
-            m = run_trace(trace, RIPS(local, global_), machine)
+            m = Session.from_parts(trace, RIPS(local, global_), machine).run()
             rows.append(
                 {
                     "policy": f"{global_.upper()}-{local.capitalize()}",
@@ -45,7 +45,7 @@ def main() -> None:
         ("min-cost flow (oracle)", OptimalPlanner(MeshTopology(*topo_shape))),
     ):
         machine = Machine(MeshTopology(*topo_shape), seed=31)
-        m = run_trace(trace, RIPS("lazy", "any", planner=planner), machine)
+        m = Session.from_parts(trace, RIPS("lazy", "any", planner=planner), machine).run()
         rows.append(
             {
                 "planner": label,

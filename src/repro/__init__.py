@@ -10,11 +10,11 @@ regenerates every table and figure of the evaluation section.
 
 Quickstart
 ----------
->>> from repro import Machine, MeshTopology, RIPS, run_trace
+>>> from repro import Machine, MeshTopology, RIPS, Session
 >>> from repro.apps import nqueens_trace
 >>> trace = nqueens_trace(10, split_depth=3)
 >>> machine = Machine(MeshTopology(4, 4), seed=42)
->>> metrics = run_trace(trace, RIPS("lazy", "any"), machine)
+>>> metrics = Session.from_parts(trace, RIPS("lazy", "any"), machine).run()
 >>> metrics.efficiency > 0.3
 True
 
@@ -31,7 +31,6 @@ from .balancers import (
     RunMetrics,
     SenderInitiatedDiffusion,
     Strategy,
-    run_trace,
 )
 from .core import (
     GlobalPolicy,
@@ -55,6 +54,7 @@ from .machine import (
     mesh_shape_for,
 )
 from .optimal import min_nonlocal_tasks, optimal_efficiency, optimal_redistribution
+from .session import Session
 from .tasks import TraceTask, WorkloadTrace
 
 __version__ = "1.0.0"
@@ -76,6 +76,7 @@ __all__ = [
     "ReceiverInitiatedDiffusion",
     "RunMetrics",
     "SenderInitiatedDiffusion",
+    "Session",
     "Simulator",
     "Strategy",
     "Topology",
@@ -90,6 +91,5 @@ __all__ = [
     "mwa_schedule",
     "optimal_efficiency",
     "optimal_redistribution",
-    "run_trace",
     "__version__",
 ]

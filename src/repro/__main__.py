@@ -20,8 +20,13 @@ Commands
 ``workloads``
     List the available workload keys at the chosen scale.
 ``cache``
-    Inspect or clear the on-disk caches (results, traces, prefix
-    snapshots, run checkpoints).
+    Inspect or clear the on-disk caches: per-namespace blob-store
+    totals (results, snapshots, checkpoints, sessions) plus cached
+    workload traces; ``clear --namespace X`` drops one namespace.
+``serve``
+    HTTP/WebSocket scheduling service on the Session API: submit wire-
+    format RunRequests, stream live progress, pause/resume/fork running
+    sessions; ``--smoke`` runs a one-cell self-test and exits.
 ``bench``
     Event-loop microbenchmark; writes ``BENCH_events_per_sec.json``.
     ``--check`` compares against the committed baseline instead (exit 1
@@ -212,42 +217,77 @@ def _cmd_topologies(args) -> int:
 
 def _cmd_cache(args) -> int:
     from repro.apps.cache import clear_trace_cache, trace_cache_stats
-    from repro.runner import ResultCache, result_cache_dir
-    from repro.snapshot import SnapshotCache
+    from repro.runner import RESULT_CACHE_VERSION
+    from repro.snapshot import SNAPSHOT_VERSION
+    from repro.store import NAMESPACES, LocalDirStore
 
-    ckpt_dir = result_cache_dir() / "checkpoints"
+    store = LocalDirStore()
+    versions = {"results": RESULT_CACHE_VERSION}
     if args.action == "clear":
-        removed_results = ResultCache().clear()
-        removed_snaps = SnapshotCache().clear()
-        removed_ckpts = 0
-        for p in ckpt_dir.glob("*.ckpt"):
-            p.unlink()
-            removed_ckpts += 1
-        removed_traces = clear_trace_cache() if args.traces else 0
-        print(f"removed {removed_results} cached results, "
-              f"{removed_snaps} prefix snapshots, "
-              f"{removed_ckpts} run checkpoints"
-              + (f", {removed_traces} cached traces" if args.traces else ""))
+        if args.namespace:
+            removed = (clear_trace_cache() if args.namespace == "traces"
+                       else store.clear(args.namespace))
+            print(f"removed {removed} {args.namespace} entries")
+            return 0
+        parts = [f"{store.clear(ns)} {ns}" for ns in NAMESPACES]
+        if args.traces:
+            parts.append(f"{clear_trace_cache()} traces")
+        print("removed " + ", ".join(parts))
         return 0
     rows = []
-    rs = ResultCache().stats()
-    rows.append({"cache": "results", "dir": rs["dir"],
-                 "entries": rs["entries"], "bytes": rs["bytes"],
-                 "version": rs["version"]})
+    for ns in NAMESPACES:
+        s = store.stats(ns)
+        rows.append({"cache": ns, "dir": s["dir"], "entries": s["entries"],
+                     "bytes": s["bytes"],
+                     "version": versions.get(ns, SNAPSHOT_VERSION)})
     ts = trace_cache_stats()
     rows.append({"cache": "traces", "dir": ts["dir"],
                  "entries": ts["entries"], "bytes": ts["bytes"],
                  "version": ts["format_version"]})
-    ss = SnapshotCache().stats()
-    rows.append({"cache": "snapshots", "dir": ss["dir"],
-                 "entries": ss["entries"], "bytes": ss["bytes"],
-                 "version": ss["version"]})
-    ckpts = list(ckpt_dir.glob("*.ckpt"))
-    rows.append({"cache": "checkpoints", "dir": str(ckpt_dir),
-                 "entries": len(ckpts),
-                 "bytes": sum(p.stat().st_size for p in ckpts),
-                 "version": ss["version"]})
     print(format_table(rows, title="On-disk caches"))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import ServiceConfig, serve, serve_background
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        quota_tokens=args.quota_tokens,
+        quota_refill=args.quota_refill,
+        slice_events=args.slice_events,
+        store_root=args.store_root,
+        use_result_cache=args.cache,
+    )
+    if args.smoke:
+        # Self-contained liveness probe (the CI service-smoke job): start
+        # a server, run one small cell end to end, stream its frames.
+        from repro.runner import RunRequest
+        from repro.service import ServiceClient
+
+        with serve_background(config) as bg:
+            client = ServiceClient(bg.url, tenant="smoke")
+            req = RunRequest(workload=args.smoke_workload, strategy="RIPS",
+                             num_nodes=8, seed=1, scale="small")
+            doc = client.submit(req)
+            frames = list(client.stream(doc["id"], timeout=120))
+            final = client.wait(doc["id"], timeout=120)
+            stats = client.stats()
+        ok = final["state"] == "done" and any(
+            f.get("type") in ("progress", "result") for f in frames)
+        print(f"serve smoke: {final['state']}, {len(frames)} frame(s) "
+              f"streamed, T={final.get('metrics', {}).get('T')}, "
+              f"submitted={stats['submitted']}")
+        return 0 if ok else 1
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -599,9 +639,52 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("cache", help="inspect or clear the on-disk caches")
     p.add_argument("action", choices=("stats", "clear"))
+    p.add_argument("--namespace", default=None,
+                   choices=("results", "snapshots", "checkpoints",
+                            "sessions", "traces"),
+                   help="on clear: drop only this blob-store namespace "
+                        "(default: all except traces)")
     p.add_argument("--traces", action="store_true",
                    help="on clear: also drop cached workload traces")
     p.set_defaults(fn=_cmd_cache)
+
+    p = sub.add_parser("serve",
+                       help="HTTP/WebSocket scheduling service on the "
+                            "Session API")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8787,
+                   help="bind port (default 8787; 0 = ephemeral)")
+    p.add_argument("--max-inflight", dest="max_inflight", type=int, default=8,
+                   help="sessions simulating concurrently (default 8)")
+    p.add_argument("--queue-depth", dest="queue_depth", type=int, default=32,
+                   help="admitted-but-waiting sessions before submits get "
+                        "429 (default 32)")
+    p.add_argument("--quota-tokens", dest="quota_tokens", type=float,
+                   default=120.0,
+                   help="per-tenant token-bucket capacity; 1 token = 1 cell "
+                        "(default 120)")
+    p.add_argument("--quota-refill", dest="quota_refill", type=float,
+                   default=2.0,
+                   help="per-tenant refill rate, tokens/second (default 2)")
+    p.add_argument("--slice-events", dest="slice_events", type=int,
+                   default=50_000,
+                   help="simulator events per progress slice (default 50000)")
+    p.add_argument("--store-root", dest="store_root", default=None,
+                   help="blob-store root (default: the shared .result_cache "
+                        "or $REPRO_RESULT_CACHE)")
+    p.add_argument("--no-cache", dest="cache", action="store_false",
+                   default=True,
+                   help="don't serve finished cells from / fill the shared "
+                        "result cache")
+    p.add_argument("--smoke", action="store_true",
+                   help="instead of serving: start a throwaway server, run "
+                        "one cell through it, stream its frames, exit "
+                        "(the CI gate)")
+    p.add_argument("--smoke-workload", dest="smoke_workload",
+                   default="queens-10",
+                   help="workload key for --smoke (default queens-10)")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("bench",
                        help="event-loop microbenchmark -> BENCH_events_per_sec.json")

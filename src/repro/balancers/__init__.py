@@ -1,6 +1,6 @@
 """Load-balancing strategies: the runtime and the paper's baselines."""
 
-from .base import Driver, ExecutionConfig, RunMetrics, Strategy, Worker, run_trace
+from .base import Driver, ExecutionConfig, RunMetrics, Strategy, Worker
 from .gradient import GradientModel
 from .random_alloc import RandomAllocation
 from .rid import ReceiverInitiatedDiffusion
@@ -18,5 +18,4 @@ __all__ = [
     "SenderInitiatedDiffusion",
     "Strategy",
     "Worker",
-    "run_trace",
 ]

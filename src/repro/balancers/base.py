@@ -50,7 +50,7 @@ from repro.machine import (
 )
 from repro.tasks.trace import WorkloadTrace
 
-__all__ = ["ExecutionConfig", "RunMetrics", "Strategy", "Driver", "run_trace"]
+__all__ = ["ExecutionConfig", "RunMetrics", "Strategy", "Driver"]
 
 
 @dataclass(frozen=True)
@@ -708,29 +708,3 @@ class Driver:
         )
         self.strategy.finalize_metrics(m)
         return m
-
-
-def run_trace(
-    trace: WorkloadTrace,
-    strategy: Strategy,
-    machine: Machine,
-    config: ExecutionConfig = ExecutionConfig(),
-    tracer=None,
-) -> RunMetrics:
-    """Deprecated one-shot runner; use :class:`repro.session.Session`.
-
-    Kept as a thin shim over :meth:`Session.from_parts` so pre-Session
-    callers keep working (bit-identically — the session performs exactly
-    the attach-tracer / build-driver / run sequence this function did).
-    """
-    warnings.warn(
-        "run_trace() is deprecated; build a repro.session.Session "
-        "(or Session.from_parts(...)) and call .run() instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.session import Session
-
-    return Session.from_parts(
-        trace, strategy, machine, config=config, tracer=tracer
-    ).run()

@@ -16,8 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
-from repro.balancers import RunMetrics, run_trace
+from repro.balancers import RunMetrics
 from repro.core import RIPS
+from repro.session import Session
 from repro.runner import ResultCache, RunRequest, run_requests
 from repro.core.schedulers import (
     DimensionExchangePlanner,
@@ -112,9 +113,10 @@ def run_topology_comparison(
             raise RuntimeError(f"case {case.name} built {topo.num_nodes} nodes")
         planner = case.make_planner(topo) if case.make_planner else None
         machine = Machine(topo, seed=seed)
-        metrics = run_trace(
-            trace, RIPS("lazy", "any", planner=planner), machine, tracer=tracer
-        )
+        metrics = Session.from_parts(
+            trace, RIPS("lazy", "any", planner=planner), machine,
+            tracer=tracer,
+        ).run()
         metrics.extra["topology_case"] = case.name
         out[case.name] = metrics
     return out

@@ -21,18 +21,22 @@ grid's execution engine:
 from .executor import RunReport, resolve_jobs, run_requests, run_requests_report
 from .result_cache import RESULT_CACHE_VERSION, ResultCache, result_cache_dir
 from .spec import (
+    API_VERSION,
     CellPreempted,
     RunRequest,
+    WireFormatError,
     execute_request,
     execute_request_resumable,
 )
 
 __all__ = [
+    "API_VERSION",
     "CellPreempted",
     "RESULT_CACHE_VERSION",
     "ResultCache",
     "RunReport",
     "RunRequest",
+    "WireFormatError",
     "execute_request",
     "execute_request_resumable",
     "resolve_jobs",

@@ -8,18 +8,26 @@ version whenever simulation semantics change (cost model, strategy
 behavior, metric definitions) — old entries then simply stop being found
 instead of serving stale numbers.
 
-Writes are atomic (unique tmp file, then ``rename``), so concurrent pool
-workers and interrupted runs can never leave a torn entry; a corrupt or
-unreadable entry is treated as a miss and deleted.
+Storage goes through the pluggable :class:`repro.store.BlobStore`
+(``results`` namespace) — atomic writes, corrupt-is-a-miss reads — so the
+cache shares one backend with snapshots, run checkpoints, and the
+service's session store.  The on-disk layout is unchanged from every
+earlier release: ``<root>/<workload>-<strategy>-<key>.pkl``.
+
+The cache key is derived from :meth:`RunRequest.canonical_json` — the
+same canonical serializer behind the versioned wire schema
+(:meth:`RunRequest.to_json`), so an on-the-wire request and a cache
+entry can never disagree about what a cell means.
 """
 
 from __future__ import annotations
 
 import hashlib
-import os
 import pickle
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
+
+from repro.store import BlobStore, LocalDirStore, default_store_root
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.balancers import RunMetrics
@@ -28,43 +36,49 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["RESULT_CACHE_VERSION", "ResultCache", "result_cache_dir"]
 
-_ENV_VAR = "REPRO_RESULT_CACHE"
-
 #: Code-version salt baked into every cache key.  Bump on any change that
 #: alters what a given RunRequest would compute.
 RESULT_CACHE_VERSION = 1
+
+_NS = "results"
 
 
 def result_cache_dir() -> Path:
     """Default cache directory (``$REPRO_RESULT_CACHE`` or
     ``<repo>/.result_cache``), created on first use."""
-    env = os.environ.get(_ENV_VAR)
-    if env:
-        path = Path(env)
-    else:
-        path = Path(__file__).resolve().parents[3] / ".result_cache"
-    path.mkdir(parents=True, exist_ok=True)
-    return path
+    return default_store_root()
 
 
 class ResultCache:
     """Content-addressed RunMetrics store with session hit/miss counters."""
 
-    def __init__(self, root: Optional[Path | str] = None) -> None:
-        self.root = Path(root) if root is not None else result_cache_dir()
-        self.root.mkdir(parents=True, exist_ok=True)
+    def __init__(self, root: Optional[Path | str] = None,
+                 store: Optional[BlobStore] = None) -> None:
+        if store is not None and root is not None:
+            raise ValueError("pass either root= or store=, not both")
+        self.store = store if store is not None else LocalDirStore(root)
         #: get() calls served from disk this session
         self.hits = 0
         #: get() calls that found nothing usable this session
         self.misses = 0
+
+    @property
+    def root(self) -> Path:
+        """Backing directory (local backend only; kept for callers that
+        inspect the store on disk)."""
+        return self.store.root
 
     # ------------------------------------------------------------------
     def key(self, req: "RunRequest") -> str:
         blob = f"{req.canonical_json()}|v{RESULT_CACHE_VERSION}".encode()
         return hashlib.sha256(blob).hexdigest()[:24]
 
+    def blob_key(self, req: "RunRequest") -> str:
+        """The store key: human-greppable prefix + content hash."""
+        return f"{req.workload}-{req.strategy}-{self.key(req)}"
+
     def path(self, req: "RunRequest") -> Path:
-        return self.root / f"{req.workload}-{req.strategy}-{self.key(req)}.pkl"
+        return self.store.path(_NS, self.blob_key(req))
 
     # ------------------------------------------------------------------
     def get(self, req: "RunRequest") -> Optional["RunMetrics"]:
@@ -72,47 +86,40 @@ class ResultCache:
         deleted and reported as misses."""
         from repro.balancers import RunMetrics
 
-        path = self.path(req)
-        if path.exists():
+        key = self.blob_key(req)
+        data = self.store.get(_NS, key)
+        if data is not None:
             try:
-                with path.open("rb") as fh:
-                    metrics = pickle.load(fh)
+                metrics = pickle.loads(data)
                 if isinstance(metrics, RunMetrics):
                     self.hits += 1
                     return metrics
             except Exception:
                 pass
-            path.unlink(missing_ok=True)  # corrupt/wrong-type entry
+            self.store.delete(_NS, key)  # corrupt/wrong-type entry
         self.misses += 1
         return None
 
     def put(self, req: "RunRequest", metrics: "RunMetrics") -> None:
-        path = self.path(req)
-        # unique tmp per writer: concurrent workers filling the same cell
-        # must not interleave into one file
-        tmp = Path(f"{path}.{os.getpid()}.tmp")
-        with tmp.open("wb") as fh:
-            pickle.dump(metrics, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(path)
+        self.store.put(
+            _NS, self.blob_key(req),
+            pickle.dumps(metrics, protocol=pickle.HIGHEST_PROTOCOL),
+        )
 
     # ------------------------------------------------------------------
     # maintenance (python -m repro cache ...)
     # ------------------------------------------------------------------
     def clear(self) -> int:
         """Delete all cached results; returns the number removed."""
-        removed = 0
-        for p in self.root.glob("*.pkl"):
-            p.unlink()
-            removed += 1
-        return removed
+        return self.store.clear(_NS)
 
     def stats(self) -> dict:
         """On-disk totals plus this session's hit/miss counters."""
-        entries = list(self.root.glob("*.pkl"))
+        st = self.store.stats(_NS)
         return {
-            "dir": str(self.root),
-            "entries": len(entries),
-            "bytes": sum(p.stat().st_size for p in entries),
+            "dir": st["dir"],
+            "entries": st["entries"],
+            "bytes": st["bytes"],
             "version": RESULT_CACHE_VERSION,
             "session_hits": self.hits,
             "session_misses": self.misses,

@@ -18,6 +18,7 @@ import hashlib
 import json
 import time
 from dataclasses import asdict, dataclass, field
+from dataclasses import fields as dc_fields
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
@@ -28,15 +29,83 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.balancers import RunMetrics
 
 __all__ = [
+    "API_VERSION",
     "CellPreempted",
     "RunRequest",
+    "WireFormatError",
     "execute_request",
     "execute_request_resumable",
 ]
 
+#: Version of the public wire schema (:meth:`RunRequest.to_json` /
+#: :meth:`RunRequest.from_json`).  Bump only on *incompatible* schema
+#: changes — adding a field with a serialize-only-when-non-default
+#: discipline is compatible and does not bump it.
+API_VERSION = 1
+
 #: events per cooperative-deadline slice in resumable execution; small
 #: enough that a budget overrun is noticed within a fraction of a second
 PREEMPT_SLICE_EVENTS = 250_000
+
+
+class WireFormatError(ValueError):
+    """A JSON request document does not conform to the v1 wire schema."""
+
+
+#: Field names accepted on the wire — exactly the RunRequest fields.
+_WIRE_FIELDS = frozenset((
+    "workload", "strategy", "num_nodes", "seed", "scale", "config",
+    "topology_case", "kind", "params", "trace", "faults",
+    "session_overrides", "shards",
+))
+
+
+def _wire_str(doc: dict, name: str) -> str:
+    value = doc[name]
+    if not isinstance(value, str):
+        raise WireFormatError(
+            f"field {name!r} must be a string, got {type(value).__name__}")
+    return value
+
+
+def _wire_int(doc: dict, name: str) -> int:
+    value = doc[name]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise WireFormatError(
+            f"field {name!r} must be an integer, got {value!r}")
+    return value
+
+
+def _wire_config(value: object) -> ExecutionConfig:
+    if not isinstance(value, dict):
+        raise WireFormatError("field 'config' must be an object")
+    known = {f.name for f in dc_fields(ExecutionConfig)}
+    unknown = sorted(set(value) - known)
+    if unknown:
+        raise WireFormatError(
+            f"unknown config field(s): {', '.join(unknown)}; "
+            f"valid fields: {', '.join(sorted(known))}"
+        )
+    try:
+        return ExecutionConfig(**value)
+    except (TypeError, ValueError) as exc:
+        raise WireFormatError(f"invalid 'config': {exc}") from exc
+
+
+def _wire_pairs(doc: dict, name: str) -> tuple:
+    value = doc[name]
+    if not isinstance(value, (list, tuple)):
+        raise WireFormatError(f"field {name!r} must be a list of [key, value] pairs")
+    out = []
+    for item in value:
+        if (not isinstance(item, (list, tuple)) or len(item) != 2
+                or not isinstance(item[0], str)):
+            raise WireFormatError(
+                f"field {name!r} entries must be [name, value] pairs, "
+                f"got {item!r}")
+        out.append((item[0], tuple(item[1]) if isinstance(item[1], list)
+                    else item[1]))
+    return tuple(out)
 
 
 @dataclass(frozen=True)
@@ -131,6 +200,97 @@ class RunRequest:
         """Hex digest identifying this request's semantics (no version salt
         — the result cache adds its own)."""
         return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    # versioned wire schema (the service, the CLI, and cache keys all
+    # route through canonical(); the wire form is canonical() plus an
+    # explicit api_version stamp)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> dict:
+        """JSON-ready dict of this request for transport: the canonical
+        form stamped with :data:`API_VERSION`."""
+        return {"api_version": API_VERSION, **self.canonical()}
+
+    def to_json(self) -> str:
+        """The versioned wire serialization (strict JSON — a request
+        whose fields are not JSON-representable is a caller bug and
+        raises rather than silently degrading to ``repr``)."""
+        return json.dumps(self.to_wire(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_wire(cls, doc: object) -> "RunRequest":
+        """Rebuild a request from :meth:`to_wire` output.
+
+        Strict by design: unknown fields, a wrong ``api_version``, and
+        ill-typed values all raise :class:`WireFormatError` with the
+        offending names spelled out — a client speaking a newer schema
+        gets a clear rejection instead of a silently-dropped knob.
+        """
+        if not isinstance(doc, dict):
+            raise WireFormatError(
+                f"RunRequest wire form must be a JSON object, "
+                f"got {type(doc).__name__}"
+            )
+        doc = dict(doc)
+        if "api_version" not in doc:
+            raise WireFormatError(
+                "missing required field 'api_version' "
+                f"(this build speaks version {API_VERSION})"
+            )
+        version = doc.pop("api_version")
+        if version != API_VERSION:
+            raise WireFormatError(
+                f"unsupported api_version {version!r}; this build speaks "
+                f"version {API_VERSION}"
+            )
+        unknown = sorted(set(doc) - _WIRE_FIELDS)
+        if unknown:
+            raise WireFormatError(
+                f"unknown RunRequest field(s): {', '.join(unknown)}; "
+                f"valid fields: {', '.join(sorted(_WIRE_FIELDS))}"
+            )
+        for required in ("workload", "strategy"):
+            if required not in doc:
+                raise WireFormatError(f"missing required field {required!r}")
+        kwargs: dict = {}
+        kwargs["workload"] = _wire_str(doc, "workload")
+        kwargs["strategy"] = _wire_str(doc, "strategy")
+        for name in ("num_nodes", "seed", "shards"):
+            if name in doc:
+                kwargs[name] = _wire_int(doc, name)
+        if "scale" in doc:
+            kwargs["scale"] = _wire_str(doc, "scale")
+        if "kind" in doc:
+            kwargs["kind"] = _wire_str(doc, "kind")
+        if doc.get("topology_case") is not None:
+            kwargs["topology_case"] = _wire_str(doc, "topology_case")
+        if "trace" in doc:
+            if not isinstance(doc["trace"], bool):
+                raise WireFormatError("field 'trace' must be a boolean")
+            kwargs["trace"] = doc["trace"]
+        if "config" in doc and doc["config"] is not None:
+            kwargs["config"] = _wire_config(doc["config"])
+        if doc.get("faults") is not None:
+            try:
+                kwargs["faults"] = FaultPlan.from_canonical(doc["faults"])
+            except WireFormatError:
+                raise
+            except Exception as exc:
+                raise WireFormatError(f"invalid 'faults' plan: {exc}") from exc
+        for name in ("params", "session_overrides"):
+            if name in doc:
+                kwargs[name] = _wire_pairs(doc, name)
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, text: str | bytes) -> "RunRequest":
+        """Parse :meth:`to_json` output (or any conforming JSON)."""
+        try:
+            doc = json.loads(text)
+        except (ValueError, TypeError) as exc:
+            raise WireFormatError(f"request is not valid JSON: {exc}") from exc
+        return cls.from_wire(doc)
 
     def label(self) -> str:
         """Short human-readable cell label for logs and errors."""

@@ -1,0 +1,46 @@
+"""Scheduling-as-a-service: the paper's runner behind a network API.
+
+``python -m repro serve`` starts an asyncio HTTP/WebSocket server
+(standard library only — no web framework) that executes simulation
+cells through the :class:`repro.session.Session` API:
+
+* **submit** a v1 wire-format :class:`~repro.runner.RunRequest`, get a
+  session id back;
+* **stream** live progress (events/sec, sim-time, tracer counters) over
+  a WebSocket while the cell runs in slices on a worker pool;
+* **pause / resume / fork** through :mod:`repro.snapshot` checkpoints in
+  the shared :class:`repro.store.BlobStore` — forked children are
+  bit-identical to an uninterrupted run;
+* stay up under load: bounded in-flight sessions, queue-depth shedding
+  (429), per-tenant token-bucket quotas, and content-hash coalescing of
+  duplicate submits.
+
+Layering: :mod:`.http` (wire plumbing) < :mod:`.manager` (session
+lifecycle + admission) < :mod:`.app` (routes) < :mod:`.server`
+(connection loop).  :mod:`.client` is the blocking counterpart for
+tests and examples.
+"""
+
+from .client import ServiceClient, ServiceClientError
+from .manager import (
+    AdmissionFull,
+    QuotaExceeded,
+    ServiceConfig,
+    ServiceError,
+    SessionManager,
+)
+from .server import BackgroundServer, ReproServer, serve, serve_background
+
+__all__ = [
+    "AdmissionFull",
+    "BackgroundServer",
+    "QuotaExceeded",
+    "ReproServer",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceConfig",
+    "ServiceError",
+    "SessionManager",
+    "serve",
+    "serve_background",
+]

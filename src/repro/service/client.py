@@ -1,0 +1,263 @@
+"""A blocking client for the scheduling service.
+
+Deliberately synchronous (``http.client`` + a raw-socket WebSocket) so
+tests, examples, and shell one-liners can drive the async server from
+plain imperative code.  The WebSocket side reuses the exact frame codec
+the server speaks (:mod:`.http`), with client-side masking as RFC 6455
+requires.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import socket
+import struct
+import time
+from base64 import b64encode
+from typing import Iterator, Optional
+from urllib.parse import urlsplit
+
+from repro.runner import RunRequest
+
+from .http import (
+    WS_OP_CLOSE,
+    WS_OP_PING,
+    WS_OP_PONG,
+    WS_OP_TEXT,
+    ws_accept_key,
+    ws_encode_frame,
+)
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(RuntimeError):
+    """Non-2xx response; carries the status and decoded body."""
+
+    def __init__(self, status: int, doc: object) -> None:
+        message = doc.get("error") if isinstance(doc, dict) else str(doc)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.doc = doc
+        self.retry_after: Optional[float] = None
+
+
+class ServiceClient:
+    """Talk to one ``repro serve`` instance."""
+
+    def __init__(self, url: str, tenant: str = "public",
+                 timeout: float = 60.0) -> None:
+        split = urlsplit(url if "//" in url else f"http://{url}")
+        if split.scheme not in ("", "http"):
+            raise ValueError(f"only http:// service URLs are supported, "
+                             f"got {url!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # plain REST
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 doc: Optional[object] = None) -> tuple[int, object, dict]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {"X-Repro-Tenant": self.tenant}
+            if doc is not None:
+                body = json.dumps(doc).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+            resp_headers = {k.lower(): v for k, v in response.getheaders()}
+            try:
+                decoded = json.loads(payload) if payload else None
+            except ValueError:
+                decoded = payload.decode("utf-8", "replace")
+            return response.status, decoded, resp_headers
+        finally:
+            conn.close()
+
+    def _call(self, method: str, path: str,
+              doc: Optional[object] = None) -> object:
+        status, decoded, headers = self._request(method, path, doc)
+        if status >= 400:
+            err = ServiceClientError(status, decoded)
+            retry = headers.get("retry-after")
+            if retry is not None:
+                try:
+                    err.retry_after = float(retry)
+                except ValueError:
+                    pass
+            raise err
+        return decoded
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._call("GET", "/v1/healthz")
+
+    def stats(self) -> dict:
+        return self._call("GET", "/v1/stats")
+
+    def submit(self, request: RunRequest, coalesce: bool = True) -> dict:
+        """Submit one cell; returns the session status document."""
+        doc = {"request": request.to_wire(), "coalesce": coalesce}
+        return self._call("POST", "/v1/sessions", doc)
+
+    def sessions(self) -> list[dict]:
+        return self._call("GET", "/v1/sessions")["sessions"]
+
+    def status(self, session_id: str) -> dict:
+        return self._call("GET", f"/v1/sessions/{session_id}")
+
+    def cancel(self, session_id: str) -> dict:
+        return self._call("DELETE", f"/v1/sessions/{session_id}")
+
+    def pause(self, session_id: str) -> dict:
+        return self._call("POST", f"/v1/sessions/{session_id}/pause")
+
+    def resume(self, session_id: str) -> dict:
+        return self._call("POST", f"/v1/sessions/{session_id}/resume")
+
+    def fork(self, session_id: str) -> dict:
+        return self._call("POST", f"/v1/sessions/{session_id}/fork")
+
+    def grid(self, requests: list[RunRequest],
+             jobs: Optional[int] = None) -> dict:
+        doc = {"requests": [r.to_wire() for r in requests]}
+        if jobs is not None:
+            doc["jobs"] = jobs
+        return self._call("POST", "/v1/grid", doc)
+
+    # ------------------------------------------------------------------
+    def wait(self, session_id: str, timeout: float = 300.0,
+             poll: float = 0.05) -> dict:
+        """Block until the session reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.status(session_id)
+            if doc["state"] in ("done", "failed", "cancelled", "paused"):
+                return doc
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"session {session_id} still {doc['state']!r} after "
+                    f"{timeout}s")
+            time.sleep(poll)
+
+    def run(self, request: RunRequest, timeout: float = 300.0) -> dict:
+        """Submit-and-wait; returns the terminal status document."""
+        doc = self.submit(request)
+        if doc["state"] in ("done", "failed"):
+            return doc
+        return self.wait(doc["id"], timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # WebSocket streaming
+    # ------------------------------------------------------------------
+    def stream(self, session_id: str,
+               timeout: Optional[float] = None) -> Iterator[dict]:
+        """Yield live progress frames until the session's terminal frame.
+
+        The generator owns the socket; breaking out of the loop closes
+        it.  Frames are dicts: ``hello``, ``progress`` (events/sec,
+        sim-time, tracer counters), ``state``, and finally ``result``.
+        """
+        timeout = timeout if timeout is not None else self.timeout
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=timeout)
+        try:
+            key = b64encode(os.urandom(16)).decode("ascii")
+            handshake = (
+                f"GET /v1/sessions/{session_id}/events HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Upgrade: websocket\r\n"
+                f"Connection: Upgrade\r\n"
+                f"Sec-WebSocket-Key: {key}\r\n"
+                f"Sec-WebSocket-Version: 13\r\n"
+                f"X-Repro-Tenant: {self.tenant}\r\n\r\n"
+            )
+            sock.sendall(handshake.encode("ascii"))
+            reader = sock.makefile("rb")
+            status_line = reader.readline().decode("latin-1")
+            headers: dict[str, str] = {}
+            while True:
+                line = reader.readline().decode("latin-1").strip()
+                if not line:
+                    break
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+            if " 101 " not in status_line:
+                body = b""
+                length = int(headers.get("content-length", "0") or 0)
+                if length:
+                    body = reader.read(length)
+                try:
+                    doc = json.loads(body) if body else {}
+                except ValueError:
+                    doc = {"error": body.decode("utf-8", "replace")}
+                raise ServiceClientError(
+                    int(status_line.split(" ")[1]), doc)
+            expect = ws_accept_key(key)
+            if headers.get("sec-websocket-accept") != expect:
+                raise ServiceClientError(
+                    101, {"error": "bad Sec-WebSocket-Accept in handshake"})
+
+            while True:
+                opcode, payload = _read_frame_blocking(reader)
+                if opcode == WS_OP_CLOSE:
+                    return
+                if opcode == WS_OP_PING:
+                    sock.sendall(ws_encode_frame(
+                        payload, opcode=WS_OP_PONG, mask=True,
+                        masking_key=os.urandom(4)))
+                    continue
+                if opcode != WS_OP_TEXT:
+                    continue
+                frame = json.loads(payload)
+                yield frame
+                if frame.get("type") == "result" or \
+                        frame.get("state") in ("failed", "cancelled"):
+                    return
+        finally:
+            try:
+                sock.sendall(ws_encode_frame(
+                    b"", opcode=WS_OP_CLOSE, mask=True,
+                    masking_key=os.urandom(4)))
+            except OSError:
+                pass
+            sock.close()
+
+
+def _read_frame_blocking(reader) -> tuple[int, bytes]:
+    """Blocking twin of :func:`repro.service.http.ws_read_frame`."""
+    opcode = None
+    payload = bytearray()
+    while True:
+        head = reader.read(2)
+        if len(head) < 2:
+            raise ConnectionError("websocket closed mid-frame")
+        b0, b1 = head
+        fin = bool(b0 & 0x80)
+        op = b0 & 0x0F
+        masked = bool(b1 & 0x80)
+        length = b1 & 0x7F
+        if length == 126:
+            (length,) = struct.unpack(">H", reader.read(2))
+        elif length == 127:
+            (length,) = struct.unpack(">Q", reader.read(8))
+        key = reader.read(4) if masked else None
+        data = reader.read(length) if length else b""
+        if key:
+            data = bytes(b ^ key[i % 4] for i, b in enumerate(data))
+        if op & 0x8:
+            return op, data
+        if opcode is None:
+            opcode = op if op else WS_OP_TEXT
+        payload += data
+        if fin:
+            return opcode, bytes(payload)

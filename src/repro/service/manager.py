@@ -1,0 +1,707 @@
+"""Session lifecycle, admission control, quotas, and coalescing.
+
+The manager is the service's scheduler-of-schedulers: it owns every
+server-side :class:`repro.session.Session`, runs them in *slices* on a
+thread pool so the asyncio loop never blocks, and publishes a progress
+frame to WebSocket subscribers at every slice boundary — event-driven
+streaming, no client polling.
+
+Load discipline (the "millions of users" contract):
+
+* **Admission control** — at most ``max_inflight`` sessions simulate
+  concurrently; up to ``queue_depth`` more wait their turn; beyond that
+  a submit is *rejected* (HTTP 429) instead of stalling the event loop.
+* **Per-tenant quotas** — a token bucket per tenant (capacity
+  ``quota_tokens``, refill ``quota_refill``/s); one token per submitted
+  cell.  Exhausted tenants get 429 + Retry-After while other tenants
+  keep scheduling.
+* **Coalescing** — a submit whose request content-hash matches an
+  in-flight session attaches to it instead of simulating twice, and
+  finished untraced cells are served straight from the shared result
+  cache; batch submits route through the runner's process-pool executor
+  (:func:`repro.runner.run_requests_report`).
+
+Pause/resume/fork go through :mod:`repro.snapshot`: pausing checkpoints
+the session into the ``sessions`` namespace of the shared
+:class:`repro.store.BlobStore`; resume and fork rebuild from that blob,
+bit-identical to a run that never stopped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from repro.runner import ResultCache, RunRequest, run_requests_report
+from repro.snapshot import Snapshot, SnapshotError
+from repro.store import BlobStore, LocalDirStore
+
+__all__ = [
+    "AdmissionFull",
+    "QuotaExceeded",
+    "ServiceConfig",
+    "ServiceError",
+    "SessionManager",
+    "SessionRecord",
+    "metrics_to_wire",
+]
+
+_SESSIONS_NS = "sessions"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    #: sessions simulating concurrently (thread-pool width)
+    max_inflight: int = 8
+    #: admitted-but-waiting sessions beyond which submits get 429
+    queue_depth: int = 32
+    #: per-tenant token-bucket capacity (1 token = 1 submitted cell)
+    quota_tokens: float = 120.0
+    #: per-tenant refill rate, tokens/second
+    quota_refill: float = 2.0
+    #: simulator events per progress slice (frame cadence)
+    slice_events: int = 50_000
+    #: tracer backstop for traced service sessions
+    trace_max_records: int = 200_000
+    #: process-pool width for the batch (grid) endpoint; None = runner
+    #: default ($REPRO_JOBS or serial)
+    grid_jobs: Optional[int] = None
+    #: finished/failed session records kept for status queries
+    keep_done: int = 512
+    #: blob-store root override (None = the shared .result_cache/)
+    store_root: Optional[str] = None
+    #: serve results from / fill the shared result cache
+    use_result_cache: bool = True
+
+
+class ServiceError(Exception):
+    """Base for manager-level rejections; carries an HTTP status."""
+
+    status = 400
+
+    def to_doc(self) -> dict:
+        return {"error": str(self)}
+
+
+class QuotaExceeded(ServiceError):
+    status = 429
+
+    def __init__(self, tenant: str, retry_after: float) -> None:
+        super().__init__(
+            f"tenant {tenant!r} is out of quota tokens; "
+            f"retry in {retry_after:.1f}s"
+        )
+        self.retry_after = max(0.0, retry_after)
+
+
+class AdmissionFull(ServiceError):
+    status = 429
+
+    def __init__(self, active: int, limit: int) -> None:
+        super().__init__(
+            f"admission is full ({active} session(s) active, limit {limit}); "
+            f"shedding load"
+        )
+        self.retry_after = 1.0
+
+
+class _TokenBucket:
+    """Classic leaky bucket on the monotonic clock."""
+
+    def __init__(self, capacity: float, refill_per_s: float) -> None:
+        self.capacity = float(capacity)
+        self.refill = float(refill_per_s)
+        self.tokens = float(capacity)
+        self.updated = time.monotonic()
+
+    def _refill(self, now: float) -> None:
+        self.tokens = min(self.capacity,
+                          self.tokens + (now - self.updated) * self.refill)
+        self.updated = now
+
+    def take(self, n: float = 1.0) -> bool:
+        now = time.monotonic()
+        self._refill(now)
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+    def retry_after(self, n: float = 1.0) -> float:
+        """Seconds until ``n`` tokens will be available (inf if never)."""
+        if n <= self.tokens:
+            return 0.0
+        if self.refill <= 0:
+            return float("inf")
+        return (n - self.tokens) / self.refill
+
+
+#: Session lifecycle: every transition is published as a frame.
+_STATES = ("queued", "running", "paused", "done", "failed", "cancelled")
+#: States that still occupy (or will occupy) an execution slot.
+_ACTIVE = ("queued", "running")
+
+
+@dataclass
+class SessionRecord:
+    """One server-side session and everything a status query needs."""
+
+    id: str
+    tenant: str
+    request: RunRequest
+    state: str = "queued"
+    created: float = field(default_factory=time.monotonic)
+    #: monotone frame counter (also the WS frame "seq")
+    seq: int = 0
+    #: live progress snapshot, updated at each slice boundary
+    events_processed: int = 0
+    sim_now: float = 0.0
+    events_per_sec: float = 0.0
+    slices: int = 0
+    #: result / failure
+    metrics: Optional[object] = None
+    error: Optional[str] = None
+    from_cache: bool = False
+    #: number of submits coalesced onto this record (first submit = 0)
+    coalesced: int = 0
+    #: blob key of the pause checkpoint ("" = none)
+    checkpoint_key: str = ""
+    parent: Optional[str] = None
+    #: control flags, read at slice boundaries
+    pause_requested: bool = False
+    cancel_requested: bool = False
+    # internals (not serialized)
+    session: Optional[object] = None
+    task: Optional[asyncio.Task] = None
+    subscribers: list = field(default_factory=list)
+    _changed: Optional[asyncio.Event] = None
+    _trace_cursor: int = 0
+
+    # ------------------------------------------------------------------
+    def to_doc(self) -> dict:
+        """The JSON status document (``GET /v1/sessions/<id>``)."""
+        doc = {
+            "id": self.id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "request": self.request.to_wire(),
+            "label": self.request.label(),
+            "seq": self.seq,
+            "events_processed": self.events_processed,
+            "sim_now": self.sim_now,
+            "events_per_sec": round(self.events_per_sec, 1),
+            "slices": self.slices,
+            "coalesced": self.coalesced,
+            "from_cache": self.from_cache,
+            "parent": self.parent,
+            "checkpoint": self.checkpoint_key or None,
+        }
+        if self.metrics is not None:
+            doc["metrics"] = metrics_to_wire(self.metrics)
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+    # ------------------------------------------------------------------
+    def publish(self, frame: dict) -> None:
+        """Fan one frame out to every subscriber queue (never blocks —
+        a slow consumer drops frames rather than stalling the loop)."""
+        self.seq += 1
+        frame = {"seq": self.seq, "session": self.id, **frame}
+        for queue in list(self.subscribers):
+            try:
+                queue.put_nowait(frame)
+            except asyncio.QueueFull:
+                pass  # slow consumer: shed frames, keep the loop live
+
+    def transition(self, state: str, **frame_args) -> None:
+        assert state in _STATES, state
+        self.state = state
+        self.publish({"type": "state", "state": state, **frame_args})
+        if self._changed is not None:
+            self._changed.set()
+            self._changed = asyncio.Event()
+
+    async def wait_leaving(self, state: str, timeout: float = 30.0) -> str:
+        """Block until the record's state is not ``state`` (bounded)."""
+        deadline = time.monotonic() + timeout
+        while self.state == state:
+            if self._changed is None:
+                self._changed = asyncio.Event()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(self._changed.wait()), remaining)
+            except asyncio.TimeoutError:
+                break
+        return self.state
+
+
+def metrics_to_wire(metrics) -> dict:
+    """A :class:`RunMetrics` as a JSON-ready dict (trace record streams
+    are summarized, not shipped — they belong to the trace endpoints)."""
+    doc = asdict(metrics)
+    extra = dict(doc.get("extra") or {})
+    records = extra.pop("trace_records", None)
+    if records is not None:
+        extra["trace_records_len"] = len(records)
+    doc["extra"] = extra
+    doc["speedup"] = metrics.speedup
+    return doc
+
+
+class SessionManager:
+    """All live session state of one server process."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 store: Optional[BlobStore] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.store = store if store is not None \
+            else LocalDirStore(self.config.store_root)
+        self.result_cache = (
+            ResultCache(store=self.store)
+            if self.config.use_result_cache else None
+        )
+        self.records: dict[str, SessionRecord] = {}
+        self._by_hash: dict[str, str] = {}  # content hash -> active record id
+        self._buckets: dict[str, _TokenBucket] = {}
+        self._sem = asyncio.Semaphore(self.config.max_inflight)
+        self._grid_sem = asyncio.Semaphore(1)
+        self._queued = 0
+        self._running = 0
+        self._seq = itertools.count(1)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(2, self.config.max_inflight),
+            thread_name_prefix="repro-serve",
+        )
+        self.started = time.monotonic()
+        self.submitted = 0
+        self.rejected_quota = 0
+        self.rejected_admission = 0
+        self.coalesced_hits = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # admission helpers
+    # ------------------------------------------------------------------
+    def _bucket(self, tenant: str) -> _TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = _TokenBucket(
+                self.config.quota_tokens, self.config.quota_refill)
+        return bucket
+
+    def _charge(self, tenant: str, cells: int = 1) -> None:
+        bucket = self._bucket(tenant)
+        if not bucket.take(float(cells)):
+            self.rejected_quota += 1
+            raise QuotaExceeded(tenant, bucket.retry_after(float(cells)))
+
+    def _admit(self) -> None:
+        # Count records, not semaphore waiters: a submitted-but-not-yet-
+        # scheduled task must already occupy its slot, or a burst of
+        # submits would all pass before any task got to run.
+        active = sum(1 for r in self.records.values() if r.state in _ACTIVE)
+        limit = self.config.max_inflight + self.config.queue_depth
+        if active >= limit:
+            self.rejected_admission += 1
+            raise AdmissionFull(active, limit)
+
+    def _new_id(self) -> str:
+        return f"s{next(self._seq):04d}-{uuid.uuid4().hex[:8]}"
+
+    def _gc_done(self) -> None:
+        done = [r for r in self.records.values()
+                if r.state in ("done", "failed", "cancelled")]
+        excess = len(done) - self.config.keep_done
+        if excess > 0:
+            done.sort(key=lambda r: r.created)
+            for rec in done[:excess]:
+                self.records.pop(rec.id, None)
+
+    # ------------------------------------------------------------------
+    # submit / status
+    # ------------------------------------------------------------------
+    def submit(self, tenant: str, request: RunRequest,
+               coalesce: bool = True) -> SessionRecord:
+        """Admit one cell; returns its (possibly shared) record.
+
+        Raises :class:`QuotaExceeded` / :class:`AdmissionFull` — the app
+        layer turns those into 429s.
+        """
+        self.submitted += 1
+        self._charge(tenant)
+        content = request.content_hash()
+
+        if coalesce:
+            live_id = self._by_hash.get(content)
+            live = self.records.get(live_id) if live_id else None
+            if live is not None and live.state in _ACTIVE:
+                live.coalesced += 1
+                self.coalesced_hits += 1
+                return live
+
+        if (self.result_cache is not None and not request.trace
+                and request.shards < 2):
+            hit = self.result_cache.get(request)
+            if hit is not None:
+                self.cache_hits += 1
+                rec = SessionRecord(id=self._new_id(), tenant=tenant,
+                                    request=request)
+                rec.state = "done"
+                rec.metrics = hit
+                rec.from_cache = True
+                self.records[rec.id] = rec
+                self._gc_done()
+                return rec
+
+        self._admit()
+        rec = SessionRecord(id=self._new_id(), tenant=tenant, request=request)
+        self.records[rec.id] = rec
+        self._by_hash[content] = rec.id
+        rec.task = asyncio.get_running_loop().create_task(
+            self._run_record(rec))
+        self._gc_done()
+        return rec
+
+    def get(self, session_id: str) -> SessionRecord:
+        try:
+            return self.records[session_id]
+        except KeyError:
+            err = ServiceError(f"unknown session {session_id!r}")
+            err.status = 404
+            raise err from None
+
+    def list_docs(self) -> list[dict]:
+        return [rec.to_doc() for rec in
+                sorted(self.records.values(), key=lambda r: r.created)]
+
+    def stats(self) -> dict:
+        by_state: dict[str, int] = {}
+        for rec in self.records.values():
+            by_state[rec.state] = by_state.get(rec.state, 0) + 1
+        return {
+            "uptime": round(time.monotonic() - self.started, 3),
+            "sessions": by_state,
+            "inflight": self._running,
+            "queued": self._queued,
+            "max_inflight": self.config.max_inflight,
+            "queue_depth": self.config.queue_depth,
+            "submitted": self.submitted,
+            "coalesced": self.coalesced_hits,
+            "cache_hits": self.cache_hits,
+            "rejected_quota": self.rejected_quota,
+            "rejected_admission": self.rejected_admission,
+            "tenants": {
+                name: round(bucket.tokens, 2)
+                for name, bucket in sorted(self._buckets.items())
+            },
+            "store": self.store.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # control-plane verbs
+    # ------------------------------------------------------------------
+    async def pause(self, session_id: str) -> SessionRecord:
+        """Checkpoint at the next slice boundary and park the session."""
+        rec = self.get(session_id)
+        if rec.state not in _ACTIVE:
+            raise _conflict(rec, "pause", "while it is queued or running")
+        if rec.request.shards >= 2:
+            raise _conflict(
+                rec, "pause",
+                "— sharded sessions run their windows to completion")
+        rec.pause_requested = True
+        await rec.wait_leaving("running")
+        if rec.state == "queued":
+            # not started yet: it will observe the flag immediately on start
+            await rec.wait_leaving("queued")
+            await rec.wait_leaving("running")
+        return rec
+
+    async def resume(self, session_id: str) -> SessionRecord:
+        rec = self.get(session_id)
+        if rec.state != "paused":
+            raise _conflict(rec, "resume", "from the paused state")
+        self._admit()
+        rec.pause_requested = False
+        rec.transition("queued")
+        self._by_hash[rec.request.content_hash()] = rec.id
+        rec.task = asyncio.get_running_loop().create_task(
+            self._run_record(rec, resume=True))
+        return rec
+
+    def fork(self, session_id: str, tenant: Optional[str] = None) -> SessionRecord:
+        """A new session continuing from a paused session's checkpoint."""
+        parent = self.get(session_id)
+        if parent.state != "paused" or not parent.checkpoint_key:
+            raise _conflict(parent, "fork", "from the paused state")
+        tenant = tenant or parent.tenant
+        self._charge(tenant)
+        self._admit()
+        child = SessionRecord(
+            id=self._new_id(), tenant=tenant, request=parent.request,
+            parent=parent.id)
+        child.checkpoint_key = parent.checkpoint_key
+        self.records[child.id] = child
+        child.task = asyncio.get_running_loop().create_task(
+            self._run_record(child, resume=True))
+        self._gc_done()
+        return child
+
+    async def cancel(self, session_id: str) -> SessionRecord:
+        rec = self.get(session_id)
+        if rec.state in _ACTIVE:
+            rec.cancel_requested = True
+            if rec.state == "queued" and rec.task is not None:
+                rec.task.cancel()
+                rec.transition("cancelled")
+            else:
+                await rec.wait_leaving("running")
+        elif rec.state == "paused":
+            rec.transition("cancelled")
+        return rec
+
+    # ------------------------------------------------------------------
+    # batch path
+    # ------------------------------------------------------------------
+    async def run_grid(self, tenant: str, requests: list[RunRequest],
+                       jobs: Optional[int] = None) -> dict:
+        """Batch execution through the runner's process-pool executor.
+
+        This is the coalescing fast path for whole experiment grids: one
+        request, many cells, shared result cache, `jobs` workers.  One
+        grid at a time — a second concurrent grid is shed with 429.
+        """
+        self._charge(tenant, cells=len(requests))
+        if self._grid_sem.locked():
+            self.rejected_admission += 1
+            raise AdmissionFull(1, 1)
+        async with self._grid_sem:
+            loop = asyncio.get_running_loop()
+            jobs = jobs if jobs is not None else self.config.grid_jobs
+            report = await loop.run_in_executor(
+                self._pool,
+                lambda: run_requests_report(
+                    requests, jobs=jobs, cache=self.result_cache),
+            )
+        return {
+            "cells": len(requests),
+            "jobs": report.jobs,
+            "cache_hits": report.cache_hits,
+            "executed": report.executed,
+            "retried": report.retried,
+            "summary": report.summary(),
+            "results": [metrics_to_wire(m) for m in report.results],
+        }
+
+    # ------------------------------------------------------------------
+    # the per-session run loop
+    # ------------------------------------------------------------------
+    async def _run_record(self, rec: SessionRecord, resume: bool = False) -> None:
+        loop = asyncio.get_running_loop()
+        self._queued += 1
+        try:
+            async with self._sem:
+                self._queued -= 1
+                self._running += 1
+                try:
+                    await self._drive(rec, loop, resume)
+                finally:
+                    self._running -= 1
+        except asyncio.CancelledError:
+            if rec.state in _ACTIVE:
+                rec.transition("cancelled")
+            raise
+        except Exception as exc:  # noqa: BLE001 - reported to the client
+            rec.error = f"{type(exc).__name__}: {exc}"
+            rec.transition("failed", error=rec.error)
+        finally:
+            if self._by_hash.get(rec.request.content_hash()) == rec.id \
+                    and rec.state not in _ACTIVE:
+                self._by_hash.pop(rec.request.content_hash(), None)
+
+    async def _drive(self, rec: SessionRecord, loop, resume: bool) -> None:
+        from repro.session import Session
+
+        if rec.cancel_requested:
+            rec.transition("cancelled")
+            return
+        if rec.pause_requested and not resume:
+            # paused before it ever ran: nothing to checkpoint yet —
+            # build the session, checkpoint the prepared state, park it.
+            rec.session = await loop.run_in_executor(
+                self._pool, lambda: self._build_session(rec))
+            await self._checkpoint(rec, loop)
+            rec.transition("paused")
+            return
+
+        if resume:
+            data = self.store.get(_SESSIONS_NS, rec.checkpoint_key)
+            if data is None:
+                raise SnapshotError(
+                    f"session checkpoint {rec.checkpoint_key!r} has vanished "
+                    f"from the store")
+            rec.session = await loop.run_in_executor(
+                self._pool,
+                lambda: Session.restore(Snapshot.from_bytes(
+                    data, source=f"sessions/{rec.checkpoint_key}")),
+            )
+        else:
+            rec.session = await loop.run_in_executor(
+                self._pool, lambda: self._build_session(rec))
+
+        rec.transition("running")
+        sess = rec.session
+        sliced = rec.request.shards < 2
+        slice_events = max(1, self.config.slice_events)
+        while True:
+            t0 = time.monotonic()
+            e0 = sess.machine.sim.events_processed
+            if sliced:
+                metrics = await loop.run_in_executor(
+                    self._pool, lambda: sess.run(max_events=slice_events))
+            else:
+                metrics = await loop.run_in_executor(self._pool, sess.run)
+            wall = max(1e-9, time.monotonic() - t0)
+            rec.slices += 1
+            rec.events_processed = sess.machine.sim.events_processed
+            rec.sim_now = sess.machine.sim.now
+            rec.events_per_sec = (rec.events_processed - e0) / wall
+            rec.publish(self._progress_frame(rec))
+
+            if metrics is not None:
+                rec.metrics = metrics
+                if (self.result_cache is not None and not rec.request.trace
+                        and not resume and rec.checkpoint_key == ""
+                        and rec.request.shards < 2):
+                    # a straight start-to-finish run is exactly what
+                    # execute_request() would have produced: cache it
+                    self.result_cache.put(rec.request, metrics)
+                rec.transition("done")
+                rec.publish({"type": "result",
+                             "metrics": metrics_to_wire(metrics)})
+                return
+            if rec.cancel_requested:
+                rec.transition("cancelled")
+                return
+            if rec.pause_requested:
+                await self._checkpoint(rec, loop)
+                rec.transition("paused", checkpoint=rec.checkpoint_key)
+                return
+
+    # ------------------------------------------------------------------
+    def _build_session(self, rec: SessionRecord):
+        """Construct (in a worker thread) the Session for one record."""
+        from repro.obs import Tracer
+        from repro.session import Session
+
+        sess = Session.from_request(rec.request)
+        if rec.request.trace:
+            # bounded tracer: live frames only need the tail, and an
+            # unbounded record list on a long-running service is a leak
+            sess.tracer = Tracer(max_records=self.config.trace_max_records)
+        return sess
+
+    async def _checkpoint(self, rec: SessionRecord, loop) -> None:
+        key = f"{rec.id}-{rec.slices:04d}"
+        snap = await loop.run_in_executor(
+            self._pool,
+            lambda: rec.session.checkpoint(
+                {"service_session": rec.id, "tenant": rec.tenant}),
+        )
+        self.store.put(_SESSIONS_NS, key, snap.to_bytes())
+        rec.checkpoint_key = key
+
+    def _progress_frame(self, rec: SessionRecord) -> dict:
+        frame = {
+            "type": "progress",
+            "state": rec.state,
+            "events_processed": rec.events_processed,
+            "sim_now": rec.sim_now,
+            "events_per_sec": round(rec.events_per_sec, 1),
+            "slice": rec.slices,
+        }
+        sess = rec.session
+        tracer = getattr(sess, "tracer", None) if sess is not None else None
+        if tracer is not None and tracer.enabled:
+            records = tracer.records
+            tail = records[rec._trace_cursor:]
+            rec._trace_cursor = len(records)
+            counters: dict[str, float] = {}
+            phases: list[dict] = []
+            for r in tail:
+                if r["ph"] == "C":
+                    counters[f"{r['cat']}:{r['name']}"] = r["value"]
+                elif r["ph"] == "X" and r["cat"] == "phase":
+                    phases.append({"name": r["name"], "node": r["node"],
+                                   "t": r["t"], "dur": r["dur"]})
+            frame["trace"] = {
+                "records": len(records),
+                "new": len(tail),
+                "dropped": tracer.dropped,
+                "counters": counters,
+                "phases": phases[-8:],
+            }
+        return frame
+
+    # ------------------------------------------------------------------
+    # subscriptions / shutdown
+    # ------------------------------------------------------------------
+    def subscribe(self, session_id: str) -> tuple[SessionRecord, asyncio.Queue]:
+        """A frame queue for one WebSocket consumer.  The first frame is
+        a hello with the current status; a finished session immediately
+        replays its terminal frame so late subscribers are not stranded."""
+        rec = self.get(session_id)
+        queue: asyncio.Queue = asyncio.Queue(maxsize=256)
+        rec.subscribers.append(queue)
+        queue.put_nowait({"type": "hello", "session": rec.id,
+                          "state": rec.state, "status": rec.to_doc()})
+        if rec.state in ("done", "failed", "cancelled"):
+            terminal = {"type": "result" if rec.metrics is not None else "state",
+                        "session": rec.id, "state": rec.state,
+                        "seq": rec.seq}
+            if rec.metrics is not None:
+                terminal["metrics"] = metrics_to_wire(rec.metrics)
+            if rec.error is not None:
+                terminal["error"] = rec.error
+            queue.put_nowait(terminal)
+        return rec, queue
+
+    def unsubscribe(self, rec: SessionRecord, queue: asyncio.Queue) -> None:
+        try:
+            rec.subscribers.remove(queue)
+        except ValueError:
+            pass
+
+    async def shutdown(self) -> None:
+        """Cancel every active session and stop the worker pool."""
+        tasks = [rec.task for rec in self.records.values()
+                 if rec.task is not None and not rec.task.done()]
+        for rec in self.records.values():
+            rec.cancel_requested = True
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _conflict(rec: SessionRecord, verb: str, requirement: str) -> ServiceError:
+    err = ServiceError(
+        f"cannot {verb} session {rec.id} in state {rec.state!r}; "
+        f"{verb} is valid {requirement}"
+    )
+    err.status = 409
+    return err

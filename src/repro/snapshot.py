@@ -137,21 +137,54 @@ class Snapshot:
         return h.hexdigest()[:24]
 
     # ------------------------------------------------------------------
-    # disk format: magic line, version line, watermark line, meta pickle,
-    # payload.  The header is checked *before* any payload unpickling so
-    # a version mismatch raises cleanly instead of exploding mid-load.
+    # wire/disk format: magic line, version line, watermark line, meta
+    # pickle, payload.  The header is checked *before* any payload
+    # unpickling so a version mismatch raises cleanly instead of
+    # exploding mid-load.  ``to_bytes``/``from_bytes`` are the canonical
+    # codec; files and blob-store entries share it byte for byte.
     # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to the snapshot wire format (what :meth:`save`
+        writes and blob stores keep)."""
+        buf = io.BytesIO()
+        buf.write(_MAGIC)
+        buf.write(f"{self.version}\n".encode())
+        buf.write(f"{self.msg_watermark}\n".encode())
+        pickle.dump(self.meta, buf, protocol=pickle.HIGHEST_PROTOCOL)
+        buf.write(self.payload)
+        return buf.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes, source: str = "snapshot") -> "Snapshot":
+        """Decode :meth:`to_bytes` output; raises
+        :class:`SnapshotVersionError` on a version mismatch and
+        :class:`SnapshotError` on corruption (``source`` names the blob
+        in error messages)."""
+        fh = io.BytesIO(data)
+        magic = fh.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise SnapshotError(f"{source} is not a repro snapshot")
+        try:
+            version = int(fh.readline().strip())
+            watermark = int(fh.readline().strip())
+        except ValueError as exc:
+            raise SnapshotError(f"{source}: corrupt snapshot header") from exc
+        if version != SNAPSHOT_VERSION:
+            raise SnapshotVersionError(version)
+        try:
+            meta = pickle.load(fh)
+        except Exception as exc:
+            raise SnapshotError(f"{source}: corrupt snapshot meta") from exc
+        payload = fh.read()
+        return cls(version=version, payload=payload,
+                   msg_watermark=watermark, meta=meta)
+
     def save(self, path: Path | str) -> Path:
         """Atomically write this snapshot to ``path``."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = Path(f"{path}.{os.getpid()}.tmp")
-        with tmp.open("wb") as fh:
-            fh.write(_MAGIC)
-            fh.write(f"{self.version}\n".encode())
-            fh.write(f"{self.msg_watermark}\n".encode())
-            pickle.dump(self.meta, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            fh.write(self.payload)
+        tmp.write_bytes(self.to_bytes())
         tmp.replace(path)
         return path
 
@@ -160,24 +193,7 @@ class Snapshot:
         """Read a snapshot; raises :class:`SnapshotVersionError` on a
         version mismatch and :class:`SnapshotError` on corruption."""
         path = Path(path)
-        with path.open("rb") as fh:
-            magic = fh.read(len(_MAGIC))
-            if magic != _MAGIC:
-                raise SnapshotError(f"{path} is not a repro snapshot")
-            try:
-                version = int(fh.readline().strip())
-                watermark = int(fh.readline().strip())
-            except ValueError as exc:
-                raise SnapshotError(f"{path}: corrupt snapshot header") from exc
-            if version != SNAPSHOT_VERSION:
-                raise SnapshotVersionError(version)
-            try:
-                meta = pickle.load(fh)
-            except Exception as exc:
-                raise SnapshotError(f"{path}: corrupt snapshot meta") from exc
-            payload = fh.read()
-        return cls(version=version, payload=payload,
-                   msg_watermark=watermark, meta=meta)
+        return cls.from_bytes(path.read_bytes(), source=str(path))
 
 
 # ----------------------------------------------------------------------
@@ -256,27 +272,40 @@ def restore(snapshot: Snapshot) -> "Machine":
 # ----------------------------------------------------------------------
 def snapshot_cache_dir() -> Path:
     """Default snapshot cache directory: ``<result_cache>/snapshots``."""
-    from repro.runner.result_cache import result_cache_dir
+    from repro.store import default_store_root
 
-    path = result_cache_dir() / "snapshots"
+    path = default_store_root() / "snapshots"
     path.mkdir(parents=True, exist_ok=True)
     return path
 
 
 class SnapshotCache:
-    """Content-keyed snapshot store under the result cache.
+    """Content-keyed snapshot store on the shared blob store.
 
     Keys are caller-computed strings (the warm-start prefix hash — see
-    :mod:`repro.runner.prefix`); the cache itself is dumb storage with
-    the same atomic-write/corrupt-is-a-miss discipline as the result
-    cache.
+    :mod:`repro.runner.prefix`); storage is the ``snapshots`` namespace
+    of a :class:`repro.store.BlobStore`, with the same atomic-write/
+    corrupt-is-a-miss discipline as the result cache.  ``root`` keeps
+    the historical constructor: a directory that *is* the snapshots
+    shelf (tests point it at a temp dir).
     """
 
     SUFFIX = ".ckpt"
+    _NS = "snapshots"
 
-    def __init__(self, root: Optional[Path | str] = None) -> None:
-        self.root = Path(root) if root is not None else snapshot_cache_dir()
-        self.root.mkdir(parents=True, exist_ok=True)
+    def __init__(self, root: Optional[Path | str] = None,
+                 store=None) -> None:
+        from repro.store import LocalDirStore
+
+        if store is not None and root is not None:
+            raise ValueError("pass either root= or store=, not both")
+        if root is not None:
+            self.root = Path(root)
+            self.root.mkdir(parents=True, exist_ok=True)
+            self.store = _FlatSnapshotStore(self.root)
+        else:
+            self.store = store if store is not None else LocalDirStore()
+            self.root = Path(self.store.stats(self._NS)["dir"])
         self.hits = 0
         self.misses = 0
 
@@ -284,36 +313,86 @@ class SnapshotCache:
         return self.root / f"{key}{self.SUFFIX}"
 
     def get(self, key: str) -> Optional[Snapshot]:
-        path = self.path(key)
-        if path.exists():
+        data = self.store.get(self._NS, key)
+        if data is not None:
             try:
-                snap = Snapshot.load(path)
+                snap = Snapshot.from_bytes(data, source=str(self.path(key)))
                 self.hits += 1
                 return snap
             except SnapshotError:
-                path.unlink(missing_ok=True)  # stale version / corrupt
+                self.store.delete(self._NS, key)  # stale version / corrupt
         self.misses += 1
         return None
 
     def put(self, key: str, snapshot: Snapshot) -> Path:
-        return snapshot.save(self.path(key))
+        self.store.put(self._NS, key, snapshot.to_bytes())
+        return self.path(key)
 
     def clear(self) -> int:
-        removed = 0
-        for p in self.root.glob(f"*{self.SUFFIX}"):
-            p.unlink()
-            removed += 1
-        return removed
+        return self.store.clear(self._NS)
 
     def stats(self) -> dict:
-        entries = list(self.root.glob(f"*{self.SUFFIX}"))
+        st = self.store.stats(self._NS)
         return {
             "dir": str(self.root),
-            "entries": len(entries),
-            "bytes": sum(p.stat().st_size for p in entries),
+            "entries": st["entries"],
+            "bytes": st["bytes"],
             "version": SNAPSHOT_VERSION,
             "session_hits": self.hits,
             "session_misses": self.misses,
+        }
+
+
+class _FlatSnapshotStore:
+    """Blob-store adapter for a :class:`SnapshotCache` rooted at an
+    explicit directory: that directory *is* the snapshots shelf.  Used by
+    tests and ``REPRO_SNAPSHOT_CACHE``-style overrides that predate the
+    shared store; implements the same atomic-write contract."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+
+    def path(self, ns: str, key: str) -> Path:
+        return self.root / f"{key}{SnapshotCache.SUFFIX}"
+
+    def put(self, ns: str, key: str, data: bytes) -> None:
+        path = self.path(ns, key)
+        tmp = Path(f"{path}.{os.getpid()}.tmp")
+        tmp.write_bytes(data)
+        tmp.replace(path)
+
+    def get(self, ns: str, key: str) -> Optional[bytes]:
+        try:
+            return self.path(ns, key).read_bytes()
+        except OSError:
+            return None
+
+    def delete(self, ns: str, key: str) -> bool:
+        try:
+            self.path(ns, key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def keys(self, ns: str) -> list[str]:
+        n = len(SnapshotCache.SUFFIX)
+        return sorted(p.name[:-n]
+                      for p in self.root.glob(f"*{SnapshotCache.SUFFIX}"))
+
+    def clear(self, ns: Optional[str] = None) -> int:
+        removed = 0
+        for key in self.keys("snapshots"):
+            if self.delete("snapshots", key):
+                removed += 1
+        return removed
+
+    def stats(self, ns: Optional[str] = None) -> dict:
+        entries = list(self.root.glob(f"*{SnapshotCache.SUFFIX}"))
+        return {
+            "namespace": "snapshots",
+            "dir": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
         }
 
 

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.balancers.base import Driver, ExecutionConfig, RunMetrics, Strategy, run_trace
+from repro.balancers.base import Driver, ExecutionConfig, RunMetrics, Strategy
+from repro.session import Session
 from repro.machine import Machine, MeshTopology
 from repro.tasks.trace import TraceTask, WorkloadTrace
 
@@ -75,7 +76,7 @@ def test_wave_barrier_orders_execution():
 
 def test_metrics_identity_holds(tree_trace):
     m = Machine(MeshTopology(4, 4), seed=0)
-    metrics = run_trace(tree_trace, LocalOnly(), m)
+    metrics = Session.from_parts(tree_trace, LocalOnly(), m).run()
     n = metrics.num_nodes
     # T >= task/node + Th + Ti decomposition per definition
     per_node_task = metrics.Ts / n
@@ -137,6 +138,6 @@ def test_spawn_overhead_charged():
     tasks = [TraceTask(0, 1.0, 0, (1, 2)), TraceTask(1, 1.0), TraceTask(2, 1.0)]
     trace = WorkloadTrace("t", tasks, sec_per_unit=1e-6)
     m = Machine(MeshTopology(1, 1), seed=0)
-    metrics = run_trace(trace, LocalOnly(), m, cfg)
+    metrics = Session.from_parts(trace, LocalOnly(), m, cfg).run()
     # 2 children -> 2e-3 spawn + 3 task starts
     assert metrics.Th >= 2e-3

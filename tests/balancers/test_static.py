@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.balancers import StaticPreschedule, run_trace
+from repro.balancers import StaticPreschedule
+from repro.session import Session
 from repro.balancers.base import Driver, ExecutionConfig
 from repro.core import RIPS
 from repro.machine import Machine, MeshTopology
@@ -13,7 +14,7 @@ from ..conftest import make_pinned_trace, make_tree_trace, make_wave_trace
 
 def test_static_completes_tree_workload(tree_trace):
     m = Machine(MeshTopology(4, 4), seed=3)
-    metrics = run_trace(tree_trace, StaticPreschedule(), m)
+    metrics = Session.from_parts(tree_trace, StaticPreschedule(), m).run()
     assert metrics.num_tasks == len(tree_trace)
     assert metrics.system_phases == 1
 
@@ -23,7 +24,7 @@ def test_static_balances_uniform_roots_perfectly():
     tasks = [TraceTask(i, 1000.0, home=0) for i in range(32)]
     trace = WorkloadTrace("uniform", tasks, sec_per_unit=1e-5)
     m = Machine(MeshTopology(4, 4), seed=3)
-    metrics = run_trace(trace, StaticPreschedule(), m)
+    metrics = Session.from_parts(trace, StaticPreschedule(), m).run()
     assert metrics.efficiency > 0.85
 
 
@@ -31,9 +32,9 @@ def test_static_cannot_correct_spawning_imbalance(tree_trace):
     """The incremental ablation: RIPS corrects runtime imbalance that a
     one-shot preschedule cannot."""
     m1 = Machine(MeshTopology(4, 4), seed=3)
-    static = run_trace(tree_trace, StaticPreschedule(), m1)
+    static = Session.from_parts(tree_trace, StaticPreschedule(), m1).run()
     m2 = Machine(MeshTopology(4, 4), seed=3)
-    rips = run_trace(tree_trace, RIPS("lazy", "any"), m2)
+    rips = Session.from_parts(tree_trace, RIPS("lazy", "any"), m2).run()
     # the tree workload has one root whose children all spawn on one
     # node under static scheduling
     assert rips.T < static.T
@@ -51,5 +52,5 @@ def test_static_respects_pinned(pinned_trace):
 
 def test_static_completes_waves(wave_trace):
     m = Machine(MeshTopology(2, 2), seed=3)
-    metrics = run_trace(wave_trace, StaticPreschedule(), m)
+    metrics = Session.from_parts(wave_trace, StaticPreschedule(), m).run()
     assert metrics.num_tasks == len(wave_trace)

@@ -7,9 +7,9 @@ from repro.balancers import (
     RandomAllocation,
     ReceiverInitiatedDiffusion,
     SenderInitiatedDiffusion,
-    run_trace,
 )
 from repro.machine import Machine, MeshTopology
+from repro.session import Session
 from repro.tasks.trace import TraceTask, WorkloadTrace
 
 from ..conftest import make_pinned_trace, make_tree_trace, make_wave_trace
@@ -26,7 +26,7 @@ ALL_STRATEGIES = [
 def test_strategies_complete_tree_workload(factory):
     trace = make_tree_trace()
     m = Machine(MeshTopology(4, 4), seed=11)
-    metrics = run_trace(trace, factory(), m)
+    metrics = Session.from_parts(trace, factory(), m).run()
     assert metrics.num_tasks == len(trace)
     assert metrics.T > 0
     assert 0 < metrics.efficiency <= 1.0
@@ -36,7 +36,7 @@ def test_strategies_complete_tree_workload(factory):
 def test_strategies_complete_wave_workload(factory):
     trace = make_wave_trace()
     m = Machine(MeshTopology(2, 2), seed=11)
-    metrics = run_trace(trace, factory(), m)
+    metrics = Session.from_parts(trace, factory(), m).run()
     assert metrics.num_tasks == len(trace)
 
 
@@ -56,17 +56,17 @@ def test_pinned_tasks_respected(factory):
 def test_random_scatters_almost_everything():
     trace = make_tree_trace()
     m = Machine(MeshTopology(4, 4), seed=3)
-    metrics = run_trace(trace, RandomAllocation(), m)
+    metrics = Session.from_parts(trace, RandomAllocation(), m).run()
     # expected nonlocal fraction ~ (N-1)/N = 93.75%
     assert metrics.nonlocal_tasks > 0.8 * metrics.num_tasks
 
 
 def test_random_is_seed_deterministic():
     trace = make_tree_trace()
-    r1 = run_trace(trace, RandomAllocation(), Machine(MeshTopology(4, 4), seed=3))
-    r2 = run_trace(trace, RandomAllocation(), Machine(MeshTopology(4, 4), seed=3))
+    r1 = Session.from_parts(trace, RandomAllocation(), Machine(MeshTopology(4, 4), seed=3)).run()
+    r2 = Session.from_parts(trace, RandomAllocation(), Machine(MeshTopology(4, 4), seed=3)).run()
     assert r1.T == r2.T and r1.nonlocal_tasks == r2.nonlocal_tasks
-    r3 = run_trace(trace, RandomAllocation(), Machine(MeshTopology(4, 4), seed=4))
+    r3 = Session.from_parts(trace, RandomAllocation(), Machine(MeshTopology(4, 4), seed=4)).run()
     assert r3.T != r1.T  # different stream, different outcome
 
 
@@ -76,7 +76,7 @@ def test_gradient_moves_load_from_hot_node():
     tasks += [TraceTask(i, 500.0, 0) for i in range(1, 41)]
     trace = WorkloadTrace("hot", tasks, sec_per_unit=1e-5)
     m = Machine(MeshTopology(4, 4), seed=3)
-    metrics = run_trace(trace, GradientModel(), m)
+    metrics = Session.from_parts(trace, GradientModel(), m).run()
     assert metrics.nonlocal_tasks > 5
     assert metrics.extra["proximity_updates"] > 0
 
@@ -94,7 +94,7 @@ def test_rid_pulls_work_when_idle():
     trace = WorkloadTrace("hot", tasks, sec_per_unit=1e-5)
     m = Machine(MeshTopology(4, 4), seed=3)
     strat = ReceiverInitiatedDiffusion()
-    metrics = run_trace(trace, strat, m)
+    metrics = Session.from_parts(trace, strat, m).run()
     assert metrics.extra["requests"] > 0
     assert metrics.extra["grants"] > 0
     assert metrics.nonlocal_tasks > 5
@@ -106,7 +106,7 @@ def test_rid_update_factor_controls_update_volume():
     def updates(u):
         m = Machine(MeshTopology(4, 4), seed=3)
         strat = ReceiverInitiatedDiffusion(update_factor=u)
-        run_trace(trace, strat, m)
+        Session.from_parts(trace, strat, m).run()
         return strat.load_updates
 
     # the paper: u=0.9 updates "too frequently"; 0.4 is far calmer
@@ -130,7 +130,7 @@ def test_sid_pushes_work_from_hot_node():
     trace = WorkloadTrace("hot", tasks, sec_per_unit=1e-5)
     m = Machine(MeshTopology(4, 4), seed=3)
     strat = SenderInitiatedDiffusion()
-    metrics = run_trace(trace, strat, m)
+    metrics = Session.from_parts(trace, strat, m).run()
     assert metrics.extra["pushes"] > 0
     assert metrics.nonlocal_tasks > 5
 
@@ -153,7 +153,7 @@ def test_locality_ordering_on_preplaced_workload():
     results = {}
     for factory in (RandomAllocation, ReceiverInitiatedDiffusion):
         m = Machine(MeshTopology(4, 4), seed=5)
-        results[factory.__name__] = run_trace(trace, factory(), m)
+        results[factory.__name__] = Session.from_parts(trace, factory(), m).run()
     assert (
         results["RandomAllocation"].nonlocal_tasks
         > 3 * results["ReceiverInitiatedDiffusion"].nonlocal_tasks

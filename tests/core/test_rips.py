@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.balancers import run_trace
+from repro.session import Session
 from repro.core import GlobalPolicy, LocalPolicy, RIPS
 from repro.core.schedulers import OptimalPlanner, TreeWalkPlanner
 from repro.machine import Machine, MeshTopology, TreeTopology
@@ -22,7 +22,7 @@ ALL_POLICIES = [
 def test_all_policy_combinations_complete(local, global_):
     trace = make_tree_trace()
     m = Machine(MeshTopology(4, 4), seed=1)
-    metrics = run_trace(trace, RIPS(local, global_), m)
+    metrics = Session.from_parts(trace, RIPS(local, global_), m).run()
     assert metrics.num_tasks == len(trace)
     assert metrics.T > 0
     assert metrics.system_phases >= 1
@@ -31,7 +31,7 @@ def test_all_policy_combinations_complete(local, global_):
 
 def test_any_lazy_beats_serial_execution(tree_trace):
     m = Machine(MeshTopology(4, 4), seed=1)
-    metrics = run_trace(tree_trace, RIPS("lazy", "any"), m)
+    metrics = Session.from_parts(tree_trace, RIPS("lazy", "any"), m).run()
     # parallel run must be far below sequential time
     assert metrics.T < 0.25 * metrics.Ts
 
@@ -43,7 +43,7 @@ def test_starts_with_a_system_phase():
     tasks += [TraceTask(i, 1000.0, 0) for i in range(1, 33)]
     trace = WorkloadTrace("fan", tasks, sec_per_unit=1e-5)
     m = Machine(MeshTopology(4, 4), seed=1)
-    metrics = run_trace(trace, RIPS("lazy", "any"), m)
+    metrics = Session.from_parts(trace, RIPS("lazy", "any"), m).run()
     # 32 equal children over 16 nodes: near-perfect balance
     assert metrics.efficiency > 0.5
     assert metrics.nonlocal_tasks >= 16
@@ -51,9 +51,9 @@ def test_starts_with_a_system_phase():
 
 def test_eager_schedules_everything_lazy_does_not(tree_trace):
     m1 = Machine(MeshTopology(4, 4), seed=1)
-    eager = run_trace(tree_trace, RIPS("eager", "any"), m1)
+    eager = Session.from_parts(tree_trace, RIPS("eager", "any"), m1).run()
     m2 = Machine(MeshTopology(4, 4), seed=1)
-    lazy = run_trace(tree_trace, RIPS("lazy", "any"), m2)
+    lazy = Session.from_parts(tree_trace, RIPS("lazy", "any"), m2).run()
     # eager must schedule (and hence pool) every task; lazy executes some
     # directly.  More phases and/or more migrated tasks for eager.
     assert eager.extra["migrated_tasks"] >= lazy.extra["migrated_tasks"]
@@ -61,7 +61,7 @@ def test_eager_schedules_everything_lazy_does_not(tree_trace):
 
 def test_wave_barriers_respected(wave_trace):
     m = Machine(MeshTopology(2, 2), seed=5)
-    metrics = run_trace(wave_trace, RIPS("lazy", "any"), m)
+    metrics = Session.from_parts(wave_trace, RIPS("lazy", "any"), m).run()
     assert metrics.num_tasks == len(wave_trace)
     assert metrics.efficiency > 0.3
 
@@ -81,7 +81,7 @@ def test_pinned_tasks_never_migrate(pinned_trace):
 def test_rips_on_tree_topology():
     trace = make_tree_trace()
     m = Machine(TreeTopology(15), seed=2)
-    metrics = run_trace(trace, RIPS("lazy", "any"), m)
+    metrics = Session.from_parts(trace, RIPS("lazy", "any"), m).run()
     assert metrics.num_tasks == len(trace)
     assert metrics.efficiency > 0.3
 
@@ -90,9 +90,9 @@ def test_rips_with_explicit_planner():
     trace = make_tree_trace()
     topo = TreeTopology(7)
     m = Machine(topo, seed=2)
-    metrics = run_trace(
+    metrics = Session.from_parts(
         trace, RIPS("lazy", "any", planner=TreeWalkPlanner(topo)), m
-    )
+    ).run()
     assert metrics.num_tasks == len(trace)
 
 
@@ -100,7 +100,7 @@ def test_rips_with_optimal_planner_ablation():
     trace = make_tree_trace()
     topo = MeshTopology(4, 4)
     m = Machine(topo, seed=2)
-    metrics = run_trace(trace, RIPS("lazy", "any", planner=OptimalPlanner(topo)), m)
+    metrics = Session.from_parts(trace, RIPS("lazy", "any", planner=OptimalPlanner(topo)), m).run()
     assert metrics.num_tasks == len(trace)
     assert metrics.system_phases >= 1
 
@@ -108,7 +108,7 @@ def test_rips_with_optimal_planner_ablation():
 def test_single_task_workload():
     trace = WorkloadTrace("one", [TraceTask(0, 100.0)], sec_per_unit=1e-4)
     m = Machine(MeshTopology(2, 2), seed=0)
-    metrics = run_trace(trace, RIPS("lazy", "any"), m)
+    metrics = Session.from_parts(trace, RIPS("lazy", "any"), m).run()
     assert metrics.num_tasks == 1
     assert metrics.T >= 0.01
 
@@ -116,14 +116,14 @@ def test_single_task_workload():
 def test_empty_trace_is_fine():
     trace = WorkloadTrace("empty", [], sec_per_unit=1.0)
     m = Machine(MeshTopology(2, 2), seed=0)
-    metrics = run_trace(trace, RIPS("lazy", "any"), m)
+    metrics = Session.from_parts(trace, RIPS("lazy", "any"), m).run()
     assert metrics.num_tasks == 0 and metrics.T == 0.0
 
 
 def test_single_node_machine():
     trace = make_tree_trace(n_children=10)
     m = Machine(MeshTopology(1, 1), seed=0)
-    metrics = run_trace(trace, RIPS("lazy", "any"), m)
+    metrics = Session.from_parts(trace, RIPS("lazy", "any"), m).run()
     assert metrics.nonlocal_tasks == 0
     assert metrics.efficiency > 0.9
 
@@ -140,7 +140,7 @@ def test_policy_enums_accept_strings():
 
 def test_metrics_extras_populated(tree_trace):
     m = Machine(MeshTopology(4, 4), seed=1)
-    metrics = run_trace(tree_trace, RIPS("lazy", "any"), m)
+    metrics = Session.from_parts(tree_trace, RIPS("lazy", "any"), m).run()
     assert metrics.extra["local_policy"] == "lazy"
     assert metrics.extra["global_policy"] == "any"
     assert metrics.extra["migrated_tasks"] >= metrics.nonlocal_tasks >= 0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.balancers import run_trace
+from repro.session import Session
 from repro.core import RIPS
 from repro.machine import Machine, MeshTopology
 from repro.tasks.trace import TraceTask, WorkloadTrace
@@ -22,7 +22,7 @@ def test_backoff_suppresses_redundant_broadcasts():
     phase would."""
     trace = hot_node_trace()
     m = Machine(MeshTopology(4, 4), seed=5)
-    metrics = run_trace(trace, RIPS("lazy", "any"), m)
+    metrics = Session.from_parts(trace, RIPS("lazy", "any"), m).run()
     phases = metrics.system_phases
     assert phases >= 1
     # upper bound if every one of 16 nodes broadcast every phase:
@@ -36,7 +36,7 @@ def test_backoff_preserves_completion_and_determinism():
 
     def once():
         m = Machine(MeshTopology(4, 4), seed=9)
-        return run_trace(trace, RIPS("lazy", "any"), m)
+        return Session.from_parts(trace, RIPS("lazy", "any"), m).run()
 
     a, b = once(), once()
     assert a.num_tasks == len(trace)
@@ -48,7 +48,7 @@ def test_stale_backoff_does_not_fire_extra_phases():
     must not initiate with a stale phase number (no phase inflation)."""
     trace = make_tree_trace(n_children=20)
     m = Machine(MeshTopology(2, 2), seed=11)
-    metrics = run_trace(trace, RIPS("lazy", "any"), m)
+    metrics = Session.from_parts(trace, RIPS("lazy", "any"), m).run()
     # loose sanity bound: phases cannot exceed task count
     assert metrics.system_phases <= len(trace)
     assert metrics.num_tasks == len(trace)

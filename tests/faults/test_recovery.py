@@ -9,7 +9,8 @@ once — or, for work pinned to a crashed node, was provably declared lost.
 
 import pytest
 
-from repro.balancers import RandomAllocation, run_trace
+from repro.balancers import RandomAllocation
+from repro.session import Session
 from repro.experiments.common import STRATEGY_ORDER, make_machine, workload
 from repro.faults import FaultPlan, audit_conservation
 from repro.obs import Tracer
@@ -65,7 +66,7 @@ def test_pinned_work_on_a_crashed_node_is_provably_lost():
     machine = make_machine(4, seed=7)
     machine.attach_faults(FaultPlan.fail_stop(((2, 0.01),)))
     tracer = Tracer()
-    metrics = run_trace(trace, RandomAllocation(), machine, tracer=tracer)
+    metrics = Session.from_parts(trace, RandomAllocation(), machine, tracer=tracer).run()
 
     assert metrics.extra["crashed_nodes"] == [2]
     assert metrics.extra["lost_task_ids"] == [1, 2, 4]

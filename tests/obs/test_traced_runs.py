@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.balancers.base import run_trace
+from repro.session import Session
 from repro.experiments.common import make_machine, strategy_factories, workload
 from repro.metrics import node_breakdown, phase_totals, reconcile
 from repro.obs import Tracer
@@ -15,7 +15,7 @@ def _run(strategy_name: str, tracer=None, num_nodes: int = 8, seed: int = 7):
     spec = workload("queens-10", scale="small")
     strat = strategy_factories(spec.kind, num_nodes)[strategy_name]()
     machine = make_machine(num_nodes, seed=seed)
-    return run_trace(spec.build(num_nodes), strat, machine, tracer=tracer)
+    return Session.from_parts(spec.build(num_nodes), strat, machine, tracer=tracer).run()
 
 
 @pytest.mark.parametrize("strategy", ["RIPS", "random", "RID"])

@@ -15,11 +15,11 @@ from repro.balancers import (
     GradientModel,
     RandomAllocation,
     ReceiverInitiatedDiffusion,
-    run_trace,
 )
 from repro.balancers.base import Driver, ExecutionConfig
 from repro.core import RIPS
 from repro.machine import Machine, MeshTopology
+from repro.session import Session
 
 
 @pytest.fixture(scope="module")
@@ -67,14 +67,14 @@ def test_ida_completes_and_drivers_stay_home(name, factory, ida_small):
 @pytest.mark.parametrize("name,factory", ALL)
 def test_gromos_completes(name, factory, gromos_small):
     m = Machine(MeshTopology(4, 4), seed=17)
-    metrics = run_trace(gromos_small, factory(), m)
+    metrics = Session.from_parts(gromos_small, factory(), m).run()
     assert metrics.num_tasks == len(gromos_small)
 
 
 def test_same_seed_same_result(queens10):
     def once():
         m = Machine(MeshTopology(4, 4), seed=23)
-        return run_trace(queens10, RIPS("lazy", "any"), m)
+        return Session.from_parts(queens10, RIPS("lazy", "any"), m).run()
 
     a, b = once(), once()
     assert a.T == b.T
@@ -85,9 +85,9 @@ def test_same_seed_same_result(queens10):
 
 def test_rips_locality_beats_random(queens10):
     m1 = Machine(MeshTopology(4, 4), seed=5)
-    rips = run_trace(queens10, RIPS("lazy", "any"), m1)
+    rips = Session.from_parts(queens10, RIPS("lazy", "any"), m1).run()
     m2 = Machine(MeshTopology(4, 4), seed=5)
-    rand = run_trace(queens10, RandomAllocation(), m2)
+    rand = Session.from_parts(queens10, RandomAllocation(), m2).run()
     assert rips.nonlocal_tasks < 0.7 * rand.nonlocal_tasks
 
 
@@ -95,7 +95,7 @@ def test_rips_efficiency_competitive_on_gromos(gromos_small):
     results = {}
     for name, factory in ALL:
         m = Machine(MeshTopology(4, 4), seed=5)
-        results[name] = run_trace(gromos_small, factory(), m)
+        results[name] = Session.from_parts(gromos_small, factory(), m).run()
     # headline claim: RIPS is at least as efficient as every baseline
     # on the MD workload, with far better locality than random
     assert results["RIPS"].efficiency >= results["gradient"].efficiency
@@ -115,7 +115,7 @@ def test_scaling_up_processors_speeds_up(queens12):
     speeds = []
     for shape in [(2, 2), (4, 4), (8, 4)]:
         m = Machine(MeshTopology(*shape), seed=5)
-        metrics = run_trace(queens12, RIPS("lazy", "any"), m)
+        metrics = Session.from_parts(queens12, RIPS("lazy", "any"), m).run()
         speeds.append(metrics.speedup)
     assert speeds[0] < speeds[1] < speeds[2]
 
@@ -124,15 +124,15 @@ def test_efficiency_decreases_with_machine_size(queens12):
     effs = []
     for shape in [(2, 2), (8, 4)]:
         m = Machine(MeshTopology(*shape), seed=5)
-        effs.append(run_trace(queens12, RIPS("lazy", "any"), m).efficiency)
+        effs.append(Session.from_parts(queens12, RIPS("lazy", "any"), m).run().efficiency)
     assert effs[0] > effs[1]
 
 
 def test_contention_network_end_to_end(queens10):
     m = Machine(MeshTopology(4, 4), seed=5, contention=True)
-    metrics = run_trace(queens10, RIPS("lazy", "any"), m)
+    metrics = Session.from_parts(queens10, RIPS("lazy", "any"), m).run()
     assert metrics.num_tasks == len(queens10)
     # contention can only slow things down
     m2 = Machine(MeshTopology(4, 4), seed=5)
-    ideal = run_trace(queens10, RIPS("lazy", "any"), m2)
+    ideal = Session.from_parts(queens10, RIPS("lazy", "any"), m2).run()
     assert metrics.T >= 0.95 * ideal.T

@@ -2,13 +2,13 @@
 
 Bit-identity of checkpoint/restore lives in ``tests/snapshot``; this
 file covers the API contract — lazy staged construction, fork
-semantics, request/legacy adapters, and the ``run_trace`` deprecation
-shim.
+semantics, and the request/parts adapters that make Session the single
+construction path.
 """
 
 import pytest
 
-from repro.balancers import RandomAllocation, run_trace
+from repro.balancers import RandomAllocation
 from repro.obs import Tracer
 from repro.runner import RunRequest
 from repro.session import Session
@@ -39,18 +39,26 @@ def test_repr_names_workload_strategy_and_stage():
     assert "queens-10" in text and "RIPS" in text and "spec" in text
 
 
-def test_run_matches_legacy_run_trace_shim():
+def test_run_matches_from_parts():
     ref = _sess(strategy="random").run()
 
     from repro.experiments.common import make_machine, workload
 
     trace = workload("queens-10", "small").build(8)
-    with pytest.deprecated_call():
-        got = run_trace(trace, RandomAllocation(), make_machine(8))
-    # the shim routes through Session.from_parts and changes nothing
+    got = Session.from_parts(trace, RandomAllocation(), make_machine(8)).run()
+    # from_parts wires exactly what the keyed constructor does
     got.extra.pop("workload_label", None)
     ref.extra.pop("workload_label", None)
     assert got == ref
+
+
+def test_run_trace_shim_is_gone():
+    # the deprecation shim was retired: Session is the only entry point
+    import repro
+    import repro.balancers
+
+    assert not hasattr(repro, "run_trace")
+    assert not hasattr(repro.balancers, "run_trace")
 
 
 def test_unknown_strategy_lists_available():
