@@ -263,6 +263,11 @@ def _cmd_serve(args) -> int:
         slice_events=args.slice_events,
         store_root=args.store_root,
         use_result_cache=args.cache,
+        journal=not args.no_journal,
+        checkpoint_every_slices=args.checkpoint_every_slices,
+        slice_deadline=args.slice_deadline,
+        slice_retries=args.slice_retries,
+        retry_seed=args.retry_seed,
     )
     if args.smoke:
         # Self-contained liveness probe (the CI service-smoke job): start
@@ -285,7 +290,7 @@ def _cmd_serve(args) -> int:
               f"submitted={stats['submitted']}")
         return 0 if ok else 1
     try:
-        asyncio.run(serve(config))
+        asyncio.run(serve(config, port_file=args.port_file))
     except KeyboardInterrupt:
         pass
     return 0
@@ -402,6 +407,23 @@ def _cmd_chaos(args) -> int:
 
     from repro.faults.chaos import run_case, run_chaos, scheduled_fault_count
     from repro.faults.plan import FaultPlan
+
+    if args.service:
+        # Point the chaos discipline at the service layer instead of the
+        # simulated machine: SIGKILL the server, hang/poison workers,
+        # inject blob-store faults; assert recovery invariants.
+        from repro.faults.service_chaos import run_service_chaos
+
+        rep = run_service_chaos(
+            seed=args.seed, smoke=args.smoke,
+            progress=lambda c: print(c.summary(), flush=True))
+        failures = rep.failures()
+        print(f"service chaos: {len(rep.cases) - len(failures)}/"
+              f"{len(rep.cases)} scenario(s) ok (seed {args.seed})")
+        for case in failures:
+            for v in case.violations:
+                print(f"  {case.name}: {v}")
+        return 0 if rep.ok else 1
 
     if args.replay is not None:
         path = Path(args.replay)
@@ -677,6 +699,30 @@ def main(argv: list[str] | None = None) -> int:
                    default=True,
                    help="don't serve finished cells from / fill the shared "
                         "result cache")
+    p.add_argument("--port-file", dest="port_file", default=None,
+                   help="after binding, atomically write '<host> <port>' "
+                        "here (for supervisors and the chaos harness; "
+                        "pairs with --port 0)")
+    p.add_argument("--no-journal", dest="no_journal", action="store_true",
+                   help="disable the durable session journal (sessions die "
+                        "with the process)")
+    p.add_argument("--checkpoint-every-slices", dest="checkpoint_every_slices",
+                   type=int, default=16,
+                   help="auto-checkpoint running sessions every N slices so "
+                        "crash recovery resumes instead of restarting "
+                        "(0 = off; default 16)")
+    p.add_argument("--slice-deadline", dest="slice_deadline", type=float,
+                   default=300.0,
+                   help="per-slice wall-clock deadline in seconds before the "
+                        "supervisor abandons the worker and retries "
+                        "(0 = no deadline; default 300)")
+    p.add_argument("--slice-retries", dest="slice_retries", type=int,
+                   default=2,
+                   help="retries per failed/hung slice before the session "
+                        "goes terminal 'failed' (default 2)")
+    p.add_argument("--retry-seed", dest="retry_seed", type=int, default=None,
+                   help="seed the retry-backoff jitter (deterministic "
+                        "supervision; default: unseeded)")
     p.add_argument("--smoke", action="store_true",
                    help="instead of serving: start a throwaway server, run "
                         "one cell through it, stream its frames, exit "
@@ -768,6 +814,12 @@ def main(argv: list[str] | None = None) -> int:
                    help="run one canonical-JSON fault plan (inline or a "
                         "file path) instead of a campaign — re-runs a "
                         "shrunk reproducer")
+    p.add_argument("--service", action="store_true",
+                   help="instead: chaos-test the service layer — SIGKILL "
+                        "the server mid-run, hang/poison slice workers, "
+                        "inject blob-store faults; assert no session is "
+                        "lost or duplicated and results stay bit-identical "
+                        "(--smoke for the CI-sized run)")
     p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser("selftest",

@@ -18,7 +18,13 @@ grid's execution engine:
   behind ``python -m repro bench`` (perf trajectory across PRs).
 """
 
-from .executor import RunReport, resolve_jobs, run_requests, run_requests_report
+from .executor import (
+    RetryPolicy,
+    RunReport,
+    resolve_jobs,
+    run_requests,
+    run_requests_report,
+)
 from .result_cache import RESULT_CACHE_VERSION, ResultCache, result_cache_dir
 from .spec import (
     API_VERSION,
@@ -34,6 +40,7 @@ __all__ = [
     "CellPreempted",
     "RESULT_CACHE_VERSION",
     "ResultCache",
+    "RetryPolicy",
     "RunReport",
     "RunRequest",
     "WireFormatError",

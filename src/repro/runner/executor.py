@@ -24,6 +24,7 @@ worker per CPU).
 from __future__ import annotations
 
 import os
+import random
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -43,6 +44,7 @@ from .spec import (
 )
 
 __all__ = [
+    "RetryPolicy",
     "RunReport",
     "clamp_jobs_for_shards",
     "resolve_jobs",
@@ -58,6 +60,52 @@ _ENV_ALLOW_OVERSUBSCRIBE = "REPRO_ALLOW_OVERSUBSCRIBE"
 #: Default per-cell wall-clock limit (seconds) in parallel mode.  Paper-scale
 #: cells run minutes; this is a hang backstop, not a budget.
 DEFAULT_CELL_TIMEOUT = 3600.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline-recovery policy: how often to retry, and how long to wait.
+
+    Shared by the grid executor (cells lost to worker crashes/timeouts)
+    and the service's slice supervisor (hung or failing session slices).
+    Delays follow capped exponential backoff with optional jitter::
+
+        delay(k) = min(cap, base * multiplier**k) * (1 + jitter * U[0,1))
+
+    With ``seed`` set the jitter stream is deterministic — two runs with
+    the same policy retry on exactly the same schedule, which is what
+    makes supervised-recovery tests and chaos replays reproducible.  The
+    default (one retry, zero backoff) is the executor's historical
+    retry-once-immediately behavior.
+    """
+
+    retries: int = 1
+    backoff_base: float = 0.0
+    backoff_cap: float = 30.0
+    multiplier: float = 2.0
+    jitter: float = 0.0
+    seed: Optional[int] = None
+
+    def rng(self, salt: str = "") -> random.Random:
+        """The jitter stream (independent per ``salt`` when seeded)."""
+        if self.seed is None:
+            return random.Random()
+        return random.Random(f"{self.seed}:{salt}")
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Seconds to wait before retry number ``attempt`` (0-based)."""
+        base = min(self.backoff_cap,
+                   self.backoff_base * self.multiplier ** attempt)
+        if base <= 0:
+            return 0.0
+        if self.jitter:
+            base *= 1.0 + self.jitter * (rng or self.rng()).random()
+        return min(self.backoff_cap, base)
+
+    def schedule(self, salt: str = "") -> list[float]:
+        """The full delay schedule (one entry per allowed retry)."""
+        rng = self.rng(salt)
+        return [self.delay(k, rng) for k in range(self.retries)]
 
 
 @dataclass
@@ -170,11 +218,12 @@ def run_requests(
     timeout: Optional[float] = DEFAULT_CELL_TIMEOUT,
     warm_start: Union[bool, str, None] = False,
     preempt: bool = False,
+    retry: Optional[RetryPolicy] = None,
 ) -> list[RunMetrics]:
     """Execute ``requests`` and return metrics in request order."""
     return run_requests_report(
         requests, jobs=jobs, cache=cache, timeout=timeout,
-        warm_start=warm_start, preempt=preempt,
+        warm_start=warm_start, preempt=preempt, retry=retry,
     ).results
 
 
@@ -185,6 +234,7 @@ def run_requests_report(
     timeout: Optional[float] = DEFAULT_CELL_TIMEOUT,
     warm_start: Union[bool, str, None] = False,
     preempt: bool = False,
+    retry: Optional[RetryPolicy] = None,
 ) -> RunReport:
     """Like :func:`run_requests`, but also report cache/retry accounting.
 
@@ -204,6 +254,11 @@ def run_requests_report(
     hits the ``timeout`` budget checkpoints its simulator state and is
     *resumed* (not restarted) by the retry pass.  Only meaningful with a
     pool (serial cells cannot overrun an in-process budget usefully).
+
+    ``retry``: a :class:`RetryPolicy` controlling how many fresh-pool
+    passes a crashed/timed-out cell gets and the (capped, optionally
+    jittered, deterministic-when-seeded) backoff between passes.  The
+    default is the historical one immediate retry.
     """
     requests = list(requests)
     njobs = clamp_jobs_for_shards(resolve_jobs(jobs), requests)
@@ -229,8 +284,11 @@ def run_requests_report(
         else:
             pending.append((i, req))
 
+    policy = retry if retry is not None else RetryPolicy()
+
     if not warm_start:
-        return _execute_pending(pending, njobs, timeout, store, report, preempt)
+        return _execute_pending(pending, njobs, timeout, store, report,
+                                preempt, policy)
 
     from . import prefix as prefix_mod
 
@@ -241,7 +299,8 @@ def run_requests_report(
     try:
         stats = prefix_mod.prewarm_requests([req for _i, req in pending])
         report.warm_prefixes = stats["groups"]
-        return _execute_pending(pending, njobs, timeout, store, report, preempt)
+        return _execute_pending(pending, njobs, timeout, store, report,
+                                preempt, policy)
     finally:
         prefix_mod.set_warm_start(False)
         if prev_enable is not None:
@@ -257,7 +316,9 @@ def _execute_pending(
     store: Optional[ResultCache],
     report: RunReport,
     preempt: bool,
+    policy: Optional[RetryPolicy] = None,
 ) -> RunReport:
+    policy = policy if policy is not None else RetryPolicy()
     if njobs <= 1 or len(pending) <= 1:
         for i, req in pending:
             metrics = execute_request(req)
@@ -268,42 +329,53 @@ def _execute_pending(
         return report
 
     failed = _run_pool(pending, njobs, timeout, store, report, preempt)
-    if failed:
-        # Retry pass: one fresh pool for cells lost to a crash, timeout,
-        # or preemption.  Preempted cells resume from their checkpoint.
+    first_elapsed = {i: elapsed for i, _req, elapsed, _pre in failed}
+    rng = policy.rng("executor")
+    passes = 1
+    # Retry passes: a fresh pool per pass for cells lost to a crash,
+    # timeout, or preemption, with the policy's (capped, jittered)
+    # backoff between passes.  Preempted cells resume from checkpoint.
+    for attempt in range(policy.retries):
+        if not failed:
+            break
+        delay = policy.delay(attempt, rng)
+        if delay > 0:
+            time.sleep(delay)
         report.retried += len(failed)
-        report.preempted = sum(1 for _i, _req, _e, pre in failed if pre)
-        first_elapsed = {i: elapsed for i, _req, elapsed, _pre in failed}
+        report.preempted += sum(1 for _i, _req, _e, pre in failed if pre)
         retry = [(i, req) for i, req, _elapsed, _pre in failed]
-        still_failed = _run_pool(
+        failed = _run_pool(
             retry, min(njobs, len(retry)), timeout, store, report, preempt)
-        if still_failed:
-            report.failed = len(still_failed)
-            limit = f"{timeout:.0f}s" if timeout is not None else "none"
-            details = []
-            for i, req, elapsed, _pre in still_failed:
-                # The request hash is the cell's name in .result_cache/
-                # (and in checkpoints/); include it so a failed cell is
-                # greppable on disk.
-                cell_hash = store.key(req) if store is not None \
-                    else req.content_hash()[:24]
-                detail = (
-                    f"{req.label()} [{cell_hash}] "
-                    f"(elapsed {first_elapsed.get(i, 0.0):.1f}s "
-                    f"then {elapsed:.1f}s; per-cell timeout {limit})"
-                )
-                details.append(detail)
-                warnings.warn(
-                    f"grid cell failed twice (worker crash or timeout): {detail}",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-            err = RuntimeError(
-                f"{len(still_failed)} grid cell(s) failed twice "
-                f"(worker crash or timeout): " + ", ".join(details)
+        passes += 1
+    if failed:
+        report.failed = len(failed)
+        limit = f"{timeout:.0f}s" if timeout is not None else "none"
+        blame = {1: "failed", 2: "failed twice"}.get(
+            passes, f"failed {passes} times")
+        details = []
+        for i, req, elapsed, _pre in failed:
+            # The request hash is the cell's name in .result_cache/
+            # (and in checkpoints/); include it so a failed cell is
+            # greppable on disk.
+            cell_hash = store.key(req) if store is not None \
+                else req.content_hash()[:24]
+            detail = (
+                f"{req.label()} [{cell_hash}] "
+                f"(elapsed {first_elapsed.get(i, 0.0):.1f}s "
+                f"then {elapsed:.1f}s; per-cell timeout {limit})"
             )
-            err.report = report  # retry/failure accounting for catchers
-            raise err
+            details.append(detail)
+            warnings.warn(
+                f"grid cell {blame} (worker crash or timeout): {detail}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        err = RuntimeError(
+            f"{len(failed)} grid cell(s) {blame} "
+            f"(worker crash or timeout): " + ", ".join(details)
+        )
+        err.report = report  # retry/failure accounting for catchers
+        raise err
     return report
 
 

@@ -13,7 +13,11 @@ cells through the :class:`repro.session.Session` API:
   bit-identical to an uninterrupted run;
 * stay up under load: bounded in-flight sessions, queue-depth shedding
   (429), per-tenant token-bucket quotas, and content-hash coalescing of
-  duplicate submits.
+  duplicate submits;
+* survive crashes: a durable session journal (:mod:`.journal`) replayed
+  by ``SessionManager.recover()`` on startup, supervised slices with
+  deadlines and seeded backoff retries, and an ``ok → degraded →
+  shedding`` health machine surfaced on ``/healthz``.
 
 Layering: :mod:`.http` (wire plumbing) < :mod:`.manager` (session
 lifecycle + admission) < :mod:`.app` (routes) < :mod:`.server`
@@ -21,26 +25,35 @@ lifecycle + admission) < :mod:`.app` (routes) < :mod:`.server`
 tests and examples.
 """
 
-from .client import ServiceClient, ServiceClientError
+from .client import ServiceClient, ServiceClientError, SessionFailed
+from .journal import SessionJournal
 from .manager import (
     AdmissionFull,
+    HealthMonitor,
     QuotaExceeded,
     ServiceConfig,
     ServiceError,
+    ServiceUnavailable,
     SessionManager,
+    SliceFailure,
 )
 from .server import BackgroundServer, ReproServer, serve, serve_background
 
 __all__ = [
     "AdmissionFull",
     "BackgroundServer",
+    "HealthMonitor",
     "QuotaExceeded",
     "ReproServer",
     "ServiceClient",
     "ServiceClientError",
     "ServiceConfig",
     "ServiceError",
+    "ServiceUnavailable",
+    "SessionFailed",
+    "SessionJournal",
     "SessionManager",
+    "SliceFailure",
     "serve",
     "serve_background",
 ]

@@ -73,7 +73,14 @@ class App:
         parts = parts[1:]
 
         if parts == ["healthz"] and method == "GET":
-            return json_response({"ok": True, "service": "repro"})
+            # always 200 — the *document* carries the health verdict, so
+            # probes distinguish "degraded" from "dead" (no response)
+            doc = self.manager.health_doc()
+            headers = {}
+            if not doc["ok"]:
+                headers["Retry-After"] = str(
+                    max(1, round(doc.get("retry_after", 1))))
+            return json_response(doc, headers=headers)
         if parts == ["stats"] and method == "GET":
             return json_response(self.manager.stats())
         if parts == ["sessions"]:

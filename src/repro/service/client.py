@@ -30,7 +30,7 @@ from .http import (
     ws_encode_frame,
 )
 
-__all__ = ["ServiceClient", "ServiceClientError"]
+__all__ = ["ServiceClient", "ServiceClientError", "SessionFailed"]
 
 
 class ServiceClientError(RuntimeError):
@@ -42,6 +42,36 @@ class ServiceClientError(RuntimeError):
         self.status = status
         self.doc = doc
         self.retry_after: Optional[float] = None
+
+
+class SessionFailed(RuntimeError):
+    """A session reached the terminal ``failed`` state.
+
+    Raised by :meth:`ServiceClient.wait` / :meth:`ServiceClient.run` so
+    callers distinguish "the simulation failed" from "I timed out
+    waiting" (:class:`TimeoutError`) without inspecting dicts.  Carries
+    the structured error frame the supervisor produced:
+
+    * ``error`` — ``{"code": "slice_timeout" | "slice_failed" |
+      "internal", "message": ..., "attempt": k, "attempts": n, ...}``
+    * ``code`` / ``message`` — shortcuts into it
+    * ``doc`` — the full terminal status document
+    """
+
+    def __init__(self, session_id: str, doc: dict) -> None:
+        error = doc.get("error")
+        if not isinstance(error, dict):
+            error = {"code": "unknown",
+                     "message": str(error) if error else "session failed"}
+        super().__init__(
+            f"session {session_id} failed "
+            f"[{error.get('code', 'unknown')}]: "
+            f"{error.get('message', 'no detail')}")
+        self.session_id = session_id
+        self.doc = doc
+        self.error = error
+        self.code = error.get("code", "unknown")
+        self.message = error.get("message", "")
 
 
 class ServiceClient:
@@ -137,11 +167,19 @@ class ServiceClient:
     # ------------------------------------------------------------------
     def wait(self, session_id: str, timeout: float = 300.0,
              poll: float = 0.05) -> dict:
-        """Block until the session reaches a terminal state."""
+        """Block until the session reaches a terminal state.
+
+        Raises :class:`SessionFailed` (with the structured error frame)
+        when that state is ``failed``, and :class:`TimeoutError` when
+        the deadline passes first — the two are different problems and
+        deserve different exceptions.
+        """
         deadline = time.monotonic() + timeout
         while True:
             doc = self.status(session_id)
-            if doc["state"] in ("done", "failed", "cancelled", "paused"):
+            if doc["state"] == "failed":
+                raise SessionFailed(session_id, doc)
+            if doc["state"] in ("done", "cancelled", "paused"):
                 return doc
             if time.monotonic() > deadline:
                 raise TimeoutError(
@@ -150,30 +188,83 @@ class ServiceClient:
             time.sleep(poll)
 
     def run(self, request: RunRequest, timeout: float = 300.0) -> dict:
-        """Submit-and-wait; returns the terminal status document."""
+        """Submit-and-wait; returns the terminal status document.
+
+        Raises :class:`SessionFailed` if the session fails."""
         doc = self.submit(request)
-        if doc["state"] in ("done", "failed"):
+        if doc["state"] == "failed":
+            raise SessionFailed(doc["id"], doc)
+        if doc["state"] == "done":
             return doc
         return self.wait(doc["id"], timeout=timeout)
 
     # ------------------------------------------------------------------
     # WebSocket streaming
     # ------------------------------------------------------------------
-    def stream(self, session_id: str,
-               timeout: Optional[float] = None) -> Iterator[dict]:
+    def stream(self, session_id: str, timeout: Optional[float] = None,
+               reconnect: bool = True, max_reconnects: int = 5,
+               backoff: float = 0.2,
+               backoff_cap: float = 2.0) -> Iterator[dict]:
         """Yield live progress frames until the session's terminal frame.
 
         The generator owns the socket; breaking out of the loop closes
         it.  Frames are dicts: ``hello``, ``progress`` (events/sec,
-        sim-time, tracer counters), ``state``, and finally ``result``.
+        sim-time, tracer counters), ``state``, ``retry``, and finally
+        ``result``.  Every server-published frame carries a monotone
+        ``seq``.
+
+        If the socket drops mid-stream (server restart, network blip)
+        and ``reconnect`` is true, the client reconnects with capped
+        exponential backoff and resumes from the last-seen ``seq`` via
+        the ``?since=`` query parameter — the server replays missed
+        frames from its per-session log, and duplicates are filtered
+        here, so the caller sees one gap-free, strictly-increasing
+        frame sequence.  API errors (404 and friends) are never
+        retried.
         """
+        last_seq: Optional[int] = None
+        seen_hello = False
+        failures = 0
+        while True:
+            try:
+                for frame in self._stream_once(session_id, timeout,
+                                               since=last_seq):
+                    if frame.get("type") == "hello":
+                        if seen_hello:
+                            continue  # reconnect replays a fresh hello
+                        seen_hello = True
+                    seq = frame.get("seq")
+                    if seq is not None:
+                        if last_seq is not None and seq <= last_seq:
+                            continue  # duplicate after a reconnect
+                        last_seq = seq
+                    failures = 0
+                    yield frame
+                    if frame.get("type") == "result" or \
+                            frame.get("state") in ("failed", "cancelled"):
+                        return
+                return  # clean close after the terminal frame
+            except (ConnectionError, OSError) as exc:
+                failures += 1
+                if not reconnect or failures > max_reconnects:
+                    raise
+                delay = min(backoff_cap, backoff * 2 ** (failures - 1))
+                time.sleep(delay)
+                continue
+
+    def _stream_once(self, session_id: str, timeout: Optional[float],
+                     since: Optional[int] = None) -> Iterator[dict]:
+        """One WebSocket connection's worth of frames (no reconnect)."""
         timeout = timeout if timeout is not None else self.timeout
+        path = f"/v1/sessions/{session_id}/events"
+        if since is not None:
+            path += f"?since={since}"
         sock = socket.create_connection(
             (self.host, self.port), timeout=timeout)
         try:
             key = b64encode(os.urandom(16)).decode("ascii")
             handshake = (
-                f"GET /v1/sessions/{session_id}/events HTTP/1.1\r\n"
+                f"GET {path} HTTP/1.1\r\n"
                 f"Host: {self.host}:{self.port}\r\n"
                 f"Upgrade: websocket\r\n"
                 f"Connection: Upgrade\r\n"

@@ -1,4 +1,4 @@
-"""Session lifecycle, admission control, quotas, and coalescing.
+"""Session lifecycle, admission control, quotas, durability, health.
 
 The manager is the service's scheduler-of-schedulers: it owns every
 server-side :class:`repro.session.Session`, runs them in *slices* on a
@@ -14,40 +14,78 @@ Load discipline (the "millions of users" contract):
 * **Per-tenant quotas** — a token bucket per tenant (capacity
   ``quota_tokens``, refill ``quota_refill``/s); one token per submitted
   cell.  Exhausted tenants get 429 + Retry-After while other tenants
-  keep scheduling.
+  keep scheduling.  Buckets live in memory only and are rebuilt *full*
+  after a restart — a crash must never strand a tenant mid-refill, and
+  recovered sessions were already paid for, so re-admission bypasses
+  the buckets entirely (the pinned restart semantic; see the tests).
 * **Coalescing** — a submit whose request content-hash matches an
   in-flight session attaches to it instead of simulating twice, and
   finished untraced cells are served straight from the shared result
   cache; batch submits route through the runner's process-pool executor
   (:func:`repro.runner.run_requests_report`).
 
+Crash discipline (the robustness contract):
+
+* **Durable journal** — every admission, state transition, periodic
+  auto-checkpoint, and terminal result is mirrored into the blob
+  store's ``sessions`` namespace by :class:`.journal.SessionJournal`.
+  On startup :meth:`SessionManager.recover` replays the journal:
+  terminal sessions come back as queryable records, and interrupted
+  ones are re-admitted (in their original admission order) from their
+  last auto-checkpoint, completing bit-identically to a run that was
+  never interrupted.
+* **Supervised slices** — each slice runs under a ``slice_deadline``;
+  a hung or crashing slice is abandoned, session state is rebuilt from
+  the last checkpoint, and the slice retries on a capped-exponential
+  backoff schedule (deterministic when ``retry_seed`` is set — the same
+  :class:`repro.runner.RetryPolicy` the grid executor uses).  Repeated
+  failure is a terminal ``failed`` state with a *structured* error
+  frame (``{"code", "message", "attempts", ...}``), never a silent
+  stall.  Abandoned worker threads drain on their own because slices
+  are bounded (``max_events``); true runaway cells belong on the grid
+  path, whose process pool can actually kill workers.
+* **Health-state machine** — ``ok → degraded → shedding``, driven by
+  queue depth, consecutive journal-write failures, and the recent
+  slice-failure rate.  Anything short of ``ok`` stops admitting new
+  work (503 + deterministic ``Retry-After``) and pauses checkpointable
+  running sessions; recovery to ``ok`` resumes them automatically.
+  ``GET /v1/healthz`` surfaces the state and its reasons.
+
 Pause/resume/fork go through :mod:`repro.snapshot`: pausing checkpoints
 the session into the ``sessions`` namespace of the shared
 :class:`repro.store.BlobStore`; resume and fork rebuild from that blob,
-bit-identical to a run that never stopped.
+bit-identical to a run that never stopped.  Auto-checkpoints reuse the
+same machinery on the same slice boundaries (keys ``<id>-auto-<n>``,
+dropped once the session completes; pause checkpoints survive for
+forking).
 """
 
 from __future__ import annotations
 
 import asyncio
-import itertools
 import time
 import uuid
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
-from repro.runner import ResultCache, RunRequest, run_requests_report
+from repro.runner import ResultCache, RetryPolicy, RunRequest, run_requests_report
 from repro.snapshot import Snapshot, SnapshotError
 from repro.store import BlobStore, LocalDirStore
 
+from .journal import SessionJournal
+
 __all__ = [
     "AdmissionFull",
+    "HealthMonitor",
     "QuotaExceeded",
     "ServiceConfig",
     "ServiceError",
+    "ServiceUnavailable",
     "SessionManager",
     "SessionRecord",
+    "SliceFailure",
     "metrics_to_wire",
 ]
 
@@ -81,6 +119,34 @@ class ServiceConfig:
     store_root: Optional[str] = None
     #: serve results from / fill the shared result cache
     use_result_cache: bool = True
+    # ----- durability ------------------------------------------------
+    #: mirror session lifecycles into the blob store (the WAL)
+    journal: bool = True
+    #: auto-checkpoint cadence in slices (0 disables; pause/resume
+    #: checkpoints are unaffected)
+    checkpoint_every_slices: int = 16
+    # ----- supervision -----------------------------------------------
+    #: wall-clock budget per slice, seconds (0 disables the deadline)
+    slice_deadline: float = 300.0
+    #: extra attempts after a slice times out or raises
+    slice_retries: int = 2
+    #: backoff before retry k: min(cap, base * 2**k), plus jitter
+    slice_backoff: float = 0.05
+    slice_backoff_cap: float = 2.0
+    #: seed for deterministic retry jitter (None = nondeterministic)
+    retry_seed: Optional[int] = None
+    # ----- health ----------------------------------------------------
+    #: frames retained per session for reconnect replay (``?since=``)
+    frame_log: int = 512
+    #: queued/queue_depth fraction that trips "degraded"
+    degraded_queue_frac: float = 0.8
+    #: consecutive journal-write failures that trip "degraded"
+    journal_fail_threshold: int = 3
+    #: slice outcomes considered for the failure-rate signal
+    health_window: int = 16
+    #: Retry-After advertised while degraded / shedding, seconds
+    degraded_retry_after: float = 2.0
+    shedding_retry_after: float = 10.0
 
 
 class ServiceError(Exception):
@@ -114,6 +180,33 @@ class AdmissionFull(ServiceError):
         self.retry_after = 1.0
 
 
+class ServiceUnavailable(ServiceError):
+    """The health-state machine left ``ok``: new work is shed (503)."""
+
+    status = 503
+
+    def __init__(self, state: str, reasons: list[str],
+                 retry_after: float) -> None:
+        why = "; ".join(reasons) or "health degraded"
+        super().__init__(f"service is {state} ({why}); not accepting new work")
+        self.state = state
+        self.reasons = list(reasons)
+        self.retry_after = retry_after
+
+
+class SliceFailure(Exception):
+    """A supervised slice exhausted its retry budget.
+
+    ``error`` is the structured failure document that becomes the
+    session's terminal error frame: ``{"code": "slice_timeout" |
+    "slice_failed", "message": ..., "attempt": k, "attempts": n, ...}``.
+    """
+
+    def __init__(self, error: dict) -> None:
+        super().__init__(error.get("message", "slice failed"))
+        self.error = dict(error)
+
+
 class _TokenBucket:
     """Classic leaky bucket on the monotonic clock."""
 
@@ -145,10 +238,100 @@ class _TokenBucket:
         return (n - self.tokens) / self.refill
 
 
+class HealthMonitor:
+    """The ``ok → degraded → shedding`` state machine.
+
+    Signals are fed by the manager (journal-write outcomes, slice
+    outcomes); the *state* is recomputed on demand from the signals plus
+    the live queue depth, so evaluation is pure and deterministic — two
+    managers with the same signal history and queue agree exactly.
+
+    One tripped signal → ``degraded``; two or more (or a journal-failure
+    streak at twice the threshold — durability is the one thing the
+    service cannot limp along without) → ``shedding``.
+    """
+
+    STATES = ("ok", "degraded", "shedding")
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.state = "ok"
+        self.journal_fail_streak = 0
+        self.slice_window: deque = deque(
+            maxlen=max(4, config.health_window))
+        self.transitions: list[tuple[str, str]] = []
+
+    # ----- signal feeds ----------------------------------------------
+    def note_journal_failure(self) -> None:
+        self.journal_fail_streak += 1
+
+    def note_journal_ok(self) -> None:
+        self.journal_fail_streak = 0
+
+    def note_slice(self, ok: bool) -> None:
+        self.slice_window.append(bool(ok))
+
+    # ----- evaluation ------------------------------------------------
+    def load_reasons(self, queued: int, queue_limit: int) -> list[str]:
+        """Pressure signals: visible on /healthz, but *admission control*
+        is the shedding mechanism for these (429 per excess submit) —
+        refusing all work because the queue is busy would be circular."""
+        cfg = self.config
+        out = []
+        if queue_limit > 0 and queued >= cfg.degraded_queue_frac * queue_limit:
+            out.append(f"queue depth {queued}/{queue_limit}")
+        return out
+
+    def fault_reasons(self) -> list[str]:
+        """Fault signals: something is *broken*, not merely busy — these
+        stop new admissions (503) and pause checkpointable sessions."""
+        cfg = self.config
+        out = []
+        if self.journal_fail_streak >= cfg.journal_fail_threshold:
+            out.append(f"{self.journal_fail_streak} consecutive "
+                       f"journal write failures")
+        window = list(self.slice_window)
+        fails = window.count(False)
+        if len(window) >= 4 and fails * 2 >= len(window):
+            out.append(f"slice failure rate {fails}/{len(window)}")
+        return out
+
+    def reasons(self, queued: int, queue_limit: int) -> list[str]:
+        return self.load_reasons(queued, queue_limit) + self.fault_reasons()
+
+    def evaluate(self, queued: int, queue_limit: int) -> tuple[str, list[str]]:
+        """Recompute the state; records (and returns) any transition."""
+        load = self.load_reasons(queued, queue_limit)
+        faults = self.fault_reasons()
+        if not load and not faults:
+            new = "ok"
+        elif (len(faults) >= 2 or (faults and load)
+                or self.journal_fail_streak
+                >= 2 * self.config.journal_fail_threshold):
+            new = "shedding"
+        else:
+            new = "degraded"
+        if new != self.state:
+            self.transitions.append((self.state, new))
+            self.state = new
+        return self.state, load + faults
+
+    def refusing(self) -> bool:
+        """True when fault signals say to stop admitting new work."""
+        return bool(self.fault_reasons())
+
+    def retry_after(self) -> float:
+        if self.state == "shedding":
+            return self.config.shedding_retry_after
+        return self.config.degraded_retry_after
+
+
 #: Session lifecycle: every transition is published as a frame.
 _STATES = ("queued", "running", "paused", "done", "failed", "cancelled")
 #: States that still occupy (or will occupy) an execution slot.
 _ACTIVE = ("queued", "running")
+#: States the session will never leave.
+_TERMINAL = ("done", "failed", "cancelled")
 
 
 @dataclass
@@ -167,22 +350,33 @@ class SessionRecord:
     sim_now: float = 0.0
     events_per_sec: float = 0.0
     slices: int = 0
-    #: result / failure
+    #: result / failure (``error`` is a structured dict:
+    #: ``{"code": ..., "message": ...}``)
     metrics: Optional[object] = None
-    error: Optional[str] = None
+    error: Optional[dict] = None
     from_cache: bool = False
     #: number of submits coalesced onto this record (first submit = 0)
     coalesced: int = 0
-    #: blob key of the pause checkpoint ("" = none)
+    #: blob key of the newest checkpoint ("" = none); pause checkpoints
+    #: are ``<id>-<slices>``, auto-checkpoints ``<id>-auto-<slices>``
     checkpoint_key: str = ""
     parent: Optional[str] = None
     #: control flags, read at slice boundaries
     pause_requested: bool = False
     cancel_requested: bool = False
+    #: the session state was at some point rebuilt from a snapshot —
+    #: disqualifies the run from filling the start-to-finish result
+    #: cache (still bit-identical, just conservatively not cached)
+    restored: bool = False
+    #: paused by the health machine (auto-resumed on return to ok)
+    health_paused: bool = False
     # internals (not serialized)
     session: Optional[object] = None
     task: Optional[asyncio.Task] = None
     subscribers: list = field(default_factory=list)
+    journal: Optional[SessionJournal] = None
+    #: recent frames, replayed for ``?since=<seq>`` reconnects
+    frame_log: deque = field(default_factory=lambda: deque(maxlen=512))
     _changed: Optional[asyncio.Event] = None
     _trace_cursor: int = 0
 
@@ -217,6 +411,7 @@ class SessionRecord:
         a slow consumer drops frames rather than stalling the loop)."""
         self.seq += 1
         frame = {"seq": self.seq, "session": self.id, **frame}
+        self.frame_log.append(frame)
         for queue in list(self.subscribers):
             try:
                 queue.put_nowait(frame)
@@ -227,6 +422,16 @@ class SessionRecord:
         assert state in _STATES, state
         self.state = state
         self.publish({"type": "state", "state": state, **frame_args})
+        if self.journal is not None:
+            entry = {"kind": "state", "state": state, "seq": self.seq}
+            if self.checkpoint_key:
+                entry["checkpoint"] = self.checkpoint_key
+            if state == "done" and self.metrics is not None:
+                entry["metrics"] = metrics_to_wire(self.metrics)
+                entry["from_cache"] = self.from_cache
+            if state == "failed" and self.error is not None:
+                entry["error"] = self.error
+            self.journal.record(self.id, entry)
         if self._changed is not None:
             self._changed.set()
             self._changed = asyncio.Event()
@@ -250,7 +455,10 @@ class SessionRecord:
 
 def metrics_to_wire(metrics) -> dict:
     """A :class:`RunMetrics` as a JSON-ready dict (trace record streams
-    are summarized, not shipped — they belong to the trace endpoints)."""
+    are summarized, not shipped — they belong to the trace endpoints).
+    An already-wire dict (journal-recovered results) passes through."""
+    if isinstance(metrics, dict):
+        return dict(metrics)
     doc = asdict(metrics)
     extra = dict(doc.get("extra") or {})
     records = extra.pop("trace_records", None)
@@ -259,6 +467,14 @@ def metrics_to_wire(metrics) -> dict:
     doc["extra"] = extra
     doc["speedup"] = metrics.speedup
     return doc
+
+
+def _admission_n(session_id: str) -> int:
+    """The admission index baked into ``s<NNNN>-<uuid>`` session ids."""
+    try:
+        return int(session_id.split("-", 1)[0].lstrip("s"))
+    except ValueError:
+        return 0
 
 
 class SessionManager:
@@ -280,17 +496,42 @@ class SessionManager:
         self._grid_sem = asyncio.Semaphore(1)
         self._queued = 0
         self._running = 0
-        self._seq = itertools.count(1)
+        self._next_seq = 1
         self._pool = ThreadPoolExecutor(
             max_workers=max(2, self.config.max_inflight),
             thread_name_prefix="repro-serve",
+        )
+        self.health = HealthMonitor(self.config)
+        self._fault_mode = False
+        self.journal: Optional[SessionJournal] = None
+        if self.config.journal:
+            self.journal = SessionJournal(
+                self.store,
+                on_write_error=lambda exc: self.health.note_journal_failure(),
+                on_write_ok=self.health.note_journal_ok,
+            )
+        #: test/chaos hook, run in the worker thread at the top of every
+        #: slice attempt as ``hook(record, attempt)`` — raise to poison
+        #: the slice, sleep to simulate a hang
+        self.slice_hook: Optional[Callable[[SessionRecord, int], None]] = None
+        self._slice_policy = RetryPolicy(
+            retries=max(0, self.config.slice_retries),
+            backoff_base=self.config.slice_backoff,
+            backoff_cap=self.config.slice_backoff_cap,
+            jitter=0.1,
+            seed=self.config.retry_seed,
         )
         self.started = time.monotonic()
         self.submitted = 0
         self.rejected_quota = 0
         self.rejected_admission = 0
+        self.shed_health = 0
         self.coalesced_hits = 0
         self.cache_hits = 0
+        self.slice_failures = 0
+        self.slice_timeouts = 0
+        self.recovered_sessions = 0
+        self.last_recovery: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # admission helpers
@@ -319,16 +560,25 @@ class SessionManager:
             raise AdmissionFull(active, limit)
 
     def _new_id(self) -> str:
-        return f"s{next(self._seq):04d}-{uuid.uuid4().hex[:8]}"
+        n = self._next_seq
+        self._next_seq += 1
+        return f"s{n:04d}-{uuid.uuid4().hex[:8]}"
+
+    def _make_record(self, **kwargs) -> SessionRecord:
+        rec = SessionRecord(**kwargs)
+        rec.frame_log = deque(maxlen=max(8, self.config.frame_log))
+        rec.journal = self.journal
+        return rec
 
     def _gc_done(self) -> None:
-        done = [r for r in self.records.values()
-                if r.state in ("done", "failed", "cancelled")]
+        done = [r for r in self.records.values() if r.state in _TERMINAL]
         excess = len(done) - self.config.keep_done
         if excess > 0:
             done.sort(key=lambda r: r.created)
             for rec in done[:excess]:
                 self.records.pop(rec.id, None)
+                if self.journal is not None:
+                    self.journal.forget(rec.id)
 
     # ------------------------------------------------------------------
     # submit / status
@@ -337,9 +587,17 @@ class SessionManager:
                coalesce: bool = True) -> SessionRecord:
         """Admit one cell; returns its (possibly shared) record.
 
-        Raises :class:`QuotaExceeded` / :class:`AdmissionFull` — the app
-        layer turns those into 429s.
+        Raises :class:`QuotaExceeded` / :class:`AdmissionFull` (429) or
+        :class:`ServiceUnavailable` (503, health machine left ``ok``) —
+        the app layer turns those into status codes + Retry-After.
         """
+        self._update_health()
+        if self.health.refusing():
+            self.shed_health += 1
+            raise ServiceUnavailable(
+                self.health.state,
+                self.health.reasons(self._queued, self.config.queue_depth),
+                self.health.retry_after())
         self.submitted += 1
         self._charge(tenant)
         content = request.content_hash()
@@ -357,19 +615,29 @@ class SessionManager:
             hit = self.result_cache.get(request)
             if hit is not None:
                 self.cache_hits += 1
-                rec = SessionRecord(id=self._new_id(), tenant=tenant,
-                                    request=request)
+                rec = self._make_record(id=self._new_id(), tenant=tenant,
+                                        request=request)
                 rec.state = "done"
                 rec.metrics = hit
                 rec.from_cache = True
                 self.records[rec.id] = rec
+                if self.journal is not None:
+                    self.journal.admit(rec.id, tenant, request.to_wire(),
+                                       _admission_n(rec.id))
+                    self.journal.record(rec.id, {
+                        "kind": "state", "state": "done", "seq": rec.seq,
+                        "metrics": metrics_to_wire(hit), "from_cache": True})
                 self._gc_done()
                 return rec
 
         self._admit()
-        rec = SessionRecord(id=self._new_id(), tenant=tenant, request=request)
+        rec = self._make_record(id=self._new_id(), tenant=tenant,
+                                request=request)
         self.records[rec.id] = rec
         self._by_hash[content] = rec.id
+        if self.journal is not None:
+            self.journal.admit(rec.id, tenant, request.to_wire(),
+                               _admission_n(rec.id))
         rec.task = asyncio.get_running_loop().create_task(
             self._run_record(rec))
         self._gc_done()
@@ -403,12 +671,164 @@ class SessionManager:
             "cache_hits": self.cache_hits,
             "rejected_quota": self.rejected_quota,
             "rejected_admission": self.rejected_admission,
+            "shed_health": self.shed_health,
+            "health": self.health.state,
+            "slice_failures": self.slice_failures,
+            "slice_timeouts": self.slice_timeouts,
+            "recovered": self.recovered_sessions,
+            "journal": {
+                "enabled": self.journal is not None,
+                "sessions": len(self.journal) if self.journal else 0,
+                "write_failures":
+                    self.journal.write_failures if self.journal else 0,
+            },
             "tenants": {
                 name: round(bucket.tokens, 2)
                 for name, bucket in sorted(self._buckets.items())
             },
             "store": self.store.stats(),
         }
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def health_doc(self) -> dict:
+        """The ``GET /v1/healthz`` document (state + reasons).
+
+        ``ok`` means "alive and admitting new work" — a busy queue
+        leaves it True (excess submits get per-request 429s); only
+        fault-mode refusal (journal/slice trouble) turns it False.
+        ``state``/``reasons`` carry the full nuance either way.
+        """
+        state, reasons = self._update_health()
+        doc = {
+            "ok": not self.health.refusing(),
+            "state": state,
+            "reasons": reasons,
+            "service": "repro",
+            "uptime": round(time.monotonic() - self.started, 3),
+        }
+        if state != "ok":
+            doc["retry_after"] = self.health.retry_after()
+        return doc
+
+    def _update_health(self) -> tuple[str, list[str]]:
+        """Re-evaluate health and apply its side effects.
+
+        Entering fault mode pauses every checkpointable running session
+        (they park durably instead of grinding against whatever is
+        broken); leaving it resumes them.  Load-only degradation (a
+        busy queue) has no side effects — admission control already
+        sheds the excess.
+        """
+        state, reasons = self.health.evaluate(
+            self._queued, self.config.queue_depth)
+        faults = self.health.refusing()
+        if faults and not self._fault_mode:
+            self._fault_mode = True
+            for rec in self.records.values():
+                if (rec.state == "running" and rec.request.shards < 2
+                        and not rec.pause_requested):
+                    rec.pause_requested = True
+                    rec.health_paused = True
+        elif not faults:
+            self._fault_mode = False
+            stranded = [rec for rec in self.records.values()
+                        if rec.state == "paused" and rec.health_paused]
+            for rec in stranded:
+                rec.health_paused = False
+                try:
+                    loop = asyncio.get_running_loop()
+                except RuntimeError:
+                    rec.health_paused = True  # no loop: retry next check
+                    break
+                loop.create_task(self._health_resume(rec.id))
+        return state, reasons
+
+    async def _health_resume(self, session_id: str) -> None:
+        try:
+            await self.resume(session_id)
+        except ServiceError:
+            rec = self.records.get(session_id)
+            if rec is not None and rec.state == "paused":
+                rec.health_paused = True  # could not re-admit yet; retry later
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> dict:
+        """Replay the journal after a restart (idempotent).
+
+        Terminal sessions come back as queryable records, paused ones
+        keep their checkpoints, and interrupted (queued/running) ones
+        are re-admitted — in their original admission order — resuming
+        from their last auto-checkpoint when one survives, from scratch
+        otherwise; either way the completed result is bit-identical to
+        an uninterrupted run.  Re-admission bypasses tenant quotas: the
+        work was already paid for before the crash.
+
+        Sessions that already have a live record are skipped, so calling
+        this twice (or racing a duplicate submit) is a no-op for them.
+        """
+        summary = {"sessions": 0, "resumed": 0, "restarted": 0,
+                   "terminal": 0, "paused": 0, "skipped": 0}
+        if self.journal is None:
+            self.last_recovery = summary
+            return summary
+        loop = asyncio.get_running_loop()
+        max_n = 0
+        for doc in self.journal.load_all():
+            sid = doc["id"]
+            max_n = max(max_n, int(doc.get("n", 0)))
+            if sid in self.records:
+                summary["skipped"] += 1
+                continue
+            try:
+                request = RunRequest.from_wire(doc.get("request") or {})
+            except Exception:  # noqa: BLE001 - a bad request is skippable
+                summary["skipped"] += 1
+                continue
+            summary["sessions"] += 1
+            rec = self._make_record(
+                id=sid, tenant=doc.get("tenant") or "public",
+                request=request, parent=doc.get("parent"))
+            # +1 so frames published after recovery stay strictly above
+            # anything a pre-crash subscriber may have seen
+            rec.seq = SessionJournal.last_seq(doc) + 1
+            rec.checkpoint_key = SessionJournal.last_checkpoint(doc)
+            terminal = SessionJournal.terminal(doc)
+            if terminal is not None:
+                rec.state = terminal["state"]
+                rec.metrics = terminal.get("metrics")
+                rec.error = terminal.get("error")
+                rec.from_cache = bool(terminal.get("from_cache"))
+                self.records[sid] = rec
+                summary["terminal"] += 1
+                continue
+            if SessionJournal.last_state(doc) == "paused":
+                rec.state = "paused"
+                self.records[sid] = rec
+                summary["paused"] += 1
+                continue
+            # interrupted mid-flight: resume from the checkpoint if its
+            # blob survived, restart from scratch if not — both paths
+            # are deterministic, so the result is identical either way
+            resume = bool(
+                rec.checkpoint_key
+                and self.store.get(_SESSIONS_NS, rec.checkpoint_key)
+                is not None)
+            if not resume:
+                rec.checkpoint_key = ""
+            self.records[sid] = rec
+            self._by_hash[request.content_hash()] = sid
+            self.journal.record(sid, {"kind": "recovered", "resume": resume,
+                                      "seq": rec.seq})
+            rec.task = loop.create_task(self._run_record(rec, resume=resume))
+            self.recovered_sessions += 1
+            summary["resumed" if resume else "restarted"] += 1
+        self._next_seq = max(self._next_seq, max_n + 1)
+        self.last_recovery = summary
+        return summary
 
     # ------------------------------------------------------------------
     # control-plane verbs
@@ -436,6 +856,7 @@ class SessionManager:
             raise _conflict(rec, "resume", "from the paused state")
         self._admit()
         rec.pause_requested = False
+        rec.health_paused = False
         rec.transition("queued")
         self._by_hash[rec.request.content_hash()] = rec.id
         rec.task = asyncio.get_running_loop().create_task(
@@ -450,11 +871,17 @@ class SessionManager:
         tenant = tenant or parent.tenant
         self._charge(tenant)
         self._admit()
-        child = SessionRecord(
+        child = self._make_record(
             id=self._new_id(), tenant=tenant, request=parent.request,
             parent=parent.id)
         child.checkpoint_key = parent.checkpoint_key
         self.records[child.id] = child
+        if self.journal is not None:
+            self.journal.admit(child.id, tenant, parent.request.to_wire(),
+                               _admission_n(child.id), parent=parent.id)
+            self.journal.record(child.id, {
+                "kind": "checkpoint", "checkpoint": child.checkpoint_key,
+                "seq": child.seq})
         child.task = asyncio.get_running_loop().create_task(
             self._run_record(child, resume=True))
         self._gc_done()
@@ -524,8 +951,13 @@ class SessionManager:
             if rec.state in _ACTIVE:
                 rec.transition("cancelled")
             raise
+        except SliceFailure as exc:
+            rec.error = exc.error
+            rec.transition("failed", error=rec.error)
         except Exception as exc:  # noqa: BLE001 - reported to the client
-            rec.error = f"{type(exc).__name__}: {exc}"
+            rec.error = {"code": "internal",
+                         "message": f"{type(exc).__name__}: {exc}",
+                         "exception": type(exc).__name__}
             rec.transition("failed", error=rec.error)
         finally:
             if self._by_hash.get(rec.request.content_hash()) == rec.id \
@@ -553,6 +985,7 @@ class SessionManager:
                 raise SnapshotError(
                     f"session checkpoint {rec.checkpoint_key!r} has vanished "
                     f"from the store")
+            rec.restored = True
             rec.session = await loop.run_in_executor(
                 self._pool,
                 lambda: Session.restore(Snapshot.from_bytes(
@@ -563,43 +996,136 @@ class SessionManager:
                 self._pool, lambda: self._build_session(rec))
 
         rec.transition("running")
-        sess = rec.session
         sliced = rec.request.shards < 2
         slice_events = max(1, self.config.slice_events)
         while True:
             t0 = time.monotonic()
-            e0 = sess.machine.sim.events_processed
-            if sliced:
-                metrics = await loop.run_in_executor(
-                    self._pool, lambda: sess.run(max_events=slice_events))
-            else:
-                metrics = await loop.run_in_executor(self._pool, sess.run)
+            e0, _ = rec.session.progress()
+            metrics = await self._run_slice(
+                rec, loop, slice_events if sliced else None)
             wall = max(1e-9, time.monotonic() - t0)
             rec.slices += 1
-            rec.events_processed = sess.machine.sim.events_processed
-            rec.sim_now = sess.machine.sim.now
-            rec.events_per_sec = (rec.events_processed - e0) / wall
+            # _run_slice may have rebuilt rec.session; re-read it
+            rec.events_processed, rec.sim_now = rec.session.progress()
+            rec.events_per_sec = max(0.0, rec.events_processed - e0) / wall
             rec.publish(self._progress_frame(rec))
 
             if metrics is not None:
                 rec.metrics = metrics
                 if (self.result_cache is not None and not rec.request.trace
-                        and not resume and rec.checkpoint_key == ""
-                        and rec.request.shards < 2):
+                        and not rec.restored and rec.request.shards < 2):
                     # a straight start-to-finish run is exactly what
                     # execute_request() would have produced: cache it
-                    self.result_cache.put(rec.request, metrics)
+                    # (failures here lose a cache entry, not a result)
+                    try:
+                        self.result_cache.put(rec.request, metrics)
+                    except Exception:  # noqa: BLE001
+                        self.health.note_journal_failure()
+                self._drop_auto_checkpoint(rec)
                 rec.transition("done")
                 rec.publish({"type": "result",
                              "metrics": metrics_to_wire(metrics)})
                 return
             if rec.cancel_requested:
+                self._drop_auto_checkpoint(rec)
                 rec.transition("cancelled")
                 return
             if rec.pause_requested:
                 await self._checkpoint(rec, loop)
                 rec.transition("paused", checkpoint=rec.checkpoint_key)
                 return
+            if (self.journal is not None and sliced
+                    and self.config.checkpoint_every_slices > 0
+                    and rec.slices % self.config.checkpoint_every_slices == 0):
+                await self._auto_checkpoint(rec, loop)
+
+    async def _run_slice(self, rec: SessionRecord, loop,
+                         max_events: Optional[int]):
+        """One supervised slice: deadline, rebuild-on-failure, backoff.
+
+        Returns the slice result (metrics or ``None``); raises
+        :class:`SliceFailure` once the retry budget is spent.  A timed
+        out worker thread is *abandoned*, not killed — slices are
+        bounded, so it drains on its own while the retry proceeds on a
+        session rebuilt from the last checkpoint (or from scratch; both
+        are deterministic, so the eventual result is unchanged).
+        """
+        cfg = self.config
+        policy = self._slice_policy
+        rng = policy.rng(rec.id)
+        attempts = 1 + max(0, cfg.slice_retries)
+        failure: dict = {}
+        for attempt in range(attempts):
+            sess = rec.session
+            hook = self.slice_hook
+
+            def work(sess=sess, attempt=attempt):
+                if hook is not None:
+                    hook(rec, attempt)
+                if max_events is not None:
+                    return sess.run(max_events=max_events)
+                return sess.run()
+
+            future = loop.run_in_executor(self._pool, work)
+            try:
+                if cfg.slice_deadline and cfg.slice_deadline > 0:
+                    metrics = await asyncio.wait_for(
+                        future, cfg.slice_deadline)
+                else:
+                    metrics = await future
+                self.health.note_slice(True)
+                return metrics
+            except asyncio.CancelledError:
+                raise
+            except asyncio.TimeoutError:
+                self.slice_timeouts += 1
+                failure = {
+                    "code": "slice_timeout",
+                    "message": f"slice {rec.slices + 1} exceeded the "
+                               f"{cfg.slice_deadline:g}s deadline",
+                    "deadline": cfg.slice_deadline,
+                }
+            except Exception as exc:  # noqa: BLE001 - structured below
+                failure = {
+                    "code": "slice_failed",
+                    "message": f"{type(exc).__name__}: {exc}",
+                    "exception": type(exc).__name__,
+                }
+            self.slice_failures += 1
+            self.health.note_slice(False)
+            failure["attempt"] = attempt + 1
+            failure["attempts"] = attempts
+            if attempt + 1 >= attempts:
+                break
+            rec.session = await self._rebuild(rec, loop)
+            delay = policy.delay(attempt, rng)
+            rec.publish({"type": "retry", "state": rec.state,
+                         "attempt": attempt + 1, "error": dict(failure),
+                         "delay": round(delay, 3)})
+            if delay > 0:
+                await asyncio.sleep(delay)
+        raise SliceFailure(failure)
+
+    async def _rebuild(self, rec: SessionRecord, loop):
+        """A clean session for a retry: last checkpoint, else scratch."""
+        from repro.session import Session
+
+        rec._trace_cursor = 0
+        data = (self.store.get(_SESSIONS_NS, rec.checkpoint_key)
+                if rec.checkpoint_key else None)
+        if data is not None:
+            key = rec.checkpoint_key
+            try:
+                snap = Snapshot.from_bytes(data, source=f"sessions/{key}")
+            except Exception:  # noqa: BLE001 - corrupt checkpoint
+                self.store.quarantine(_SESSIONS_NS, key)
+                rec.checkpoint_key = ""
+            else:
+                rec.restored = True
+                return await loop.run_in_executor(
+                    self._pool, lambda: Session.restore(snap))
+        return await loop.run_in_executor(
+            self._pool, lambda: self._build_session(rec))
 
     # ------------------------------------------------------------------
     def _build_session(self, rec: SessionRecord):
@@ -622,7 +1148,51 @@ class SessionManager:
                 {"service_session": rec.id, "tenant": rec.tenant}),
         )
         self.store.put(_SESSIONS_NS, key, snap.to_bytes())
+        old = rec.checkpoint_key
         rec.checkpoint_key = key
+        if old and "-auto-" in old:
+            self.store.delete(_SESSIONS_NS, old)
+        if self.journal is not None:
+            self.journal.record(rec.id, {
+                "kind": "checkpoint", "checkpoint": key,
+                "slices": rec.slices, "events": rec.events_processed,
+                "seq": rec.seq})
+
+    async def _auto_checkpoint(self, rec: SessionRecord, loop) -> None:
+        """Periodic crash-recovery checkpoint (best-effort: a failed
+        write costs recovery granularity, never the running session)."""
+        key = f"{rec.id}-auto-{rec.slices:04d}"
+        try:
+            snap = await loop.run_in_executor(
+                self._pool,
+                lambda: rec.session.checkpoint(
+                    {"service_session": rec.id, "tenant": rec.tenant,
+                     "auto": True}),
+            )
+            self.store.put(_SESSIONS_NS, key, snap.to_bytes())
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # noqa: BLE001 - degrade, don't kill the run
+            self.health.note_journal_failure()
+            return
+        old = rec.checkpoint_key
+        rec.checkpoint_key = key
+        if old and "-auto-" in old:
+            self.store.delete(_SESSIONS_NS, old)
+        if self.journal is not None:
+            self.journal.record(rec.id, {
+                "kind": "checkpoint", "checkpoint": key, "auto": True,
+                "slices": rec.slices, "events": rec.events_processed,
+                "seq": rec.seq})
+
+    def _drop_auto_checkpoint(self, rec: SessionRecord) -> None:
+        """Terminal cleanup: auto-checkpoints are recovery scaffolding,
+        not fork points — drop them once the session can't be resumed.
+        (Pause checkpoints, and the auto-checkpoint of a *failed*
+        session — useful for forensics — are kept.)"""
+        if rec.checkpoint_key and "-auto-" in rec.checkpoint_key:
+            self.store.delete(_SESSIONS_NS, rec.checkpoint_key)
+            rec.checkpoint_key = ""
 
     def _progress_frame(self, rec: SessionRecord) -> dict:
         frame = {
@@ -659,16 +1229,34 @@ class SessionManager:
     # ------------------------------------------------------------------
     # subscriptions / shutdown
     # ------------------------------------------------------------------
-    def subscribe(self, session_id: str) -> tuple[SessionRecord, asyncio.Queue]:
-        """A frame queue for one WebSocket consumer.  The first frame is
-        a hello with the current status; a finished session immediately
-        replays its terminal frame so late subscribers are not stranded."""
+    def subscribe(self, session_id: str,
+                  since: Optional[int] = None
+                  ) -> tuple[SessionRecord, asyncio.Queue]:
+        """A frame queue for one WebSocket consumer.
+
+        The first frame is a hello with the current status.  With
+        ``since`` (a reconnecting client's last-seen ``seq``), logged
+        frames above that sequence are replayed before live ones.  A
+        finished session always ends with a terminal frame — replayed
+        from the log when it's still there, synthesized otherwise — so
+        late or reconnecting subscribers are never stranded."""
         rec = self.get(session_id)
         queue: asyncio.Queue = asyncio.Queue(maxsize=256)
         rec.subscribers.append(queue)
         queue.put_nowait({"type": "hello", "session": rec.id,
                           "state": rec.state, "status": rec.to_doc()})
-        if rec.state in ("done", "failed", "cancelled"):
+        replayed_terminal = False
+        if since is not None:
+            for frame in list(rec.frame_log):
+                if frame.get("seq", 0) <= since:
+                    continue
+                try:
+                    queue.put_nowait(frame)
+                except asyncio.QueueFull:
+                    break
+                if _is_terminal_frame(frame):
+                    replayed_terminal = True
+        if rec.state in _TERMINAL and not replayed_terminal:
             terminal = {"type": "result" if rec.metrics is not None else "state",
                         "session": rec.id, "state": rec.state,
                         "seq": rec.seq}
@@ -696,6 +1284,11 @@ class SessionManager:
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
         self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _is_terminal_frame(frame: dict) -> bool:
+    return (frame.get("type") == "result"
+            or frame.get("state") in ("failed", "cancelled"))
 
 
 def _conflict(rec: SessionRecord, verb: str, requirement: str) -> ServiceError:

@@ -15,6 +15,7 @@ want a live server inside one process.
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 from typing import Optional
 
@@ -63,6 +64,17 @@ class ReproServer:
         return f"http://{host}:{port}"
 
     async def start(self) -> None:
+        # Replay the durable journal *before* accepting connections, so
+        # a client that raced the restart never observes a half-
+        # recovered session list.  recover() is idempotent — a repeated
+        # start() (or an explicit second call) is a no-op.
+        recovery = self.manager.recover()
+        if recovery["sessions"]:
+            print(f"repro service recovered {recovery['sessions']} "
+                  f"journaled session(s): {recovery['resumed']} resumed, "
+                  f"{recovery['restarted']} restarted, "
+                  f"{recovery['terminal']} terminal, "
+                  f"{recovery['paused']} paused")
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port)
 
@@ -143,8 +155,20 @@ class ReproServer:
                 status=400).encode(keep_alive=False))
             await writer.drain()
             return
+        since = None
+        raw_since = request.query.get("since")
+        if raw_since is not None:
+            try:
+                since = int(raw_since)
+            except ValueError:
+                writer.write(json_response(
+                    {"error": f"'since' must be an integer, got "
+                              f"{raw_since!r}"},
+                    status=400).encode(keep_alive=False))
+                await writer.drain()
+                return
         try:
-            rec, queue = self.manager.subscribe(session_id)
+            rec, queue = self.manager.subscribe(session_id, since=since)
         except ServiceError as exc:
             writer.write(json_response(
                 exc.to_doc(), status=exc.status).encode(keep_alive=False))
@@ -209,11 +233,22 @@ class ReproServer:
 
 
 async def serve(config: Optional[ServiceConfig] = None,
-                store: Optional[BlobStore] = None) -> None:
-    """Run a server until cancelled (the ``python -m repro serve`` body)."""
+                store: Optional[BlobStore] = None,
+                port_file: Optional[str] = None) -> None:
+    """Run a server until cancelled (the ``python -m repro serve`` body).
+
+    ``port_file``, when given, receives ``"<host> <port>"`` once the
+    socket is bound — how out-of-process harnesses (the recovery smoke
+    job, ``chaos --service``) find an ephemeral-port server.
+    """
     server = ReproServer(config, store=store)
     await server.start()
     host, port = server.address
+    if port_file:
+        tmp = f"{port_file}.tmp"
+        with open(tmp, "w") as fh:
+            fh.write(f"{host} {port}\n")
+        os.replace(tmp, port_file)
     print(f"repro service listening on http://{host}:{port} "
           f"(max_inflight={server.config.max_inflight}, "
           f"queue_depth={server.config.queue_depth})")

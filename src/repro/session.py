@@ -297,6 +297,16 @@ class Session:
             metrics.extra["workload_label"] = self.workload_label
         return metrics
 
+    def progress(self) -> tuple[int, float]:
+        """``(events_processed, sim_now)`` for a session that has run at
+        least one slice — the pair every supervisor/progress frame needs,
+        without reaching through ``machine.sim`` internals.  ``(0, 0.0)``
+        before the machine exists."""
+        if self._machine is None:
+            return (0, 0.0)
+        sim = self._machine.sim
+        return (sim.events_processed, sim.now)
+
     # ------------------------------------------------------------------
     # checkpoint / restore / fork
     # ------------------------------------------------------------------

@@ -27,6 +27,9 @@ nor interprets them — content addressing is the *caller's* discipline
 from __future__ import annotations
 
 import os
+import random
+import time
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path
@@ -35,10 +38,21 @@ from typing import Optional
 __all__ = [
     "BlobNamespace",
     "BlobStore",
+    "FlakyStore",
     "LocalDirStore",
     "NAMESPACES",
+    "StoreCorruption",
+    "StoreFault",
     "default_store_root",
 ]
+
+
+class StoreCorruption(UserWarning):
+    """A blob on disk was unreadable/undecodable and has been quarantined."""
+
+
+class StoreFault(OSError):
+    """An injected store failure (raised by :class:`FlakyStore`)."""
 
 _ENV_VAR = "REPRO_RESULT_CACHE"
 
@@ -124,6 +138,23 @@ class BlobStore(ABC):
         """Entry/byte totals — for one namespace, or ``{"namespaces":
         {...}, "entries": N, "bytes": B}`` over all of them."""
 
+    def quarantine(self, ns: str, key: str) -> bool:
+        """Put a blob that failed to decode out of the read path.
+
+        Callers that detect corruption (a truncated snapshot, an
+        undecodable journal) call this instead of :meth:`delete` so the
+        evidence survives for forensics.  The base implementation just
+        deletes; :class:`LocalDirStore` renames to ``<blob>.corrupt``.
+        Emits a :class:`StoreCorruption` warning either way; returns
+        True if a blob was actually moved/removed.
+        """
+        moved = self.delete(ns, key)
+        if moved:
+            warnings.warn(
+                f"blob {ns}/{key} was unreadable and has been quarantined",
+                StoreCorruption, stacklevel=2)
+        return moved
+
     def clear(self, ns: Optional[str] = None) -> int:
         """Delete every blob in ``ns`` (or in all namespaces); returns
         the number removed."""
@@ -162,7 +193,13 @@ class LocalDirStore(BlobStore):
         path = self.path(ns, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = Path(f"{path}.{os.getpid()}.tmp")
-        tmp.write_bytes(data)
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            # fsync before the rename: the atomic replace only protects
+            # against torn *names* — a crash between rename and writeback
+            # could still surface a zero-length blob without this.
+            os.fsync(fh.fileno())
         tmp.replace(path)
 
     def get(self, ns: str, key: str) -> Optional[bytes]:
@@ -179,6 +216,20 @@ class LocalDirStore(BlobStore):
             return True
         except OSError:
             return False
+
+    def quarantine(self, ns: str, key: str) -> bool:
+        """Rename an unreadable blob to ``<name>.corrupt`` (keeping the
+        evidence on disk, out of :meth:`keys`/:meth:`get` sight) and warn."""
+        path = self.path(ns, key)
+        target = Path(f"{path}.corrupt")
+        try:
+            path.replace(target)
+        except OSError:
+            return False
+        warnings.warn(
+            f"blob {ns}/{key} was unreadable; quarantined to {target.name}",
+            StoreCorruption, stacklevel=2)
+        return True
 
     def keys(self, ns: str) -> list[str]:
         spec = self.namespace(ns)
@@ -209,3 +260,63 @@ class LocalDirStore(BlobStore):
 
     def __repr__(self) -> str:
         return f"LocalDirStore({str(self.root)!r})"
+
+
+class FlakyStore(BlobStore):
+    """A deterministic fault-injecting wrapper around another store.
+
+    The service chaos harness wraps the real store in one of these to
+    prove the control plane survives storage trouble: seeded with
+    ``seed``, it fails a fraction of writes (``put_fail_rate``, raising
+    :class:`StoreFault`), turns a fraction of reads into misses
+    (``get_miss_rate``, returning ``None`` — an unreadable blob and an
+    absent one look the same to callers, per the :class:`BlobStore`
+    contract), and optionally sleeps ``latency`` seconds per operation.
+    The fault sequence is a pure function of the seed and the operation
+    order, so a failing chaos case replays exactly.
+    """
+
+    def __init__(self, inner: BlobStore, seed: int = 0,
+                 put_fail_rate: float = 0.0, get_miss_rate: float = 0.0,
+                 latency: float = 0.0) -> None:
+        self.inner = inner
+        self.rng = random.Random(seed)
+        self.put_fail_rate = float(put_fail_rate)
+        self.get_miss_rate = float(get_miss_rate)
+        self.latency = float(latency)
+        self.injected_put_failures = 0
+        self.injected_get_misses = 0
+
+    def _dawdle(self) -> None:
+        if self.latency > 0:
+            time.sleep(self.latency)
+
+    def put(self, ns: str, key: str, data: bytes) -> None:
+        self._dawdle()
+        if self.put_fail_rate and self.rng.random() < self.put_fail_rate:
+            self.injected_put_failures += 1
+            raise StoreFault(f"injected put failure for {ns}/{key}")
+        self.inner.put(ns, key, data)
+
+    def get(self, ns: str, key: str) -> Optional[bytes]:
+        self._dawdle()
+        if self.get_miss_rate and self.rng.random() < self.get_miss_rate:
+            self.injected_get_misses += 1
+            return None
+        return self.inner.get(ns, key)
+
+    def delete(self, ns: str, key: str) -> bool:
+        return self.inner.delete(ns, key)
+
+    def quarantine(self, ns: str, key: str) -> bool:
+        return self.inner.quarantine(ns, key)
+
+    def keys(self, ns: str) -> list[str]:
+        return self.inner.keys(ns)
+
+    def stats(self, ns: Optional[str] = None) -> dict:
+        return self.inner.stats(ns)
+
+    def __repr__(self) -> str:
+        return (f"FlakyStore({self.inner!r}, put_fail_rate="
+                f"{self.put_fail_rate}, get_miss_rate={self.get_miss_rate})")

@@ -1,0 +1,123 @@
+"""Client stream reconnect: resume from last-seen seq, no gaps, no dups."""
+
+import time
+
+import pytest
+
+from repro.runner import RunRequest
+from repro.service import (
+    ServiceClient,
+    ServiceClientError,
+    ServiceConfig,
+    serve_background,
+)
+from repro.store import LocalDirStore
+
+
+def _req(seed=1, **kw):
+    base = dict(workload="ida-3", strategy="RIPS", num_nodes=8,
+                seed=seed, scale="small")
+    base.update(kw)
+    return RunRequest(**base)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    config = ServiceConfig(port=0, slice_events=400, quota_refill=1000.0,
+                           quota_tokens=10_000.0, use_result_cache=False,
+                           store_root=str(tmp_path))
+    with serve_background(config, store=LocalDirStore(tmp_path)) as bg:
+        yield bg
+
+
+def _assert_stream_shape(frames):
+    assert frames[0]["type"] == "hello"
+    seqs = [f["seq"] for f in frames if "seq" in f]
+    assert seqs == sorted(seqs)
+    assert len(seqs) == len(set(seqs)), "duplicate seq reached the caller"
+    assert frames[-1].get("type") == "result" or \
+        frames[-1].get("state") in ("failed", "cancelled")
+
+
+def test_since_query_replays_only_newer_frames(server):
+    client = ServiceClient(server.url, tenant="tests")
+    sid = client.submit(_req(seed=31))["id"]
+    full = list(client.stream(sid, timeout=60))
+    _assert_stream_shape(full)
+    assert len(full) >= 4
+
+    cut = full[len(full) // 2]["seq"]
+    replayed = list(client._stream_once(sid, timeout=60, since=cut))
+    body = [f for f in replayed if f.get("type") != "hello"]
+    assert body, "replay returned nothing"
+    assert all(f["seq"] > cut for f in body)
+    assert body[-1].get("type") == "result" or \
+        body[-1].get("state") in ("failed", "cancelled")
+
+
+def test_dropped_socket_resumes_gap_free(server, monkeypatch):
+    client = ServiceClient(server.url, tenant="tests")
+    slow = {"on": True}
+    server.server.manager.slice_hook = \
+        lambda rec, attempt: time.sleep(0.005 if slow["on"] else 0)
+    sid = client.submit(_req(seed=32))["id"]
+
+    real = client._stream_once
+    calls = {"n": 0}
+
+    def flaky_stream_once(session_id, timeout, since=None):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            # yield a few live frames, then die mid-stream
+            for i, frame in enumerate(real(session_id, timeout, since=since)):
+                yield frame
+                if i >= 3:
+                    slow["on"] = False  # let the session finish fast now
+                    raise ConnectionError("socket dropped mid-stream")
+        else:
+            yield from real(session_id, timeout, since=since)
+
+    monkeypatch.setattr(client, "_stream_once", flaky_stream_once)
+    frames = list(client.stream(sid, timeout=60, backoff=0.01))
+    assert calls["n"] >= 2, "the client never reconnected"
+    _assert_stream_shape(frames)
+    assert sum(1 for f in frames if f.get("type") == "hello") == 1
+
+
+def test_reconnect_disabled_raises(server, monkeypatch):
+    client = ServiceClient(server.url, tenant="tests")
+    sid = client.submit(_req(seed=33))["id"]
+
+    def broken_stream_once(session_id, timeout, since=None):
+        raise ConnectionError("boom")
+        yield  # pragma: no cover
+
+    monkeypatch.setattr(client, "_stream_once", broken_stream_once)
+    with pytest.raises(ConnectionError):
+        list(client.stream(sid, timeout=10, reconnect=False))
+    client.wait(sid, timeout=60)
+
+
+def test_reconnect_budget_is_capped(server, monkeypatch):
+    client = ServiceClient(server.url, tenant="tests")
+    sid = client.submit(_req(seed=34))["id"]
+    calls = {"n": 0}
+
+    def broken_stream_once(session_id, timeout, since=None):
+        calls["n"] += 1
+        raise ConnectionError("boom")
+        yield  # pragma: no cover
+
+    monkeypatch.setattr(client, "_stream_once", broken_stream_once)
+    with pytest.raises(ConnectionError):
+        list(client.stream(sid, timeout=10, max_reconnects=2,
+                           backoff=0.001))
+    assert calls["n"] == 3  # first try + 2 reconnects
+    client.wait(sid, timeout=60)
+
+
+def test_api_errors_are_never_retried(server):
+    client = ServiceClient(server.url, tenant="tests")
+    with pytest.raises(ServiceClientError) as info:
+        list(client.stream("s9999-nope", timeout=10))
+    assert info.value.status == 404
