@@ -33,6 +33,16 @@ Commands
     on a >10% regression), gates checkpoint overhead on the chain
     shape, and never rewrites the baseline.  ``--warm-start`` times a
     cold vs warm-started Table-I grid -> ``BENCH_warm_start.json``.
+``loadtest``
+    Closed-loop capacity harness: drive N concurrent sessions (workload
+    x strategy x shard mix, closed- or open-loop arrival, seeded)
+    through the in-process runner and/or a live ``serve`` instance;
+    report p50/p90/p99 cell latency, queue wait, 429/503 counts,
+    result/snapshot cache hit rates, events/sec under contention, and
+    the span-tree attribution rollup.  Writes ``BENCH_loadtest.json``;
+    ``--check`` gates against it like ``bench --check``; ``--smoke``
+    runs a small campaign against BOTH targets and exits nonzero unless
+    every structural gate holds.
 ``faults``
     Strategy degradation under injected faults (fig_faults): sweeps
     drop rates and fail-stop crash counts over a Table-I workload;
@@ -44,6 +54,11 @@ Commands
 
 Grid commands print the executor's accounting line (cells, cache hits,
 retries) on stderr after the table.
+
+``cache stats``, ``bench``, ``chaos``, and ``loadtest`` accept
+``--json``: machine-readable output on stdout in the shared
+``repro.report/1`` envelope (:func:`repro.obs.metrics.make_report`);
+human tables and progress lines move to stderr.
 
 Shared flags come from parent parsers: every experiment command accepts
 ``--scale {small,paper}`` (default: ``$REPRO_SCALE`` or ``small``), and
@@ -80,6 +95,16 @@ from repro.experiments.faults import (
     DEFAULT_FAULT_SEED,
 )
 from repro.metrics import format_series, format_table, percent, seconds
+
+
+def _print_report(kind: str, data: dict) -> None:
+    """Emit a ``repro.report/1`` envelope on stdout (the ``--json`` path
+    shared by cache/bench/chaos/loadtest)."""
+    import json
+
+    from repro.obs.metrics import make_report
+
+    print(json.dumps(make_report(kind, data), indent=2, sort_keys=True))
 
 
 def _run_grid(reqs, args):
@@ -244,7 +269,13 @@ def _cmd_cache(args) -> int:
     rows.append({"cache": "traces", "dir": ts["dir"],
                  "entries": ts["entries"], "bytes": ts["bytes"],
                  "version": ts["format_version"]})
-    print(format_table(rows, title="On-disk caches"))
+    if args.json:
+        from repro.runner.prefix import cache_counters
+
+        _print_report("cache.stats", {"caches": rows,
+                                      "snapshot_prefix": cache_counters()})
+    else:
+        print(format_table(rows, title="On-disk caches"))
     return 0
 
 
@@ -302,6 +333,9 @@ def _cmd_bench(args) -> int:
     if args.warm_start:
         report = emit_warm_start_bench(path=args.out)
         grid = report["grid"]
+        if args.json:
+            _print_report("bench.warm_start", report)
+            return 0 if report["identical"] else 1
         print(f"warm-start sweep: {grid['cells']} cells / "
               f"{grid['prefixes']} prefixes, "
               f"cold {report['cold_seconds']}s -> warm "
@@ -310,6 +344,9 @@ def _cmd_bench(args) -> int:
         return 0 if report["identical"] else 1
     if args.check:
         result = check_bench(path=args.out, events=args.events, reps=args.reps)
+        if args.json:
+            _print_report("bench.check", result)
+            return 0 if result["ok"] else 1
         for k in sorted(result["ratios"]):
             flag = " REGRESSION" if k in result["failures"] else ""
             print(f"{k:>6s}: {result['measured'][k]:>9,} events/sec "
@@ -333,6 +370,9 @@ def _cmd_bench(args) -> int:
                         events=args.events or 200_000,
                         reps=args.reps or 5,
                         shard_counts=tuple(args.shards or (1, 2, 4)))
+    if args.json:
+        _print_report("bench", report)
+        return 0
     rates = report["events_per_sec"]
     speed = report["speedup_vs_seed"]
     print(f"chain : {rates['chain']:>9,} events/sec ({speed['chain']}x seed)")
@@ -408,6 +448,9 @@ def _cmd_chaos(args) -> int:
     from repro.faults.chaos import run_case, run_chaos, scheduled_fault_count
     from repro.faults.plan import FaultPlan
 
+    # with --json the envelope owns stdout; progress lines move to stderr
+    progress_to = sys.stderr if args.json else sys.stdout
+
     if args.service:
         # Point the chaos discipline at the service layer instead of the
         # simulated machine: SIGKILL the server, hang/poison workers,
@@ -416,8 +459,17 @@ def _cmd_chaos(args) -> int:
 
         rep = run_service_chaos(
             seed=args.seed, smoke=args.smoke,
-            progress=lambda c: print(c.summary(), flush=True))
+            progress=lambda c: print(c.summary(), flush=True,
+                                     file=progress_to))
         failures = rep.failures()
+        if args.json:
+            _print_report("chaos.service", {
+                "ok": rep.ok, "seed": args.seed,
+                "scenarios": [{"name": c.name, "ok": c.ok,
+                               "violations": list(c.violations)}
+                              for c in rep.cases],
+            })
+            return 0 if rep.ok else 1
         print(f"service chaos: {len(rep.cases) - len(failures)}/"
               f"{len(rep.cases)} scenario(s) ok (seed {args.seed})")
         for case in failures:
@@ -430,6 +482,13 @@ def _cmd_chaos(args) -> int:
         text = path.read_text() if path.exists() else args.replay
         plan = FaultPlan.from_canonical(json.loads(text))
         case = run_case(plan, num_nodes=args.nodes)
+        if args.json:
+            _print_report("chaos.replay", {
+                "ok": case.ok, "summary": case.summary(),
+                "violations": list(case.violations),
+                "plan": plan.canonical(),
+            })
+            return 0 if case.ok else 1
         print(case.summary())
         for v in case.violations:
             print(f"  {v}")
@@ -438,8 +497,21 @@ def _cmd_chaos(args) -> int:
     cases = 8 if args.smoke else args.cases
     rep = run_chaos(cases, args.seed, num_nodes=args.nodes,
                     shrink=not args.no_shrink,
-                    progress=lambda c: print(c.summary(), flush=True))
+                    progress=lambda c: print(c.summary(), flush=True,
+                                             file=progress_to))
     failures = rep.failures()
+    if args.json:
+        _print_report("chaos", {
+            "ok": rep.ok, "seed": args.seed, "cases": len(rep.cases),
+            "failures": [{"index": c.index,
+                          "violations": list(c.violations)}
+                         for c in failures],
+            "reproducers": [
+                {"index": index, "plan": shrunk.canonical(), "evals": spent,
+                 "scheduled_faults": scheduled_fault_count(shrunk)}
+                for index, shrunk, spent in rep.reproducers],
+        })
+        return 0 if rep.ok else 1
     print(f"chaos: {len(rep.cases) - len(failures)}/{len(rep.cases)} cases ok "
           f"(seed {args.seed})")
     for case in failures:
@@ -451,6 +523,91 @@ def _cmd_chaos(args) -> int:
               f"scheduled fault(s) in {spent} evals: {shrunk.describe()}")
         print(f"    replay with: python -m repro chaos --replay '{canon}'")
     return 0 if rep.ok else 1
+
+
+def _cmd_loadtest(args) -> int:
+    """Closed-loop capacity campaign -> BENCH_loadtest.json (or --check)."""
+    import json
+
+    from repro.loadtest import (
+        LoadtestConfig,
+        check_loadtest,
+        format_loadtest,
+        make_loadtest_report,
+        run_loadtest,
+    )
+    from repro.loadtest.report import DEFAULT_LOADTEST_PATH, _structural_failures
+
+    out_path = Path(args.out) if args.out else None
+
+    if args.check:
+        result = check_loadtest(path=out_path)
+        if args.json:
+            _print_report("loadtest.check", result)
+            return 0 if result["ok"] else 1
+        for k in sorted(result.get("ratios", ())):
+            print(f"{k}: {result['ratios'][k]:.2f}x baseline")
+        for failure in result["failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if result["ok"]:
+            print("OK: within tolerance of the committed baseline")
+        return 0 if result["ok"] else 1
+
+    if args.smoke:
+        # The CI gate: a small fixed campaign against BOTH the in-process
+        # runner and a throwaway live server, held to the structural
+        # gates (everything completes, non-zero percentiles/throughput/
+        # cache hits, attribution reconciles exactly).
+        # concurrency == mix size, so a repeat can only be offered after
+        # its original finished: result-cache hits are deterministic
+        config = LoadtestConfig(
+            sessions=6, concurrency=2, workloads=("queens-10",),
+            strategies=("RIPS", "RID"), shards=(0,), num_nodes=8,
+            seed=args.seed, mem_audit=args.mem_audit)
+        target = "both"
+    else:
+        config = LoadtestConfig(
+            sessions=args.sessions,
+            concurrency=args.concurrency,
+            arrival=args.arrival,
+            rate=args.rate,
+            workloads=tuple(_resolve_workload_key(w, args.scale)
+                            for w in args.workloads),
+            strategies=tuple(_resolve_strategy(s) for s in args.strategies),
+            shards=tuple(args.shards),
+            num_nodes=args.nodes,
+            scale=current_scale(args.scale),
+            seed=args.seed,
+            timeout=args.timeout,
+            mem_audit=args.mem_audit,
+        )
+        target = args.target
+    report = make_loadtest_report(
+        config, run_loadtest(config, target=target, url=args.url))
+
+    if args.smoke:
+        failures = _structural_failures(report)
+        stream = sys.stderr if args.json else sys.stdout
+        print(format_loadtest(report), end="", file=stream)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        elif not failures:
+            print("loadtest smoke: ok (both targets, all structural gates)")
+        if out_path is not None:
+            out_path.write_text(
+                json.dumps(report, indent=2, sort_keys=True) + "\n")
+        return 0 if not failures else 1
+
+    out = out_path if out_path is not None else DEFAULT_LOADTEST_PATH
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_loadtest(report), end="")
+        print(f"wrote {out}", file=sys.stderr)
+    return 0
 
 
 def _cmd_selftest(args) -> int:
@@ -668,6 +825,9 @@ def main(argv: list[str] | None = None) -> int:
                         "(default: all except traces)")
     p.add_argument("--traces", action="store_true",
                    help="on clear: also drop cached workload traces")
+    p.add_argument("--json", action="store_true",
+                   help="on stats: repro.report/1 envelope instead of the "
+                        "table")
     p.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser("serve",
@@ -752,6 +912,9 @@ def main(argv: list[str] | None = None) -> int:
                    metavar="N",
                    help="shard counts for the sharded section "
                         "(default 1 2 4)")
+    p.add_argument("--json", action="store_true",
+                   help="repro.report/1 envelope on stdout instead of the "
+                        "human summary")
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("fig4", help="MWA vs optimal transfer cost (Figure 4)",
@@ -820,7 +983,67 @@ def main(argv: list[str] | None = None) -> int:
                         "inject blob-store faults; assert no session is "
                         "lost or duplicated and results stay bit-identical "
                         "(--smoke for the CI-sized run)")
+    p.add_argument("--json", action="store_true",
+                   help="repro.report/1 envelope on stdout; progress lines "
+                        "move to stderr")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser("loadtest",
+                       help="closed-loop capacity harness -> "
+                            "BENCH_loadtest.json")
+    p.add_argument("--sessions", type=int, default=16,
+                   help="cells in the campaign (default 16)")
+    p.add_argument("--concurrency", type=int, default=4,
+                   help="concurrent sessions in flight (default 4)")
+    p.add_argument("--arrival", choices=("closed", "open"), default="closed",
+                   help="closed = all offered at t=0; open = Poisson "
+                        "arrivals at --rate (default closed)")
+    p.add_argument("--rate", type=float, default=8.0,
+                   help="open-loop arrival rate, sessions/second (default 8)")
+    p.add_argument("--workloads", nargs="+", default=["queens-10"],
+                   metavar="KEY",
+                   help="workload keys in the mix (default queens-10)")
+    p.add_argument("--strategies", nargs="+", default=["RIPS", "RID"],
+                   metavar="S",
+                   help="strategies in the mix (default RIPS RID)")
+    p.add_argument("--shards", type=int, nargs="+", default=[0], metavar="N",
+                   help="shard counts in the mix; 0 = serial engine "
+                        "(default 0)")
+    p.add_argument("--nodes", type=int, default=16,
+                   help="machine size per cell (default 16)")
+    p.add_argument("--scale", choices=("small", "paper"), default=None,
+                   help="workload sizes (default: $REPRO_SCALE or small)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed: mix order and open-loop arrival "
+                        "times (default 0)")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="per-cell wall-clock timeout in seconds "
+                        "(default 300)")
+    p.add_argument("--target", choices=("runner", "service", "both"),
+                   default="runner",
+                   help="drive the in-process runner, a live serve "
+                        "instance, or both (default runner)")
+    p.add_argument("--url", default=None,
+                   help="existing serve instance for the service target "
+                        "(default: start a throwaway server)")
+    p.add_argument("--mem-audit", dest="mem_audit", action="store_true",
+                   help="include the node/mailbox/event-lane memory audit")
+    p.add_argument("--out", default=None,
+                   help="report path (default: repo-root "
+                        "BENCH_loadtest.json; with --check: the baseline "
+                        "to gate against)")
+    p.add_argument("--json", action="store_true",
+                   help="repro.report/1 envelope on stdout; tables move "
+                        "to stderr")
+    p.add_argument("--smoke", action="store_true",
+                   help="small fixed campaign against BOTH targets, held "
+                        "to the structural gates; doesn't touch the "
+                        "baseline unless --out is given (the CI gate)")
+    p.add_argument("--check", action="store_true",
+                   help="re-run the committed baseline's campaign and "
+                        "gate events/sec + p99 latency against it (never "
+                        "rewrites the baseline)")
+    p.set_defaults(fn=_cmd_loadtest)
 
     p = sub.add_parser("selftest",
                        help="tier-1 tests + ruff + bench --check in one command")

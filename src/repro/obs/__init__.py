@@ -41,14 +41,40 @@ from .export import (
     write_chrome_trace,
     write_jsonl_trace,
 )
+from .metrics import (
+    METRICS_SCHEMA,
+    REPORT_SCHEMA,
+    MetricsRegistry,
+    coerce_report,
+    make_report,
+    percentile,
+    validate_report,
+)
+from .attribution import (
+    attribution_rollup,
+    collapsed_stacks,
+    subsystem_attribution,
+)
+from .memory import memory_audit
 
 __all__ = [
+    "METRICS_SCHEMA",
     "NULL_TRACER",
     "NullTracer",
+    "REPORT_SCHEMA",
+    "MetricsRegistry",
     "Span",
     "Tracer",
+    "attribution_rollup",
+    "coerce_report",
+    "collapsed_stacks",
+    "make_report",
+    "memory_audit",
+    "percentile",
+    "subsystem_attribution",
     "trace_to_chrome",
     "trace_to_jsonl",
+    "validate_report",
     "write_chrome_trace",
     "write_jsonl_trace",
 ]

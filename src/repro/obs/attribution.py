@@ -1,0 +1,237 @@
+"""Per-subsystem time attribution: fold tracer span trees into tables.
+
+The tracer records *flat* completed spans; this module rebuilds the
+nesting (per ``(node, cat)`` track, by time containment — exactly the
+structure Perfetto infers when it stacks Chrome ``X`` events) and folds
+the resulting forests into flamegraph-style rollups:
+
+* :func:`build_forest` — spans → list of :class:`Frame` roots per track.
+* :func:`attribution_rollup` — aggregate **self time** (span duration
+  minus nested children) by folded stack path, the flamegraph table.
+* :func:`subsystem_attribution` — the coarse per-subsystem split the
+  loadtest report carries: kernel drain vs. strategy hooks vs. network
+  vs. snapshot vs. service slice overhead.
+* :func:`collapsed_stacks` — ``path;to;frame <self>`` text, one line per
+  stack, directly consumable by ``flamegraph.pl`` and speedscope.
+* :func:`reconcile` — the audit: Σ self-times must equal Σ root
+  durations *exactly*.
+
+Exactness
+---------
+Self time telescopes: ``self(f) = dur(f) − Σ dur(children(f))``, so the
+sum of self over a tree is identically the root's duration.  Float
+addition does not associate, though, so the module does all arithmetic
+in **integer nanoseconds** (simulated time quantized at 1 ns) and
+converts back at the edge; :func:`reconcile` then asserts a 0.0 delta,
+not an epsilon.
+
+Overlapping-but-not-nested spans on one track (A starts, B starts, A
+ends, B ends) cannot form a tree; containment decides, and a span that
+straddles its predecessor's end is treated as a sibling starting where
+it starts.  The tracer's producers emit properly nested spans per
+``(node, cat)``, so in practice this is the Chrome semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "Frame",
+    "attribution_rollup",
+    "build_forest",
+    "collapsed_stacks",
+    "format_attribution",
+    "reconcile",
+    "subsystem_attribution",
+    "SUBSYSTEM_OF_CAT",
+]
+
+#: 1 ns quantization of simulated seconds — fine enough that no two
+#: distinct event timestamps collide, coarse enough to stay in int64.
+_NS = 1_000_000_000
+
+#: Tracer category → subsystem bucket for the coarse attribution table.
+#: ``cpu`` spans are the kernel's busy accounting; ``phase``/``mwa`` are
+#: the scheduling strategy's own protocol machinery.
+SUBSYSTEM_OF_CAT = {
+    "cpu": "kernel",
+    "task": "kernel",
+    "sim": "kernel",
+    "phase": "strategy",
+    "mwa": "strategy",
+    "net": "network",
+    "fault": "network",
+    "snapshot": "snapshot",
+    "service": "service",
+}
+
+
+def _ns(t: float) -> int:
+    return round(t * _NS)
+
+
+@dataclass
+class Frame:
+    """One span re-nested into its track's containment tree."""
+
+    node: int
+    cat: str
+    name: str
+    start_ns: int
+    dur_ns: int
+    children: list = field(default_factory=list)
+
+    @property
+    def end_ns(self) -> int:
+        return self.start_ns + self.dur_ns
+
+    @property
+    def self_ns(self) -> int:
+        return self.dur_ns - sum(c.dur_ns for c in self.children)
+
+
+def build_forest(tracer) -> list[Frame]:
+    """Re-nest completed spans into containment trees, one forest entry
+    per root span, grouped per ``(node, cat)`` track.
+
+    Sort key ``(start, -dur)`` puts a parent before the children it
+    contains even when they share a start time; a stack then assigns
+    each span to the deepest still-open frame that contains it.
+    """
+    tracks: dict[tuple, list[Frame]] = {}
+    for s in tracer.spans():
+        tracks.setdefault((s.node, s.cat), []).append(
+            Frame(s.node, s.cat, s.name, _ns(s.start), max(_ns(s.dur), 0)))
+
+    roots: list[Frame] = []
+    for frames in tracks.values():
+        frames.sort(key=lambda f: (f.start_ns, -f.dur_ns))
+        stack: list[Frame] = []
+        for f in frames:
+            while stack and f.start_ns >= stack[-1].end_ns:
+                stack.pop()
+            if stack and f.end_ns <= stack[-1].end_ns:
+                stack[-1].children.append(f)
+            else:
+                # sibling (or straddler — treated as a new root)
+                stack.clear()
+                roots.append(f)
+            stack.append(f)
+    roots.sort(key=lambda f: (f.node, f.cat, f.start_ns))
+    return roots
+
+
+def _walk(frame: Frame, prefix: tuple, out: dict) -> None:
+    path = prefix + (frame.name,)
+    key = (frame.cat, path)
+    agg = out.get(key)
+    if agg is None:
+        agg = out[key] = {"self_ns": 0, "total_ns": 0, "count": 0}
+    agg["self_ns"] += frame.self_ns
+    agg["total_ns"] += frame.dur_ns
+    agg["count"] += 1
+    for child in frame.children:
+        _walk(child, path, out)
+
+
+def attribution_rollup(tracer) -> list[dict]:
+    """Fold the span forest into per-stack-path aggregates.
+
+    Returns rows ``{"cat", "path", "self_s", "total_s", "count"}``
+    sorted by descending self time — the flamegraph table.  ``path`` is
+    the tuple of frame names from root to leaf; ``total_s`` counts a
+    frame's whole duration (so parents ≥ children), ``self_s`` only the
+    un-nested remainder (so Σ self_s over all rows = Σ root durations).
+    """
+    agg: dict[tuple, dict] = {}
+    for root in build_forest(tracer):
+        _walk(root, (), agg)
+    rows = [
+        {
+            "cat": cat,
+            "path": path,
+            "self_s": a["self_ns"] / _NS,
+            "total_s": a["total_ns"] / _NS,
+            "count": a["count"],
+        }
+        for (cat, path), a in agg.items()
+    ]
+    rows.sort(key=lambda r: (-r["self_s"], r["cat"], r["path"]))
+    return rows
+
+
+def subsystem_attribution(tracer) -> dict[str, float]:
+    """Coarse self-time split by subsystem (kernel / strategy / network /
+    snapshot / service / other), in simulated seconds — the shape the
+    loadtest report and ``trace --attribution`` table carry."""
+    totals_ns: dict[str, int] = {}
+    stack = list(build_forest(tracer))
+    while stack:
+        f = stack.pop()
+        bucket = SUBSYSTEM_OF_CAT.get(f.cat, "other")
+        totals_ns[bucket] = totals_ns.get(bucket, 0) + f.self_ns
+        stack.extend(f.children)
+    return {k: v / _NS for k, v in sorted(totals_ns.items())}
+
+
+def collapsed_stacks(tracer, unit_ns: int = 1) -> str:
+    """Collapsed-stack text (``cat;frame;child <self-weight>`` per line)
+    for ``flamegraph.pl`` / speedscope.  Weights are integer nanoseconds
+    of self time divided by ``unit_ns`` (leave at 1 for full precision).
+    """
+    agg: dict[tuple, dict] = {}
+    for root in build_forest(tracer):
+        _walk(root, (), agg)
+    lines = []
+    for (cat, path), a in sorted(agg.items()):
+        weight = a["self_ns"] // unit_ns
+        if weight <= 0:
+            continue
+        lines.append(";".join((cat,) + path) + f" {weight}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def reconcile(tracer) -> dict:
+    """Audit that the rollup conserves time: Σ self over every stack path
+    must equal Σ duration over root spans, exactly (integer ns).
+
+    Returns ``{"root_s", "self_s", "delta_s", "ok"}`` where ``delta_s``
+    is 0.0 on any trace (the telescoping identity), making it a cheap
+    invariant for tests and the loadtest report alike.
+    """
+    roots = build_forest(tracer)
+    root_ns = sum(f.dur_ns for f in roots)
+    agg: dict[tuple, dict] = {}
+    for root in roots:
+        _walk(root, (), agg)
+    self_ns = sum(a["self_ns"] for a in agg.values())
+    return {
+        "root_s": root_ns / _NS,
+        "self_s": self_ns / _NS,
+        "delta_s": (root_ns - self_ns) / _NS,
+        "ok": root_ns == self_ns,
+    }
+
+
+def format_attribution(tracer, top: Optional[int] = 20) -> str:
+    """The human-facing flamegraph table (used by ``repro trace``)."""
+    from ..metrics.report import format_table
+
+    rows = attribution_rollup(tracer)
+    if top is not None:
+        rows = rows[:top]
+    table_rows = [
+        {
+            "stack": ";".join((r["cat"],) + r["path"]),
+            "self (s)": f"{r['self_s']:.6f}",
+            "total (s)": f"{r['total_s']:.6f}",
+            "count": r["count"],
+        }
+        for r in rows
+    ]
+    subsystems = subsystem_attribution(tracer)
+    footer = "  ".join(f"{k}={v:.6f}s" for k, v in subsystems.items())
+    table = format_table(table_rows, title="time attribution (self-time rollup)")
+    return f"{table}\n  by subsystem: {footer}\n" if table_rows else "(no spans)\n"

@@ -11,6 +11,11 @@ job is mechanics:
   is built at most once per machine, not once per worker;
 * results always come back **in request order**, whatever the completion
   order, so a parallel table is byte-identical to a serial one;
+* per-cell latency is split honestly into ``wait_s`` (submit → worker
+  pickup, i.e. queue time) and ``exec_s`` (simulation wall time inside
+  the worker) — ``RunReport.timings`` carries both per cell, and an
+  optional :class:`~repro.obs.metrics.MetricsRegistry` receives the
+  executor's counters and latency histograms;
 * an optional :class:`~repro.runner.result_cache.ResultCache` short-cuts
   cells that were simulated by any previous invocation;
 * each cell gets a wall-clock ``timeout``, and cells lost to a worker
@@ -60,6 +65,31 @@ _ENV_ALLOW_OVERSUBSCRIBE = "REPRO_ALLOW_OVERSUBSCRIBE"
 #: Default per-cell wall-clock limit (seconds) in parallel mode.  Paper-scale
 #: cells run minutes; this is a hang backstop, not a budget.
 DEFAULT_CELL_TIMEOUT = 3600.0
+
+
+def _timed_worker(req: RunRequest, submitted_at: float):
+    """Pool target: measure queue wait and execution time *in the worker*.
+
+    ``wait_s`` is worker-pickup minus submit on the shared wall clock
+    (``time.time`` — ``perf_counter`` is not comparable across
+    processes); ``exec_s`` is the simulation itself on the worker's
+    monotonic clock.  Measuring from submit alone — the old behavior —
+    conflated pool queueing with execution and inflated every latency
+    percentile under load.
+    """
+    wait_s = max(0.0, time.time() - submitted_at)
+    t0 = time.perf_counter()
+    metrics = execute_request(req)
+    return metrics, wait_s, time.perf_counter() - t0
+
+
+def _timed_worker_resumable(req: RunRequest, budget: Optional[float],
+                            submitted_at: float):
+    """The preemptable twin of :func:`_timed_worker`."""
+    wait_s = max(0.0, time.time() - submitted_at)
+    t0 = time.perf_counter()
+    metrics = execute_request_resumable(req, budget)
+    return metrics, wait_s, time.perf_counter() - t0
 
 
 @dataclass(frozen=True)
@@ -126,6 +156,10 @@ class RunReport:
     preempted: int = 0
     #: distinct shared prefixes materialized by the warm-start pre-pass
     warm_prefixes: int = 0
+    #: per-cell latency split, keyed by request index: ``{"wait_s", "exec_s"}``
+    #: (queue wait measured submit → worker pickup; execution measured
+    #: inside the worker).  Cache hits have no entry — nothing ran.
+    timings: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         """One-line accounting, e.g. for CLI status output."""
@@ -219,11 +253,13 @@ def run_requests(
     warm_start: Union[bool, str, None] = False,
     preempt: bool = False,
     retry: Optional[RetryPolicy] = None,
+    metrics=None,
 ) -> list[RunMetrics]:
     """Execute ``requests`` and return metrics in request order."""
     return run_requests_report(
         requests, jobs=jobs, cache=cache, timeout=timeout,
         warm_start=warm_start, preempt=preempt, retry=retry,
+        metrics=metrics,
     ).results
 
 
@@ -235,6 +271,7 @@ def run_requests_report(
     warm_start: Union[bool, str, None] = False,
     preempt: bool = False,
     retry: Optional[RetryPolicy] = None,
+    metrics=None,
 ) -> RunReport:
     """Like :func:`run_requests`, but also report cache/retry accounting.
 
@@ -259,6 +296,13 @@ def run_requests_report(
     passes a crashed/timed-out cell gets and the (capped, optionally
     jittered, deterministic-when-seeded) backoff between passes.  The
     default is the historical one immediate retry.
+
+    ``metrics``: an optional :class:`~repro.obs.metrics.MetricsRegistry`
+    that receives the executor's counters (``executor.cache_hits``,
+    ``executor.executed``, ``executor.retried``, ``executor.preempted``,
+    ``executor.failed``) and per-cell latency histograms
+    (``executor.cell_wait_s``, ``executor.cell_exec_s``).  ``None`` (the
+    default) costs nothing.
     """
     requests = list(requests)
     njobs = clamp_jobs_for_shards(resolve_jobs(jobs), requests)
@@ -288,7 +332,7 @@ def run_requests_report(
 
     if not warm_start:
         return _execute_pending(pending, njobs, timeout, store, report,
-                                preempt, policy)
+                                preempt, policy, registry=metrics)
 
     from . import prefix as prefix_mod
 
@@ -300,13 +344,28 @@ def run_requests_report(
         stats = prefix_mod.prewarm_requests([req for _i, req in pending])
         report.warm_prefixes = stats["groups"]
         return _execute_pending(pending, njobs, timeout, store, report,
-                                preempt, policy)
+                                preempt, policy, registry=metrics)
     finally:
         prefix_mod.set_warm_start(False)
         if prev_enable is not None:
             os.environ[prefix_mod.ENV_WARM_START] = prev_enable
         if prev_dir is not None:
             os.environ[prefix_mod.ENV_SNAPSHOT_DIR] = prev_dir
+
+
+def _publish_metrics(report: RunReport, registry) -> None:
+    """Fold a finished report into a :class:`MetricsRegistry`."""
+    registry.counter("executor.cache_hits").inc(report.cache_hits)
+    registry.counter("executor.executed").inc(report.executed)
+    registry.counter("executor.retried").inc(report.retried)
+    registry.counter("executor.preempted").inc(report.preempted)
+    registry.counter("executor.failed").inc(report.failed)
+    registry.counter("executor.warm_prefixes").inc(report.warm_prefixes)
+    wait_h = registry.histogram("executor.cell_wait_s")
+    exec_h = registry.histogram("executor.cell_exec_s")
+    for timing in report.timings.values():
+        wait_h.observe(timing["wait_s"])
+        exec_h.observe(timing["exec_s"])
 
 
 def _execute_pending(
@@ -317,15 +376,22 @@ def _execute_pending(
     report: RunReport,
     preempt: bool,
     policy: Optional[RetryPolicy] = None,
+    registry=None,
 ) -> RunReport:
     policy = policy if policy is not None else RetryPolicy()
     if njobs <= 1 or len(pending) <= 1:
         for i, req in pending:
+            t0 = time.perf_counter()
             metrics = execute_request(req)
             report.results[i] = metrics
             report.executed += 1
+            # serial cells never queue: wait is identically zero
+            report.timings[i] = {"wait_s": 0.0,
+                                 "exec_s": time.perf_counter() - t0}
             if store is not None and not req.trace:
                 store.put(req, metrics)
+        if registry is not None:
+            _publish_metrics(report, registry)
         return report
 
     failed = _run_pool(pending, njobs, timeout, store, report, preempt)
@@ -347,6 +413,9 @@ def _execute_pending(
         failed = _run_pool(
             retry, min(njobs, len(retry)), timeout, store, report, preempt)
         passes += 1
+    if registry is not None:
+        report.failed = len(failed)
+        _publish_metrics(report, registry)
     if failed:
         report.failed = len(failed)
         limit = f"{timeout:.0f}s" if timeout is not None else "none"
@@ -408,12 +477,13 @@ def _run_pool(
     try:
         if preempt:
             futures = [
-                (i, req, pool.submit(execute_request_resumable, req, timeout))
+                (i, req,
+                 pool.submit(_timed_worker_resumable, req, timeout, time.time()))
                 for i, req in pending
             ]
         else:
             futures = [
-                (i, req, pool.submit(execute_request, req))
+                (i, req, pool.submit(_timed_worker, req, time.time()))
                 for i, req in pending
             ]
         broken = False
@@ -423,7 +493,7 @@ def _run_pool(
                 failed.append((i, req, time.monotonic() - t0, False))
                 continue
             try:
-                metrics = fut.result(timeout=hard_timeout)
+                metrics, wait_s, exec_s = fut.result(timeout=hard_timeout)
             except CellPreempted:
                 failed.append((i, req, time.monotonic() - t0, True))
                 continue
@@ -438,6 +508,7 @@ def _run_pool(
                 continue
             report.results[i] = metrics
             report.executed += 1
+            report.timings[i] = {"wait_s": wait_s, "exec_s": exec_s}
             if store is not None and not req.trace:
                 store.put(req, metrics)
     finally:

@@ -50,6 +50,7 @@ __all__ = [
     "maybe_restore_prefix",
     "maybe_store_prefix",
     "prewarm_requests",
+    "cache_counters",
     "clear_memo",
 ]
 
@@ -85,9 +86,34 @@ def clear_memo() -> None:
     _memo.clear()
 
 
+#: per-root SnapshotCache memo — keeps one instance (and thus one pair of
+#: hit/miss counters) per cache directory for the life of the process, so
+#: loadtest and ``cache stats`` can report snapshot-cache hit rates.
+_disk_caches: dict[Optional[str], SnapshotCache] = {}
+
+
 def _cache() -> SnapshotCache:
     root = os.environ.get(ENV_SNAPSHOT_DIR) or None
-    return SnapshotCache(root)
+    cache = _disk_caches.get(root)
+    if cache is None:
+        cache = _disk_caches[root] = SnapshotCache(root)
+    return cache
+
+
+#: successful prefix restores this process has served (memo or disk) —
+#: the loadtest's snapshot-cache-hit signal (pool workers forked after a
+#: prewarm inherit the memo, so disk hits alone undercount)
+_restores = 0
+
+
+def cache_counters() -> dict:
+    """Process-lifetime snapshot-cache accounting: disk hits/misses across
+    every cache root touched, successful prefix ``restores`` (memo *or*
+    disk), and the in-memory memo size."""
+    hits = sum(c.hits for c in _disk_caches.values())
+    misses = sum(c.misses for c in _disk_caches.values())
+    return {"hits": hits, "misses": misses, "restores": _restores,
+            "memo_entries": len(_memo)}
 
 
 # ----------------------------------------------------------------------
@@ -147,6 +173,8 @@ def maybe_restore_prefix(session: "Session") -> Optional["Machine"]:
         _memo[key] = snap
     from repro.snapshot import restore
 
+    global _restores
+    _restores += 1
     return restore(snap)
 
 

@@ -6,6 +6,7 @@ default ``"public"``):
 ========  ==============================  =====================================
 GET       /v1/healthz                     liveness probe
 GET       /v1/stats                       admission/quota/store counters
+GET       /v1/metrics                     metrics-registry snapshot (repro.report/1)
 POST      /v1/sessions                    submit one cell (wire RunRequest)
 GET       /v1/sessions                    list session status documents
 GET       /v1/sessions/<id>               one session's status
@@ -83,6 +84,8 @@ class App:
             return json_response(doc, headers=headers)
         if parts == ["stats"] and method == "GET":
             return json_response(self.manager.stats())
+        if parts == ["metrics"] and method == "GET":
+            return json_response(self.manager.metrics_doc())
         if parts == ["sessions"]:
             if method == "POST":
                 return self._submit(request)

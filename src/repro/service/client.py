@@ -134,6 +134,14 @@ class ServiceClient:
     def stats(self) -> dict:
         return self._call("GET", "/v1/stats")
 
+    def metrics(self) -> dict:
+        """The server's metrics-registry snapshot, validated against the
+        shared ``repro.report/1`` envelope (strict: unknown shapes raise)."""
+        from repro.obs.metrics import validate_report
+
+        return validate_report(
+            self._call("GET", "/v1/metrics"), kind="service.metrics")
+
     def submit(self, request: RunRequest, coalesce: bool = True) -> dict:
         """Submit one cell; returns the session status document."""
         doc = {"request": request.to_wire(), "coalesce": coalesce}

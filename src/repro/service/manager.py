@@ -70,6 +70,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Optional
 
+from repro.obs.metrics import MetricsRegistry, make_report
 from repro.runner import ResultCache, RetryPolicy, RunRequest, run_requests_report
 from repro.snapshot import Snapshot, SnapshotError
 from repro.store import BlobStore, LocalDirStore
@@ -522,16 +523,61 @@ class SessionManager:
             seed=self.config.retry_seed,
         )
         self.started = time.monotonic()
-        self.submitted = 0
-        self.rejected_quota = 0
-        self.rejected_admission = 0
-        self.shed_health = 0
-        self.coalesced_hits = 0
-        self.cache_hits = 0
-        self.slice_failures = 0
-        self.slice_timeouts = 0
-        self.recovered_sessions = 0
+        #: the unified metrics registry (see repro.obs.metrics): every
+        #: health/admission counter below lives here, and GET /v1/metrics
+        #: serves its snapshot.  The legacy attribute names (``submitted``,
+        #: ``rejected_quota``, ...) remain as read-only properties.
+        self.metrics = MetricsRegistry()
+        counter = self.metrics.counter
+        self._c_submitted = counter("service.submitted")
+        self._c_rejected_quota = counter("service.rejected_quota")
+        self._c_rejected_admission = counter("service.rejected_admission")
+        self._c_shed_health = counter("service.shed_health")
+        self._c_coalesced = counter("service.coalesced_hits")
+        self._c_cache_hits = counter("service.cache_hits")
+        self._c_slice_failures = counter("service.slice_failures")
+        self._c_slice_timeouts = counter("service.slice_timeouts")
+        self._c_recovered = counter("service.recovered_sessions")
+        self._h_wait = self.metrics.histogram("service.session_wait_s")
+        self._h_exec = self.metrics.histogram("service.session_exec_s")
         self.last_recovery: Optional[dict] = None
+
+    # legacy counter names, now registry-backed (read-only)
+    @property
+    def submitted(self) -> int:
+        return self._c_submitted.value
+
+    @property
+    def rejected_quota(self) -> int:
+        return self._c_rejected_quota.value
+
+    @property
+    def rejected_admission(self) -> int:
+        return self._c_rejected_admission.value
+
+    @property
+    def shed_health(self) -> int:
+        return self._c_shed_health.value
+
+    @property
+    def coalesced_hits(self) -> int:
+        return self._c_coalesced.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._c_cache_hits.value
+
+    @property
+    def slice_failures(self) -> int:
+        return self._c_slice_failures.value
+
+    @property
+    def slice_timeouts(self) -> int:
+        return self._c_slice_timeouts.value
+
+    @property
+    def recovered_sessions(self) -> int:
+        return self._c_recovered.value
 
     # ------------------------------------------------------------------
     # admission helpers
@@ -546,7 +592,7 @@ class SessionManager:
     def _charge(self, tenant: str, cells: int = 1) -> None:
         bucket = self._bucket(tenant)
         if not bucket.take(float(cells)):
-            self.rejected_quota += 1
+            self._c_rejected_quota.inc()
             raise QuotaExceeded(tenant, bucket.retry_after(float(cells)))
 
     def _admit(self) -> None:
@@ -556,7 +602,7 @@ class SessionManager:
         active = sum(1 for r in self.records.values() if r.state in _ACTIVE)
         limit = self.config.max_inflight + self.config.queue_depth
         if active >= limit:
-            self.rejected_admission += 1
+            self._c_rejected_admission.inc()
             raise AdmissionFull(active, limit)
 
     def _new_id(self) -> str:
@@ -593,12 +639,12 @@ class SessionManager:
         """
         self._update_health()
         if self.health.refusing():
-            self.shed_health += 1
+            self._c_shed_health.inc()
             raise ServiceUnavailable(
                 self.health.state,
                 self.health.reasons(self._queued, self.config.queue_depth),
                 self.health.retry_after())
-        self.submitted += 1
+        self._c_submitted.inc()
         self._charge(tenant)
         content = request.content_hash()
 
@@ -607,14 +653,14 @@ class SessionManager:
             live = self.records.get(live_id) if live_id else None
             if live is not None and live.state in _ACTIVE:
                 live.coalesced += 1
-                self.coalesced_hits += 1
+                self._c_coalesced.inc()
                 return live
 
         if (self.result_cache is not None and not request.trace
                 and request.shards < 2):
             hit = self.result_cache.get(request)
             if hit is not None:
-                self.cache_hits += 1
+                self._c_cache_hits.inc()
                 rec = self._make_record(id=self._new_id(), tenant=tenant,
                                         request=request)
                 rec.state = "done"
@@ -688,6 +734,22 @@ class SessionManager:
             },
             "store": self.store.stats(),
         }
+
+    def metrics_doc(self) -> dict:
+        """The ``GET /v1/metrics`` document: the registry snapshot in the
+        shared ``repro.report/1`` envelope (same wire-versioning
+        discipline as the v1 schema — clients reject unknown shapes)."""
+        # point-in-time gauges alongside the counters/histograms
+        self.metrics.gauge("service.inflight").set(self._running)
+        self.metrics.gauge("service.queued").set(self._queued)
+        self.metrics.gauge("service.sessions").set(len(self.records))
+        self.metrics.gauge("service.uptime_s").set(
+            round(time.monotonic() - self.started, 3))
+        return make_report(
+            "service.metrics",
+            {"health": self.health.state},
+            registry=self.metrics,
+        )
 
     # ------------------------------------------------------------------
     # health
@@ -824,7 +886,7 @@ class SessionManager:
             self.journal.record(sid, {"kind": "recovered", "resume": resume,
                                       "seq": rec.seq})
             rec.task = loop.create_task(self._run_record(rec, resume=resume))
-            self.recovered_sessions += 1
+            self._c_recovered.inc()
             summary["resumed" if resume else "restarted"] += 1
         self._next_seq = max(self._next_seq, max_n + 1)
         self.last_recovery = summary
@@ -913,7 +975,7 @@ class SessionManager:
         """
         self._charge(tenant, cells=len(requests))
         if self._grid_sem.locked():
-            self.rejected_admission += 1
+            self._c_rejected_admission.inc()
             raise AdmissionFull(1, 1)
         async with self._grid_sem:
             loop = asyncio.get_running_loop()
@@ -921,7 +983,8 @@ class SessionManager:
             report = await loop.run_in_executor(
                 self._pool,
                 lambda: run_requests_report(
-                    requests, jobs=jobs, cache=self.result_cache),
+                    requests, jobs=jobs, cache=self.result_cache,
+                    metrics=self.metrics),
             )
         return {
             "cells": len(requests),
@@ -995,6 +1058,9 @@ class SessionManager:
             rec.session = await loop.run_in_executor(
                 self._pool, lambda: self._build_session(rec))
 
+        # queue wait: admission (record creation) → first slice start
+        self._h_wait.observe(max(0.0, time.monotonic() - rec.created))
+        run_started = time.monotonic()
         rec.transition("running")
         sliced = rec.request.shards < 2
         slice_events = max(1, self.config.slice_events)
@@ -1022,6 +1088,7 @@ class SessionManager:
                     except Exception:  # noqa: BLE001
                         self.health.note_journal_failure()
                 self._drop_auto_checkpoint(rec)
+                self._h_exec.observe(max(0.0, time.monotonic() - run_started))
                 rec.transition("done")
                 rec.publish({"type": "result",
                              "metrics": metrics_to_wire(metrics)})
@@ -1078,7 +1145,7 @@ class SessionManager:
             except asyncio.CancelledError:
                 raise
             except asyncio.TimeoutError:
-                self.slice_timeouts += 1
+                self._c_slice_timeouts.inc()
                 failure = {
                     "code": "slice_timeout",
                     "message": f"slice {rec.slices + 1} exceeded the "
@@ -1091,7 +1158,7 @@ class SessionManager:
                     "message": f"{type(exc).__name__}: {exc}",
                     "exception": type(exc).__name__,
                 }
-            self.slice_failures += 1
+            self._c_slice_failures.inc()
             self.health.note_slice(False)
             failure["attempt"] = attempt + 1
             failure["attempts"] = attempts
