@@ -496,13 +496,15 @@ def _cmd_chaos(args) -> int:
 
     cases = 8 if args.smoke else args.cases
     rep = run_chaos(cases, args.seed, num_nodes=args.nodes,
+                    churn=args.churn,
                     shrink=not args.no_shrink,
                     progress=lambda c: print(c.summary(), flush=True,
                                              file=progress_to))
     failures = rep.failures()
     if args.json:
         _print_report("chaos", {
-            "ok": rep.ok, "seed": args.seed, "cases": len(rep.cases),
+            "ok": rep.ok, "seed": args.seed, "churn": args.churn,
+            "cases": len(rep.cases),
             "failures": [{"index": c.index,
                           "violations": list(c.violations)}
                          for c in failures],
@@ -563,7 +565,7 @@ def _cmd_loadtest(args) -> int:
         config = LoadtestConfig(
             sessions=6, concurrency=2, workloads=("queens-10",),
             strategies=("RIPS", "RID"), shards=(0,), num_nodes=8,
-            seed=args.seed, mem_audit=args.mem_audit)
+            seed=args.seed, mem_audit=args.mem_audit, churn=args.churn)
         target = "both"
     else:
         config = LoadtestConfig(
@@ -580,6 +582,7 @@ def _cmd_loadtest(args) -> int:
             seed=args.seed,
             timeout=args.timeout,
             mem_audit=args.mem_audit,
+            churn=args.churn,
         )
         target = args.target
     report = make_loadtest_report(
@@ -601,7 +604,28 @@ def _cmd_loadtest(args) -> int:
         return 0 if not failures else 1
 
     out = out_path if out_path is not None else DEFAULT_LOADTEST_PATH
-    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    doc = report
+    existing = None
+    if out.exists():
+        try:
+            existing = json.loads(out.read_text())
+        except ValueError:
+            existing = None
+    base_data = (existing or {}).get("data") or {}
+    if args.churn and base_data.get("targets") \
+            and not (base_data.get("config") or {}).get("churn"):
+        # a churn campaign rides alongside the committed fault-free
+        # baseline rather than replacing it: --check keeps gating the
+        # main campaign, data.churn records capacity under churn
+        base_data["churn"] = {
+            key: report["data"][key]
+            for key in ("config", "environment", "targets")
+            if key in report["data"]
+        }
+        doc = existing
+    elif not args.churn and base_data.get("churn"):
+        doc["data"]["churn"] = base_data["churn"]
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
@@ -971,6 +995,10 @@ def main(argv: list[str] | None = None) -> int:
                         "--cases count (default 0)")
     p.add_argument("--smoke", action="store_true",
                    help="quick 8-case run (the CI gate)")
+    p.add_argument("--churn", action="store_true",
+                   help="draw elastic-membership plans (joins, leaves, "
+                        "elections + crashes) and judge the epoch "
+                        "invariants on top of the base four")
     p.add_argument("--no-shrink", dest="no_shrink", action="store_true",
                    help="report failures without minimizing them")
     p.add_argument("--replay", default=None, metavar="PLAN",
@@ -1028,6 +1056,10 @@ def main(argv: list[str] | None = None) -> int:
                         "(default: start a throwaway server)")
     p.add_argument("--mem-audit", dest="mem_audit", action="store_true",
                    help="include the node/mailbox/event-lane memory audit")
+    p.add_argument("--churn", action="store_true",
+                   help="attach a seeded elastic-membership plan (joins, "
+                        "leaves, elections + crashes) to every cell — "
+                        "capacity under churn")
     p.add_argument("--out", default=None,
                    help="report path (default: repo-root "
                         "BENCH_loadtest.json; with --check: the baseline "

@@ -333,6 +333,28 @@ class Strategy(ABC):
         fold it back into trees/tables and resume routing work to it.
         """
 
+    def on_node_joined(self, node: int) -> None:
+        """Called at a membership *join* epoch commit: ``node`` was just
+        admitted, and no task can reach it before this hook returns.
+        The strategy rebalances onto the grown processor set — fold the
+        new member into trees/tables, recompute quotas.  The default
+        reuses the rejoin repair (admission and re-admission need the
+        same structural work); override to rebalance more aggressively.
+        """
+        self.on_node_rejoined(node)
+
+    def on_node_departing(self, node: int) -> list[int]:
+        """Called while a leaving member *drains*: the node is still
+        semantically reachable and is handing its work off before going
+        dark.  Like :meth:`on_node_crashed` the strategy returns every
+        task id it holds on or for the node and repairs its structures
+        over the shrunk set — but unlike a crash, any task that fails to
+        come back here is an audit violation (a departure loses
+        nothing).  The default reuses the crash repair; the loss
+        accounting difference lives entirely in the driver.
+        """
+        return self.on_node_crashed(node)
+
     # ------------------------------------------------------------------
     def finalize_metrics(self, metrics: RunMetrics) -> None:
         """Strategy-specific additions to the metrics (e.g. phase count)."""
@@ -375,6 +397,13 @@ class Driver:
         self.crashed_nodes: list[int] = []
         #: falsely-declared-dead nodes that refuted and rejoined
         self.rejoined_nodes: list[int] = []
+        #: elastic membership: ranks admitted / drained at runtime
+        self.joined_nodes: list[int] = []
+        self.departed_nodes: list[int] = []
+        #: pinned tasks handed off by a departing node: tid -> new pin.
+        #: Consulted everywhere ``task.pinned`` routes (``_pin_home``) so
+        #: a pin never points at a node that left the membership.
+        self.repinned: dict[int, int] = {}
         #: pinned tasks waiting out a false death of their pinned node:
         #: they cannot move, but unlike pinned-to-crashed they are not
         #: lost — they run when the node rejoins (or are written off if
@@ -386,30 +415,58 @@ class Driver:
         if machine.faults is not None:
             machine.faults.on_crash_detected(self._on_node_crashed)
             machine.faults.on_node_rejoined(self._on_node_rejoined)
+            machine.faults.on_node_joined(self._on_node_joined)
+            machine.faults.on_node_departing(self._on_node_departing)
             machine.faults.transport.on_undeliverable = self._on_undeliverable
+            if machine.faults.membership is not None:
+                # standby ranks execute nothing until their join commits
+                for w in self.workers:
+                    if not machine.faults.is_member(w.rank):
+                        w.enabled = False
         # keep the driver (and through it strategy/workers/wave state) in
         # the machine's checkpoint object graph — see repro.snapshot
         machine.register_snapshot_root("driver", self)
         strategy.attach(self)
 
     # ------------------------------------------------------------------
+    def _pin_home(self, t) -> Optional[int]:
+        """Effective pin target of a task: its declared pin unless a
+        departure handed it off to a survivor (``repinned``)."""
+        if t.pinned is None:
+            return None
+        return self.repinned.get(t.id, t.pinned)
+
+    def _usable(self, rank: int) -> bool:
+        """Can ``rank`` receive work right now?  Alive, not fenced, and a
+        full member of the current membership epoch."""
+        node = self.machine.nodes[rank]
+        return (not node.crashed and not node.fenced
+                and node.membership == "member")
+
     def start(self) -> None:
         """Inject wave-0 roots at their homes and let the strategy place
         them (for RIPS this immediately triggers the initial system
         phase, cf. Figure 1: 'starts with a system phase')."""
         for t in self.trace.roots:
-            rank = t.pinned if t.pinned is not None else (t.home or 0)
+            pin = self._pin_home(t)
+            rank = pin if pin is not None else (t.home or 0)
+            if self.machine.faults is not None and not self._usable(rank):
+                # homed/pinned outside the initial membership (a standby
+                # rank): start on the lowest member instead
+                rank = self.machine.alive_ranks()[0]
+                if pin is not None:
+                    self.repinned[t.id] = rank
             self._materialize(rank, t.id, root=True)
 
     def _materialize(self, rank: int, tid: int, root: bool = False) -> None:
         t = self.trace.task(tid)
-        if t.pinned is not None and rank != t.pinned:
+        pin = self._pin_home(t)
+        if pin is not None and rank != pin:
             # a pinned task spawned on a foreign node is routed home by
             # the runtime (one task message), like any SPMD "run this on
             # rank k" request
-            home = t.pinned
-            self.created_at[tid] = home
-            self.strategy.send_tasks(rank, home, [tid])
+            self.created_at[tid] = pin
+            self.strategy.send_tasks(rank, pin, [tid])
             return
         self.created_at[tid] = rank
         if root:
@@ -425,7 +482,8 @@ class Driver:
         later = [c for c in t.children if self.trace.task(c).wave != t.wave]
         for c in later:
             c_task = self.trace.task(c)
-            hold_rank = c_task.pinned if c_task.pinned is not None else rank
+            pin = self._pin_home(c_task)
+            hold_rank = pin if pin is not None else rank
             self._held[c_task.wave].append((hold_rank, c))
         node = self.machine.node(rank)
         if same_wave:
@@ -498,10 +556,8 @@ class Driver:
         creator if still usable (alive and not fenced), else the lowest
         usable rank."""
         creator = self.created_at[tid]
-        if creator >= 0:
-            c_node = self.machine.nodes[creator]
-            if not c_node.crashed and not c_node.fenced:
-                return creator
+        if creator >= 0 and self._usable(creator):
+            return creator
         return self.machine.alive_ranks()[0]
 
     def _declare_lost(self, tid: int, reason: str) -> None:
@@ -526,8 +582,9 @@ class Driver:
         if tid in self._lost or self.executed_at[tid] >= 0:
             return
         t = self.trace.task(tid)
-        if t.pinned is not None:
-            p_node = self.machine.nodes[t.pinned]
+        pin = self._pin_home(t)
+        if pin is not None:
+            p_node = self.machine.nodes[pin]
             if p_node.crashed:
                 # pinned work cannot move; this is the "provably lost" case
                 self._declare_lost(tid, "pinned-to-crashed")
@@ -536,9 +593,15 @@ class Driver:
                 # pinned to a node only *falsely* declared dead: hold it
                 # until the node rejoins (or really crashes) — re-sending
                 # now would bounce off the transport's dead-set forever
-                self._fence_held.setdefault(t.pinned, []).append(tid)
+                self._fence_held.setdefault(pin, []).append(tid)
                 return
-        dest = t.pinned if t.pinned is not None else self._rescue_rank(tid)
+            if p_node.membership != "member":
+                # the pin target left (or is leaving) the membership: a
+                # departure is voluntary, so the task is handed off to a
+                # survivor rather than lost
+                pin = self._rescue_rank(tid)
+                self.repinned[tid] = pin
+        dest = pin if pin is not None else self._rescue_rank(tid)
         self.strategy.place_child(dest, tid)
         self.workers[dest].try_start()
 
@@ -602,10 +665,11 @@ class Driver:
             for hrank, tid in held:
                 if hrank == rank and self.created_at[tid] == -1:
                     t = self.trace.task(tid)
-                    if t.pinned is not None:
+                    pin = self._pin_home(t)
+                    if pin == rank:
                         self._declare_lost(tid, "pinned-to-crashed")
                         continue
-                    hrank = self._rescue_rank(tid)
+                    hrank = pin if pin is not None else self._rescue_rank(tid)
                 kept.append((hrank, tid))
             held[:] = kept
         for tid in rescued:
@@ -629,6 +693,80 @@ class Driver:
                 self.strategy.place_child(rank, tid)
         worker.try_start()
         self._check_progress()
+
+    # ------------------------------------------------------------------
+    # elastic membership (active only when the plan scales the machine)
+    # ------------------------------------------------------------------
+    def _on_node_joined(self, rank: int) -> None:
+        """Membership callback: ``rank`` was admitted at a join epoch
+        commit.  The strategy folds it into its structures *before* the
+        worker is enabled, so the first task routed to the new member
+        finds the trees/tables already rebuilt."""
+        self.joined_nodes.append(rank)
+        self.strategy.on_node_joined(rank)
+        worker = self.workers[rank]
+        worker.enabled = True
+        worker.try_start()
+
+    def _on_node_departing(self, rank: int) -> int:
+        """Drain callback: hand every task ``rank`` owns or is owed off
+        to survivors before the node goes dark.
+
+        Mirrors :meth:`_on_node_crashed` source for source — fence-held
+        pins, strategy pools, the RTE queue and in-flight task, mid-spawn
+        completions, undeliverable reliable payloads, buffered cross-wave
+        children — with one semantic difference: a departure is
+        voluntary, so *nothing* may be declared lost.  Pinned tasks are
+        re-pinned onto the survivor that inherits them.  Returns the
+        handoff count (the membership epoch log records it next to the
+        zero loss delta)."""
+        self.departed_nodes.append(rank)
+        worker = self.workers[rank]
+        worker.enabled = False
+        handed: list[int] = []
+        handed.extend(self._fence_held.pop(rank, []))
+        handed.extend(self.strategy.on_node_departing(rank))
+        handed.extend(worker.drain())
+        if worker.outstanding is not None:
+            handed.append(worker.outstanding)
+            worker.outstanding = None
+        # completions wiped mid-spawn: honor them on a survivor (the
+        # task's work is done and recorded; only the spawn cost is redone)
+        for tid in [t for t, (r, _c) in self._spawning.items() if r == rank]:
+            _r, children = self._spawning.pop(tid)
+            t = self.trace.task(tid)
+            self._wave_remaining[t.wave] -= 1
+            self._remaining -= 1
+            home = self._rescue_rank(tid)
+            for c in children:
+                self._materialize(home, c)
+            self.workers[home].try_start()
+        for msg, _tc in self.machine.faults.take_undeliverable(rank):
+            if msg.kind == "task":
+                tids, _front = msg.payload
+                handed.extend(tids)
+        # cross-wave children buffered on the leaver: re-home the hold
+        count = 0
+        for held in self._held:
+            for i, (hrank, tid) in enumerate(held):
+                if hrank == rank and self.created_at[tid] == -1:
+                    t = self.trace.task(tid)
+                    if self._pin_home(t) == rank:
+                        self.repinned[tid] = self._rescue_rank(tid)
+                    pin = self._pin_home(t)
+                    held[i] = (pin if pin is not None
+                               else self._rescue_rank(tid), tid)
+                    count += 1  # handed off now, placed at wave release
+        for tid in handed:
+            if tid in self._lost or self.executed_at[tid] >= 0:
+                continue
+            t = self.trace.task(tid)
+            if self._pin_home(t) == rank:
+                self.repinned[tid] = self._rescue_rank(tid)
+            self._rescue_or_lose(tid)
+            count += 1
+        self._check_progress()
+        return count
 
     def _check_progress(self) -> None:
         """Advance the wave machinery after loss declarations: a wave (or
@@ -690,6 +828,11 @@ class Driver:
             self_extra["lost_task_ids"] = sorted(self._lost)
             if self.rejoined_nodes:
                 self_extra["rejoined_nodes"] = list(self.rejoined_nodes)
+            if self.machine.faults.membership is not None:
+                self_extra["joined_nodes"] = list(self.joined_nodes)
+                self_extra["departed_nodes"] = list(self.departed_nodes)
+                self_extra["membership"] = (
+                    self.machine.faults.membership.summary())
         m = RunMetrics(
             workload=self.trace.name,
             strategy=self.strategy.name,

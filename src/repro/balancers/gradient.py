@@ -48,9 +48,16 @@ class GradientModel(Strategy):
         self.cap = max(machine.topology.diameter(), 1)
         #: own proximity per node
         self.prox = [0] * n
-        #: neighbor proximity estimates: {neighbor: proximity}
+        #: neighbor proximity estimates: {neighbor: proximity}.  Links
+        #: exist only between current members: a standby neighbor must
+        #: not advertise proximity 0 and attract tasks onto a disabled
+        #: worker (is_member is identically True without elasticity).
+        faults = machine.faults
+        member = faults.is_member if faults is not None else (lambda r: True)
         self.nbr_prox = [
-            {j: 0 for j in machine.topology.neighbors(r)} for r in range(n)
+            {j: 0 for j in machine.topology.neighbors(r) if member(j)}
+            if member(r) else {}
+            for r in range(n)
         ]
         self._emitting = [False] * n
         for node in machine.nodes:

@@ -39,9 +39,11 @@ class RandomAllocation(Strategy):
             return
         machine = self.machine
         faults = machine.faults
-        if faults is not None and faults.detected_dead:
-            # scatter over survivors only; the branch is taken only once a
-            # crash is *detected*, so plans without crashes leave the
+        if faults is not None and (faults.detected_dead
+                                   or faults.membership is not None):
+            # scatter over current members/survivors only; the branch is
+            # taken only once a crash is *detected* or the mesh is
+            # elastic, so static plans without crashes leave the
             # machine.rng draw sequence untouched
             alive = machine.alive_ranks()
             dest = alive[int(machine.rng.integers(len(alive)))]

@@ -59,8 +59,16 @@ class ReceiverInitiatedDiffusion(Strategy):
         super().attach(driver)
         machine = self.machine
         n = machine.num_nodes
+        # Estimate links exist only between current members: a standby
+        # neighbor's phantom load-0 entry would attract request rounds at
+        # a node whose worker is disabled (is_member is identically True
+        # without elasticity).
+        faults = machine.faults
+        member = faults.is_member if faults is not None else (lambda r: True)
         self.nbr_load = [
-            {j: 0 for j in machine.topology.neighbors(r)} for r in range(n)
+            {j: 0 for j in machine.topology.neighbors(r) if member(j)}
+            if member(r) else {}
+            for r in range(n)
         ]
         self.last_broadcast = [0] * n
         self.requesting = [False] * n  # one outstanding request round
@@ -143,7 +151,8 @@ class ReceiverInitiatedDiffusion(Strategy):
     def _on_request(self, msg: Message) -> None:
         rank = msg.dest
         requester, requester_load, share = msg.payload
-        if self.machine.nodes[requester].crashed:
+        req_node = self.machine.nodes[requester]
+        if req_node.crashed or req_node.membership != "member":
             return  # stale request; granting would only bounce the tasks
         w = self.worker(rank)
         # Grant at most half of our lead over the requester: exchanges can

@@ -41,8 +41,16 @@ class SenderInitiatedDiffusion(Strategy):
         super().attach(driver)
         machine = self.machine
         n = machine.num_nodes
+        # Estimate links exist only between current members: pushing into
+        # a standby neighbor's phantom load-0 slot would strand tasks on a
+        # disabled worker (is_member is identically True without
+        # elasticity).
+        faults = machine.faults
+        member = faults.is_member if faults is not None else (lambda r: True)
         self.nbr_load = [
-            {j: 0 for j in machine.topology.neighbors(r)} for r in range(n)
+            {j: 0 for j in machine.topology.neighbors(r) if member(j)}
+            if member(r) else {}
+            for r in range(n)
         ]
         self.last_broadcast = [0] * n
         self._pushing = [False] * n
@@ -82,6 +90,8 @@ class SenderInitiatedDiffusion(Strategy):
     def _on_load_update(self, msg: Message) -> None:
         rank = msg.dest
         src, load = msg.payload
+        if src not in self.nbr_load[rank]:
+            return  # stale update from an ex-neighbor (failed or departed)
         self.nbr_load[rank][src] = load
         self._maybe_push(rank)
 
@@ -125,6 +135,26 @@ class SenderInitiatedDiffusion(Strategy):
             self.last_broadcast[rank] = w.load
         finally:
             self._pushing[rank] = False
+
+    # ------------------------------------------------------------------
+    # elastic membership (SID keeps its deliberately minimal crash
+    # handling; joins and voluntary departures edit the estimate links
+    # directly so diffusion never targets a non-member)
+    # ------------------------------------------------------------------
+    def on_node_joined(self, node: int) -> None:
+        machine = self.machine
+        usable = set(machine.alive_ranks())
+        self.nbr_load[node] = {
+            j: 0 for j in machine.topology.neighbors(node) if j in usable}
+        for j in self.nbr_load[node]:
+            self.nbr_load[j][node] = 0
+        self._load_changed(node)
+
+    def on_node_departing(self, node: int) -> list[int]:
+        self.nbr_load[node].clear()
+        for views in self.nbr_load:
+            views.pop(node, None)
+        return []
 
     # ------------------------------------------------------------------
     def finalize_metrics(self, metrics: RunMetrics) -> None:

@@ -21,7 +21,7 @@ from typing import Optional
 import numpy as np
 
 from repro.balancers.base import RunMetrics, Strategy
-from repro.core.schedulers import Planner, default_planner
+from repro.core.schedulers import Planner, default_planner, greedy_subset_plan
 from repro.machine import Message
 
 __all__ = ["StaticPreschedule"]
@@ -63,16 +63,27 @@ class StaticPreschedule(Strategy):
     # children just run where they were spawned: place_child default.
 
     def _plan_and_distribute(self) -> None:
+        machine = self.machine
         loads = np.array([len(p) for p in self._pools], dtype=np.int64)
-        plan = self._planner.plan(loads)
+        ranks = list(range(machine.num_nodes))
+        faults = machine.faults
+        if faults is not None and faults.membership is not None:
+            # elastic mesh: standby ranks must get no quota (their workers
+            # are disabled), so plan over the current members with the
+            # subset fallback instead of the full-lattice planner
+            ranks = machine.alive_ranks()
+        if len(ranks) < machine.num_nodes:
+            plan = greedy_subset_plan(machine.topology, loads, ranks)
+        else:
+            plan = self._planner.plan(loads)
         self.plan_cost = plan.cost
         # Realized as on the real machine: the runtime tells each node its
         # transfer list; nodes ship packed task messages.  (We skip the
         # load gather here — prescheduling typically knows the initial
         # decomposition centrally, which is also why it cannot adapt.)
-        for rank in range(self.machine.num_nodes):
+        for rank in ranks:
             outgoing = plan.outgoing(rank)
-            node = self.machine.node(rank)
+            node = machine.node(rank)
             node.send(rank, "static.plan", outgoing, size=32 + 12 * len(outgoing))
 
     def _on_plan(self, msg: Message) -> None:
@@ -87,6 +98,13 @@ class StaticPreschedule(Strategy):
             w.enqueue(tid)
         self._pools[rank] = []
         w.try_start()
+
+    def on_node_departing(self, node: int) -> list[int]:
+        """Hand back anything still pooled (a leave can race the t=0 plan
+        message); static has no other per-node state to migrate."""
+        handed = list(self._pools[node])
+        self._pools[node] = []
+        return handed
 
     # ------------------------------------------------------------------
     def finalize_metrics(self, metrics: RunMetrics) -> None:

@@ -36,14 +36,14 @@ runtime).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 import numpy as np
 
 from repro.machine import Machine, Message
 from repro.machine.topology import MeshTopology
 
-__all__ = ["MWAProtocolResult", "run_mwa_protocol"]
+__all__ = ["MWAProtocolResult", "run_mwa_protocol", "member_row_bands"]
 
 #: wire size of a scan/control message (a few integers)
 CTRL_BYTES = 48
@@ -103,12 +103,21 @@ class _MWAProtocol:
     """
 
     def __init__(self, machine: Machine, loads: np.ndarray,
-                 rows: Optional[tuple[int, int]] = None) -> None:
+                 rows: Optional[tuple[int, int]] = None,
+                 epoch: Optional[int] = None) -> None:
         topo = machine.topology
         if not isinstance(topo, MeshTopology):
             raise TypeError("the MWA protocol requires a MeshTopology machine")
         self.machine = machine
         self.mesh = topo
+        #: membership epoch this round belongs to.  When set, every
+        #: protocol message is tagged and messages from another epoch are
+        #: dropped on receipt — a round started before a join/leave
+        #: cannot corrupt the round rebuilt after it.  None (the default)
+        #: keeps the wire format of static-membership runs untouched.
+        self.epoch = epoch
+        #: set by :meth:`cancel` when the epoch moves mid-round.
+        self.cancelled = False
         if rows is None:
             rows = (0, topo.n1)
         lo, hi = rows
@@ -155,9 +164,30 @@ class _MWAProtocol:
         return self.state[i * self.n2 + j]
 
     def send(self, i: int, j: int, di: int, dj: int, kind: str, payload) -> None:
+        if self.epoch is not None:
+            payload = (self.epoch, payload)
         self.machine.node(self.rank(i, j)).send(
             self.rank(i + di, j + dj), kind, payload, size=CTRL_BYTES
         )
+
+    def cancel(self) -> None:
+        """Abandon the round: all handlers drop everything from now on
+        (the membership epoch moved; the rebuilt band protocol of the new
+        epoch supersedes this one)."""
+        self.cancelled = True
+
+    def _accept(self, msg: Message):
+        """Epoch-check a message; ``None`` means drop it unprocessed."""
+        if self.cancelled:
+            return None
+        if self.epoch is None:
+            return msg.payload
+        ep, payload = msg.payload
+        if ep != self.epoch:
+            self._mark(msg.dest, "stale-epoch",
+                       {"got": ep, "want": self.epoch})
+            return None
+        return payload
 
     def _mark(self, rank: int, step: str, args=None) -> None:
         tr = self._tracer
@@ -177,9 +207,12 @@ class _MWAProtocol:
                 self._row_scan_done(i)
 
     def _on_rowscan(self, msg: Message) -> None:
+        payload = self._accept(msg)
+        if payload is None:
+            return
         i, j = self.coords(msg.dest)
         st = self.st(i, j)
-        st.row_prefix = list(msg.payload) + [st.w]
+        st.row_prefix = list(payload) + [st.w]
         if j < self.n2 - 1:
             self.send(i, j, 0, 1, "mwa.rowscan", st.row_prefix)
         else:
@@ -202,9 +235,12 @@ class _MWAProtocol:
             self._col_absorb(i)
 
     def _on_colscan(self, msg: Message) -> None:
+        payload = self._accept(msg)
+        if payload is None:
+            return
         i, _j = self.coords(msg.dest)
         st = self.st(i, self.n2 - 1)
-        st.t_prev = int(msg.payload)
+        st.t_prev = int(payload)
         if st.s_i is not None:
             self._col_absorb(i)
 
@@ -230,20 +266,23 @@ class _MWAProtocol:
             self.send(i, self.n2 - 1, -1, 0, "mwa.spread", ("col", wavg, r))
 
     def _on_spread(self, msg: Message) -> None:
+        payload = self._accept(msg)
+        if payload is None:
+            return
         i, j = self.coords(msg.dest)
-        tag = msg.payload[0]
+        tag = payload[0]
         if tag == "col":
-            _tag, wavg, r = msg.payload
+            _tag, wavg, r = payload
             self._spread_row(i, wavg, r)
             if i > 0:
-                self.send(i, self.n2 - 1, -1, 0, "mwa.spread", msg.payload)
+                self.send(i, self.n2 - 1, -1, 0, "mwa.spread", payload)
         else:
-            _tag, wavg, r, s_i, t_i, t_prev = msg.payload
+            _tag, wavg, r, s_i, t_i, t_prev = payload
             st = self.st(i, j)
             st.wavg, st.remainder = wavg, r
             st.s_i, st.t_i, st.t_prev = s_i, t_i, t_prev
             if j > 0:
-                self.send(i, j, 0, -1, "mwa.spread", msg.payload)
+                self.send(i, j, 0, -1, "mwa.spread", payload)
             self._enter_step4(i, j)
 
     def _spread_row(self, i: int, wavg: int, r: int) -> None:
@@ -355,31 +394,40 @@ class _MWAProtocol:
         self._maybe_start_step5(i, j)
 
     def _on_down(self, msg: Message) -> None:
+        payload = self._accept(msg)
+        if payload is None:
+            return
         i, j = self.coords(msg.dest)
         st = self.st(i, j)
-        st.w += int(msg.payload)
+        st.w += int(payload)
         st.recv_above_done = True
         self._try_step4(i, j)
 
     def _on_up(self, msg: Message) -> None:
+        payload = self._accept(msg)
+        if payload is None:
+            return
         i, j = self.coords(msg.dest)
         st = self.st(i, j)
-        st.w += int(msg.payload)
+        st.w += int(payload)
         st.recv_below_done = True
         self._try_step4(i, j)
 
     def _on_hscan(self, msg: Message) -> None:
+        payload = self._accept(msg)
+        if payload is None:
+            return
         i, j = self.coords(msg.dest)
         st = self.st(i, j)
-        tag = msg.payload[0]
+        tag = payload[0]
         if tag == "dscan":
-            st.down_scan = (msg.payload[1], msg.payload[2])
+            st.down_scan = (payload[1], payload[2])
             self._try_step4(i, j)
         elif tag == "uscan":
-            st.up_scan = (msg.payload[1], msg.payload[2])
+            st.up_scan = (payload[1], payload[2])
             self._try_step4(i, j)
         else:  # step-5 prefix scan
-            st.h_prefix = int(msg.payload[1])
+            st.h_prefix = int(payload[1])
             self._maybe_start_step5(i, j)
 
     # ------------------------------------------------------------------
@@ -449,10 +497,13 @@ class _MWAProtocol:
                 self.send(i, j, 0, -1, "mwa.htask", chunk)
 
     def _on_htask(self, msg: Message) -> None:
+        payload = self._accept(msg)
+        if payload is None:
+            return
         i, j = self.coords(msg.dest)
         src_i, src_j = self.coords(msg.src)
         st = self.st(i, j)
-        amount = int(msg.payload)
+        amount = int(payload)
         st.w += amount
         from_left = src_j < j
         if not st.step5_started:
@@ -492,6 +543,7 @@ class _MWAProtocol:
 
 def run_mwa_protocol(machine: Machine, loads: np.ndarray,
                      rows: Optional[tuple[int, int]] = None,
+                     epoch: Optional[int] = None,
                      ) -> MWAProtocolResult:
     """Run one full distributed MWA round on ``machine`` and return the
     outcome.  The machine must be freshly constructed (the protocol owns
@@ -501,11 +553,45 @@ def run_mwa_protocol(machine: Machine, loads: np.ndarray,
     ``lo <= i < hi`` only; ``loads`` must then have shape
     ``(hi - lo, n2)``.  Balancing is confined to the band — exactly the
     degraded MWA a partitioned RIPS run performs per component.
+
+    ``epoch`` scopes the round to one membership epoch: messages are
+    epoch-tagged and stale-epoch traffic is dropped on receipt (see
+    :meth:`_MWAProtocol._accept`).  ``None`` leaves the wire format of
+    static-membership rounds bit-identical.
     """
-    proto = _MWAProtocol(machine, loads, rows=rows)
+    proto = _MWAProtocol(machine, loads, rows=rows, epoch=epoch)
     proto.start()
     machine.run()
     res = proto.result()
     if not np.array_equal(res.final, res.quotas):  # pragma: no cover
         raise RuntimeError("distributed MWA did not converge to the quotas")
     return res
+
+
+def member_row_bands(
+    mesh: MeshTopology, members: Iterable[int]
+) -> list[tuple[int, int]]:
+    """Maximal contiguous ``(lo, hi)`` row bands fully populated by
+    ``members``.
+
+    The band-mode protocol needs every node of every row it spans; on an
+    elastic mesh the member set can have holes (standby or departed
+    ranks), so an epoch's band decomposition is the set of contiguous
+    runs of *complete* rows.  Rows with any non-member rank are skipped —
+    their member nodes balance through the RIPS survivor fallback
+    instead.
+    """
+    mset = set(members)
+    full = [all(mesh.rank_of(i, j) in mset for j in range(mesh.n2))
+            for i in range(mesh.n1)]
+    bands: list[tuple[int, int]] = []
+    i = 0
+    while i < mesh.n1:
+        if not full[i]:
+            i += 1
+            continue
+        lo = i
+        while i < mesh.n1 and full[i]:
+            i += 1
+        bands.append((lo, i))
+    return bands

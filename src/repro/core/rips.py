@@ -55,7 +55,12 @@ import numpy as np
 from repro.balancers.base import RunMetrics, Strategy
 from repro.machine import BinomialBroadcast, GatherTree, Message
 from repro.machine.collectives import survivor_tree
-from .schedulers import Planner, RedistributionPlan, default_planner
+from .schedulers import (
+    Planner,
+    RedistributionPlan,
+    default_planner,
+    greedy_subset_plan,
+)
 
 __all__ = ["LocalPolicy", "GlobalPolicy", "RIPS"]
 
@@ -171,6 +176,12 @@ class RIPS(Strategy):
         self.max_quota_spread = 0
         if self._hardened:
             machine.faults.on_membership_changed(self._on_membership_event)
+            if machine.faults.membership is not None:
+                # elastic plan: the collective trees must span only the
+                # *initial* members — a standby rank neither contributes
+                # to gathers nor receives inits until its join commits.
+                # No kicks: the driver has not started yet.
+                self._membership_changed(kick=False)
 
     # ------------------------------------------------------------------
     # placement hooks (driver side)
@@ -246,8 +257,36 @@ class RIPS(Strategy):
         self.states[rank] = _NodeState()
         self._membership_changed()
 
+    def on_node_joined(self, rank: int) -> None:
+        """A node was admitted at a membership epoch commit.  Give it a
+        fresh protocol state synced to the current phase number and
+        rebuild the forests over the grown member set — synchronously,
+        before the driver enables its worker, so the first gather the
+        new member contributes to already expects it."""
+        self.states[rank] = _NodeState()
+        self._membership_changed()
+
+    def on_node_departing(self, rank: int) -> list[int]:
+        """A draining member hands its pooled work back (zero losses —
+        the driver re-places every returned task on survivors) and the
+        forests rebuild over the shrunk member set."""
+        st = self.states[rank]
+        st.mode = _Mode.DONE
+        handed = st.pool + st.rts + st.pinned_hold
+        st.pool = []
+        st.rts = []
+        st.pinned_hold = []
+        tr = self.tracer
+        if tr is not None:
+            now = self.machine.sim.now
+            for name in ("transfer", "gather", "init"):
+                tr.end(rank, "phase", name, now, {"outcome": "departed"})
+        self._membership_changed()
+        return handed
+
     def _on_membership_event(self, event: str) -> None:
-        """Injector callback: a scheduled mesh cut began or healed."""
+        """Injector callback: a scheduled mesh cut began or healed, or a
+        root election committed a new coordinator."""
         self._membership_changed()
 
     def _current_groups(self, alive: list[int]) -> list[list[int]]:
@@ -260,33 +299,46 @@ class RIPS(Strategy):
                   for comp in inj.components()]
         return [g for g in groups if g]
 
-    def _membership_changed(self) -> None:
-        """Rebuild the protocol over the current membership.
+    def _group_roots(self, groups: list[list[int]]) -> list[int]:
+        """One protocol root per component: the *elected* membership
+        root where it participates, the smallest usable rank elsewhere
+        (crash-only plans have no elected root and keep the min rule)."""
+        inj = self.machine.faults
+        mgr = inj.membership if inj is not None else None
+        elected = mgr.root if mgr is not None else None
+        return [elected if elected in g else g[0] for g in groups]
 
-        Handles crashes, partitions, heals, and rejoins uniformly: elect
-        one root per reachability component (its smallest usable rank)
-        and rebuild every collective as a *forest* over the components —
-        each component then runs system phases locally; abandon any
-        system phase caught mid-flight (nodes revert to USER with their
-        tasks back in their RTE queues); re-synchronize phase counters so
-        the next phase has one consistent number per component; and kick
-        every node so idle ones re-arm phase detection on their own.
+    def _membership_changed(self, kick: bool = True) -> None:
+        """Rebuild the protocol over the current membership epoch.
+
+        Handles crashes, partitions, heals, rejoins, joins, leaves, and
+        elections uniformly: pick one root per reachability component
+        (the elected membership root where present, else its smallest
+        usable rank) and rebuild every collective as a *forest* over the
+        components — each component then runs system phases locally;
+        abandon any system phase caught mid-flight (nodes revert to USER
+        with their tasks back in their RTE queues); re-synchronize phase
+        counters so the next phase has one consistent number per
+        component; and kick every node so idle ones re-arm phase
+        detection on their own (``kick=False`` at attach time, before
+        the driver has started).
         """
         machine = self.machine
         alive = machine.alive_ranks()
         groups = self._current_groups(alive)
-        self._roots = [g[0] for g in groups]
-        self._root = self._roots[0]
+        roots = self._group_roots(groups)
+        self._roots = roots
+        self._root = roots[0]
         n = machine.num_nodes
         parent = [-2] * n
         children: list[list[int]] = [[] for _ in range(n)]
-        for g in groups:
-            g_parent, g_children = survivor_tree(machine.topology, g, g[0])
+        for g, g_root in zip(groups, roots):
+            g_parent, g_children = survivor_tree(machine.topology, g, g_root)
             for r in g:
                 parent[r] = g_parent[r]
                 children[r] = g_children[r]
         self._tree_parent, self._tree_children = parent, children
-        self._gather.rebuild_groups(groups)
+        self._gather.rebuild_groups(groups, roots=roots)
         self._bcast_init.set_groups(groups)
         self._bcast_ctrl.set_groups(groups)
         abandoned = 0
@@ -334,12 +386,15 @@ class RIPS(Strategy):
         # After the driver finishes re-placing rescued tasks (it runs
         # synchronously after this callback), kick every survivor so an
         # idle one re-arms phase detection instead of waiting forever.
-        for rank in alive:
-            machine.sim.schedule(0.0, self._post_crash_kick, rank)
+        if kick:
+            for rank in alive:
+                machine.sim.schedule(0.0, self._post_crash_kick, rank)
 
     def _post_crash_kick(self, rank: int) -> None:
         st = self.states[rank]
-        if st.mode is not _Mode.USER or self.machine.nodes[rank].crashed:
+        node = self.machine.nodes[rank]
+        if (st.mode is not _Mode.USER or node.crashed
+                or node.membership != "member"):
             return
         worker = self.worker(rank)
         worker.try_start()
@@ -390,10 +445,13 @@ class RIPS(Strategy):
             self._initiate(rank)
 
     def _initiate(self, rank: int) -> None:
-        if self._hardened and self.machine.nodes[rank].crashed:
-            # raw sim-scheduled triggers (backoff timers, wave releases)
-            # are not gated by dispatch; a dead node must not initiate
-            return
+        if self._hardened:
+            node = self.machine.nodes[rank]
+            if node.crashed or node.departed:
+                # raw sim-scheduled triggers (backoff timers, wave
+                # releases) are not gated by dispatch; a dead or
+                # departed node must not initiate
+                return
         st = self.states[rank]
         self._bcast_init.broadcast(rank, st.completed_phase + 1)
 
@@ -484,37 +542,11 @@ class RIPS(Strategy):
         """Centralized greedy plan once the machine has holes in it.
 
         The regular planners (MWA et al.) assume the full topology; with
-        fail-stopped ranks the quota lattice no longer exists, so the
-        root falls back to pairing surplus and deficit survivors in rank
-        order and costing each transfer by its hop distance.  Balance
-        (|load_i - load_j| <= 1 over *survivors*) still holds.
+        fail-stopped (or departed) ranks the quota lattice no longer
+        exists, so the root falls back to the shared surplus/deficit
+        pairing of :func:`greedy_subset_plan`.
         """
-        total = int(sum(loads[r] for r in alive))
-        base, extra = divmod(total, len(alive))
-        quotas = np.zeros(len(loads), dtype=np.int64)
-        for i, r in enumerate(alive):
-            quotas[r] = base + (1 if i < extra else 0)
-        donors = [[r, int(loads[r] - quotas[r])] for r in alive
-                  if loads[r] > quotas[r]]
-        takers = [[r, int(quotas[r] - loads[r])] for r in alive
-                  if loads[r] < quotas[r]]
-        transfers: list[tuple[int, int, int]] = []
-        cost = 0
-        di = ti = 0
-        while di < len(donors) and ti < len(takers):
-            src, have = donors[di]
-            dst, need = takers[ti]
-            count = min(have, need)
-            transfers.append((src, dst, count))
-            cost += count * self.machine.topology.distance(src, dst)
-            donors[di][1] -= count
-            takers[ti][1] -= count
-            if donors[di][1] == 0:
-                di += 1
-            if takers[ti][1] == 0:
-                ti += 1
-        return RedistributionPlan(
-            quotas=quotas, transfers=transfers, cost=cost, comm_steps=0)
+        return greedy_subset_plan(self.machine.topology, loads, alive)
 
     def _on_loads_gathered(self, phase: int, loads_by_rank: dict[int, int]) -> None:
         machine = self.machine
@@ -534,8 +566,14 @@ class RIPS(Strategy):
             # inside the detection window.
             nodes = machine.nodes
             ranks = [r for r in sorted(loads_by_rank)
-                     if not nodes[r].crashed and not nodes[r].fenced]
+                     if not nodes[r].crashed and not nodes[r].fenced
+                     and nodes[r].membership == "member"]
             root_rank = min(loads_by_rank)
+            mgr = machine.faults.membership
+            if mgr is not None and mgr.root in ranks:
+                # the forest was rooted at the *elected* root; the plan
+                # must be computed (and charged) where the gather landed
+                root_rank = mgr.root
         else:
             ranks = list(range(n))
             root_rank = self._root

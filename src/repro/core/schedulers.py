@@ -35,6 +35,7 @@ __all__ = [
     "DimensionExchangePlanner",
     "OptimalPlanner",
     "default_planner",
+    "greedy_subset_plan",
 ]
 
 
@@ -290,6 +291,46 @@ class OptimalPlanner(Planner):
             quotas=q, transfers=transfers, cost=res.cost,
             comm_steps=0,
         )
+
+
+def greedy_subset_plan(
+    topology: Topology, loads: np.ndarray, ranks: list[int]
+) -> RedistributionPlan:
+    """Centralized greedy plan over an arbitrary rank subset.
+
+    The regular planners (MWA et al.) assume the full topology; once the
+    machine has holes in it — fail-stopped ranks, standby ranks awaiting
+    admission, members drained out of an elastic mesh — the quota lattice
+    no longer exists.  Fall back to pairing surplus and deficit ranks in
+    rank order, costing each transfer by its hop distance.  Balance
+    (``|load_i - load_j| <= 1`` over ``ranks``) still holds.
+    """
+    total = int(sum(loads[r] for r in ranks))
+    base, extra = divmod(total, len(ranks))
+    quotas = np.zeros(len(loads), dtype=np.int64)
+    for i, r in enumerate(ranks):
+        quotas[r] = base + (1 if i < extra else 0)
+    donors = [[r, int(loads[r] - quotas[r])] for r in ranks
+              if loads[r] > quotas[r]]
+    takers = [[r, int(quotas[r] - loads[r])] for r in ranks
+              if loads[r] < quotas[r]]
+    transfers: list[tuple[int, int, int]] = []
+    cost = 0
+    di = ti = 0
+    while di < len(donors) and ti < len(takers):
+        src, have = donors[di]
+        dst, need = takers[ti]
+        count = min(have, need)
+        transfers.append((src, dst, count))
+        cost += count * topology.distance(src, dst)
+        donors[di][1] -= count
+        takers[ti][1] -= count
+        if donors[di][1] == 0:
+            di += 1
+        if takers[ti][1] == 0:
+            ti += 1
+    return RedistributionPlan(
+        quotas=quotas, transfers=transfers, cost=cost, comm_steps=0)
 
 
 def default_planner(topology: Topology) -> Planner:

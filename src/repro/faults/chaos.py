@@ -40,8 +40,8 @@ from typing import Callable, Optional
 from .audit import audit_session
 from .plan import FaultPlan
 
-__all__ = ["ChaosCase", "ChaosReport", "random_plan", "run_case",
-           "run_chaos", "shrink_plan", "MAX_ATTEMPTS_BOUND"]
+__all__ = ["ChaosCase", "ChaosReport", "random_plan", "random_churn_plan",
+           "run_case", "run_chaos", "shrink_plan", "MAX_ATTEMPTS_BOUND"]
 
 #: default chaos target — small enough that 50 cases run in tens of
 #: seconds, large enough for real protocol structure (4x4 mesh).
@@ -114,6 +114,45 @@ def random_plan(rng: random.Random, num_nodes: int = NUM_NODES) -> FaultPlan:
         stalls=stalls,
         outages=tuple(outages),
         partitions=partitions,
+    )
+
+
+def random_churn_plan(rng: random.Random,
+                      num_nodes: int = NUM_NODES) -> FaultPlan:
+    """Draw one *elastic-membership* plan from the churn distribution.
+
+    Every plan exercises the join handshake (1-3 standby ranks with
+    scheduled joins), most also drain members out (0-2 leaves) and rotate
+    the root (0-2 elections); a minority adds a fail-stop crash and mild
+    message drops on top, so epoch transitions race real failures and
+    detector traffic.  Rank 0 is never standby (plan validation), never
+    leaves, and never crashes — it holds the root workload seed.
+    """
+    horizon = 0.020
+
+    def when(lo: float = 0.002) -> float:
+        return round(rng.uniform(lo, horizon), 6)
+
+    ranks = list(range(1, num_nodes))
+    standby = tuple(sorted(rng.sample(ranks, rng.randint(1, 3))))
+    joins = tuple((r, when()) for r in standby)
+    remaining = [r for r in ranks if r not in standby]
+    leaves = tuple(
+        (r, when()) for r in rng.sample(remaining, rng.randint(0, 2)))
+    elections = tuple(sorted(when() for _ in range(rng.randint(0, 2))))
+    leaving = {r for r, _ in leaves}
+    crashable = [r for r in remaining if r not in leaving]
+    crashes = tuple(
+        (r, when()) for r in rng.sample(crashable, rng.randint(0, 1)))
+    return FaultPlan(
+        seed=rng.randrange(1 << 30),
+        detector="heartbeat",
+        drop_rate=rng.choice((0.0, 0.0, 0.005)),
+        standby=standby,
+        joins=joins,
+        leaves=leaves,
+        elections=elections,
+        crashes=crashes,
     )
 
 
@@ -196,21 +235,100 @@ def run_case(
         case.violations.append(
             f"bounded-retransmits: worst attempt count {attempts} "
             f"> {MAX_ATTEMPTS_BOUND}")
+    if plan.has_membership():
+        _check_epoch_invariants(case, plan,
+                                metrics.extra.get("membership") or {},
+                                num_nodes)
     case.detail["lost"] = len(metrics.extra.get("lost_task_ids", ()))
     case.detail["rejoined"] = list(metrics.extra.get("rejoined_nodes", ()))
     return case
+
+
+#: a membership event scheduled this close to the end of the run may
+#: legitimately still be mid-handshake when the workload finishes.
+_EPOCH_COMMIT_SLACK = 0.005
+
+
+def _check_epoch_invariants(case: ChaosCase, plan: FaultPlan,
+                            membership: dict, num_nodes: int) -> None:
+    """The elastic-membership invariants, checked per committed epoch.
+
+    ``epoch-conservation``
+        Every join / leave / election commit carries ``lost_delta == 0``:
+        voluntary membership changes never lose (or duplicate) a task.
+    ``epoch-order``
+        Committed epochs are numbered 1..N with no gaps — transitions
+        serialize through the manager.
+    ``epoch-commit``
+        Every scheduled join/leave whose start time leaves enough runway
+        before the manager stopped (= the workload finished) has
+        actually committed (a wedged handshake shows up here, not as a
+        hang), and at least as many elections committed as had runway.
+    ``epoch-members``
+        The final member set is exactly the arithmetic of the commits:
+        initial members + joins - leaves.
+    """
+    transitions = membership.get("transitions", [])
+    case.detail["epochs"] = membership.get("epoch", 0)
+    bad = [t for t in transitions
+           if t["kind"] in ("join", "leave", "election")
+           and t["lost_delta"] != 0]
+    if bad:
+        where = ", ".join(
+            f"epoch {t['epoch']} ({t['kind']} rank {t['rank']}): "
+            f"delta {t['lost_delta']}" for t in bad)
+        case.violations.append(f"epoch-conservation: {where}")
+    epochs = [t["epoch"] for t in transitions]
+    if epochs != list(range(1, len(epochs) + 1)):
+        case.violations.append(f"epoch-order: committed epochs {epochs}")
+    committed: dict[str, int] = {}
+    for t in transitions:
+        committed[t["kind"]] = committed.get(t["kind"], 0) + 1
+    stopped_at = membership.get("stopped_at")
+    horizon = stopped_at if stopped_at is not None else case.sim_time
+    deadline = horizon - _EPOCH_COMMIT_SLACK
+    for kind, scheduled in (("join", plan.joins), ("leave", plan.leaves)):
+        due = sum(1 for _r, when in scheduled if when <= deadline)
+        got = committed.get(kind, 0)
+        if got < due or got > len(scheduled):
+            case.violations.append(
+                f"epoch-commit: {got} {kind}s committed, "
+                f"expected {due}..{len(scheduled)}")
+    elections_due = sum(1 for when in plan.elections if when <= deadline)
+    if committed.get("election", 0) < elections_due:
+        case.violations.append(
+            f"epoch-commit: {committed.get('election', 0)} elections "
+            f"committed, expected >= {elections_due}")
+    want_members = (num_nodes - len(plan.standby)
+                    + committed.get("join", 0) - committed.get("leave", 0))
+    got_members = len(membership.get("members", ()))
+    if got_members != want_members:
+        case.violations.append(
+            f"epoch-members: {got_members} final members, "
+            f"commit arithmetic says {want_members}")
 
 
 # ---------------------------------------------------------------------------
 # shrinking (ddmin over fault atoms)
 # ---------------------------------------------------------------------------
 def _atoms(plan: FaultPlan) -> list[tuple[str, object]]:
-    """Decompose a plan into independently removable fault atoms."""
+    """Decompose a plan into independently removable fault atoms.
+
+    A scheduled join and its standby listing are one atom (a join without
+    the standby entry is invalid, a standby entry without the join is a
+    different plan); standby ranks with no scheduled join are their own
+    atoms, as are leaves and elections.
+    """
     out: list[tuple[str, object]] = []
     out += [("crashes", c) for c in plan.crashes]
     out += [("stalls", s) for s in plan.stalls]
     out += [("outages", o) for o in plan.outages]
     out += [("partitions", p) for p in plan.partitions]
+    joined = {r for r, _ in plan.joins}
+    out += [("joins", j) for j in plan.joins]
+    out += [("standby", r) for r in plan.standby if r not in joined]
+    out += [("leaves", lv) for lv in plan.leaves]
+    out += [("elections", e) for e in plan.elections]
     out += [("rate", name) for name in _RATE_FIELDS if getattr(plan, name)]
     return out
 
@@ -218,19 +336,24 @@ def _atoms(plan: FaultPlan) -> list[tuple[str, object]]:
 def _build(plan: FaultPlan, atoms: list[tuple[str, object]]) -> FaultPlan:
     """The sub-plan containing exactly ``atoms`` (order preserved)."""
     kept: dict[str, list] = {k: [] for k in
-                             ("crashes", "stalls", "outages", "partitions")}
+                             ("crashes", "stalls", "outages", "partitions",
+                              "joins", "standby", "leaves", "elections")}
     rates = {name: 0.0 for name in _RATE_FIELDS}
     for kind, value in atoms:
         if kind == "rate":
             rates[value] = getattr(plan, value)
         else:
             kept[kind].append(value)
+    # a kept join keeps its standby listing (in the plan's original order)
+    standby_set = set(kept["standby"]) | {r for r, _ in kept["joins"]}
+    kept["standby"] = [r for r in plan.standby if r in standby_set]
     return replace(plan, **{k: tuple(v) for k, v in kept.items()}, **rates)
 
 
 def scheduled_fault_count(plan: FaultPlan) -> int:
     return (len(plan.crashes) + len(plan.stalls)
-            + len(plan.outages) + len(plan.partitions))
+            + len(plan.outages) + len(plan.partitions)
+            + len(plan.joins) + len(plan.leaves) + len(plan.elections))
 
 
 def shrink_plan(
@@ -313,18 +436,25 @@ def run_chaos(
     seed: int = 0,
     *,
     num_nodes: int = NUM_NODES,
+    churn: bool = False,
     shrink: bool = True,
     shrink_budget: int = 64,
     mutate: Optional[Callable] = None,
     progress: Optional[Callable[[ChaosCase], None]] = None,
 ) -> ChaosReport:
-    """Generate and judge ``cases`` plans; shrink whatever fails."""
+    """Generate and judge ``cases`` plans; shrink whatever fails.
+
+    ``churn=True`` draws from the elastic-membership distribution
+    (:func:`random_churn_plan`) instead of the crash/partition one; the
+    epoch invariants then judge every case on top of the base four.
+    """
+    generate = random_churn_plan if churn else random_plan
     report = ChaosReport(seed=seed)
     for i in range(cases):
         # one independent stream per case: stable under reordering and
         # under --cases growth (case i is the same plan at any count)
         rng = random.Random((seed << 20) ^ i)
-        plan = random_plan(rng, num_nodes)
+        plan = generate(rng, num_nodes)
         case = run_case(plan, index=i, num_nodes=num_nodes, mutate=mutate)
         report.cases.append(case)
         if progress is not None:

@@ -96,9 +96,15 @@ class HeartbeatDetector:
         topo = machine.topology
         #: per-rank self-incarnation (bumped on every refutation)
         self.incarnation = [0] * n
-        #: monitor -> {peer: view} over topology neighbors
+        #: monitor -> {peer: view} over topology neighbors.  Views exist
+        #: only between *current members*: standby nodes are silent by
+        #: design and must not accumulate suspicion; joins/leaves edit
+        #: these dicts through on_member_joined / on_member_left.
+        is_member = injector.is_member
         self.views: list[dict[int, _PeerView]] = [
-            {p: _PeerView() for p in topo.neighbors(r)} for r in range(n)
+            {p: _PeerView() for p in topo.neighbors(r) if is_member(p)}
+            if is_member(r) else {}
+            for r in range(n)
         ]
         for node in machine.nodes:
             node.on(HB_KIND, self._on_heartbeat)
@@ -109,9 +115,11 @@ class HeartbeatDetector:
         self.stopped = False
 
     def start(self) -> None:
-        """Arm the first heartbeat of every node (called once at attach)."""
+        """Arm the first heartbeat of every member (called once at
+        attach; nodes admitted later are armed by on_member_joined)."""
         for node in self.machine.nodes:
-            node.after(self.period, self._beat, node.rank)
+            if self.injector.is_member(node.rank):
+                node.after(self.period, self._beat, node.rank)
 
     def stop(self) -> None:
         """Stop monitoring (workload done): beats no longer re-arm."""
@@ -122,7 +130,8 @@ class HeartbeatDetector:
     # ------------------------------------------------------------------
     def _beat(self, rank: int) -> None:
         node = self.machine.nodes[rank]
-        if self.stopped or node.crashed or node.fenced:
+        if (self.stopped or node.crashed or node.fenced
+                or not self.injector.is_member(rank)):
             return  # chain dies; refute/rejoin (or nothing) re-arms it
         inc = self.incarnation[rank]
         for peer in self.machine.topology.neighbors(rank):
@@ -161,15 +170,17 @@ class HeartbeatDetector:
 
     def _gossip_suspicion(self, rank: int, peer: int, inc: int) -> None:
         node = self.machine.nodes[rank]
+        is_member = self.injector.is_member
         for other in self.machine.topology.neighbors(peer):
-            if other != rank:
+            if other != rank and is_member(other):
                 node.send(other, SUSPECT_KIND, (peer, inc))
         # the self-defense channel: tell the suspect itself
         node.send(peer, SUSPECT_KIND, (peer, inc))
 
     def _quorum(self, peer: int) -> int:
         monitors = [m for m in self.machine.topology.neighbors(peer)
-                    if m not in self.injector.detected_dead]
+                    if m not in self.injector.detected_dead
+                    and self.injector.is_member(m)]
         return min(self.injector.plan.corroboration, max(1, len(monitors)))
 
     def _maybe_declare(self, rank: int, peer: int, view: _PeerView) -> None:
@@ -251,6 +262,40 @@ class HeartbeatDetector:
                            args={"inc": self.incarnation[rank]})
         self._broadcast_alive(rank)
         self.machine.nodes[rank].after(self.period, self._beat, rank)
+
+    def on_member_joined(self, rank: int) -> None:
+        """An admitted node enters monitoring: fresh views both ways,
+        with deadline clocks starting *now* (its pre-join silence must
+        not read as a missed heartbeat), and its beat chain armed."""
+        now = self.machine.sim.now
+        is_member = self.injector.is_member
+        mine = self.views[rank]
+        mine.clear()
+        for peer in self.machine.topology.neighbors(rank):
+            if not is_member(peer):
+                continue
+            view = _PeerView()
+            view.last = now
+            mine[peer] = view
+            back = _PeerView()
+            back.last = now
+            self.views[peer][rank] = back
+        self.machine.nodes[rank].after(self.period, self._beat, rank)
+
+    def on_member_left(self, rank: int) -> None:
+        """Garbage-collect every trace of a departed member.
+
+        A departed node is dark by choice; leaving its views in place
+        would turn it into a permanent SUSPECT ghost whose gossip keeps
+        getting re-corroborated.  Its own views go, every monitor's view
+        *of* it goes, and so does its entry in every suspectors set —
+        a departed monitor's old vote must not count toward any quorum.
+        """
+        self.views[rank].clear()
+        for views in self.views:
+            views.pop(rank, None)
+            for view in views.values():
+                view.suspectors.pop(rank, None)
 
     def _broadcast_alive(self, rank: int) -> None:
         node = self.machine.nodes[rank]

@@ -121,6 +121,8 @@ class FaultInjector:
         self._crash_callbacks: list[Callable[[int], None]] = []
         self._rejoin_callbacks: list[Callable[[int], None]] = []
         self._membership_callbacks: list[Callable[[str], None]] = []
+        self._joined_callbacks: list[Callable[[int], None]] = []
+        self._departing_callbacks: list[Callable[[int], int]] = []
         self._undelivered: dict[int, list[tuple[Message, int]]] = {}
         self.counts: dict[str, int] = {
             "drops": 0, "outage_drops": 0, "duplicates": 0, "delays": 0,
@@ -131,7 +133,8 @@ class FaultInjector:
         #: rich observability: new-in-PR-5 counter/instant emission, only
         #: for plans that use the new fault surface (heartbeat detection
         #: or partitions) — plans that existed before stay bit-identical.
-        self.obs_rich = plan.detector != "oracle" or bool(plan.partitions)
+        self.obs_rich = (plan.detector != "oracle" or bool(plan.partitions)
+                         or plan.has_membership())
         self._kinds = frozenset(plan.kinds) if plan.kinds else None
         self._links = frozenset(plan.links) if plan.links else None
         lat = machine.latency
@@ -159,6 +162,15 @@ class FaultInjector:
                     machine.topology.check_rank(r)
             sim.schedule_at(start, self._partition_begin, idx)
             sim.schedule_at(start + duration, self._partition_end, idx)
+        # -- elastic membership ----------------------------------------
+        #: MembershipManager when the plan scales the member set at
+        #: runtime; None keeps every fixed-membership plan on the exact
+        #: pre-membership code paths (bit-identity).
+        self.membership = None
+        if plan.has_membership():
+            from repro.membership import MembershipManager
+
+            self.membership = MembershipManager(self)
         # -- failure detector ------------------------------------------
         self.detector = None
         if plan.detector == "heartbeat":
@@ -203,6 +215,8 @@ class FaultInjector:
         if self.obs_rich:
             out["max_attempts"] = self.transport.max_attempts
             out["rejoined"] = list(self.rejoined)
+        if self.membership is not None:
+            out["membership"] = self.membership.summary()
         return out
 
     # ------------------------------------------------------------------
@@ -342,6 +356,26 @@ class FaultInjector:
         refutes the declaration and rejoins."""
         self._rejoin_callbacks.append(callback)
 
+    # -- elastic membership -------------------------------------------
+    def is_member(self, rank: int) -> bool:
+        """True when ``rank`` is in the current membership epoch (always
+        true on fixed-membership plans)."""
+        return self.membership is None or self.membership.is_member(rank)
+
+    def on_node_joined(self, callback: Callable[[int], None]) -> None:
+        """Register a callback fired when a node is admitted to the
+        member set (at the join epoch commit, before any task can be
+        scheduled onto it)."""
+        self._joined_callbacks.append(callback)
+
+    def on_node_departing(self, callback: Callable[[int], int]) -> None:
+        """Register a drain callback fired while a leaving node is still
+        semantically reachable: the callee hands every task it holds for
+        the rank off to survivors and returns the handoff count.  A
+        departing node is *not* a death — losing work here is an audit
+        violation."""
+        self._departing_callbacks.append(callback)
+
     def take_undeliverable(self, rank: int) -> list[tuple[Message, int]]:
         """Undelivered reliable payloads surfaced by ``rank``'s crash.
         One-shot: the caller (the driver) assumes rescue ownership."""
@@ -352,9 +386,12 @@ class FaultInjector:
 
     def quiesce(self) -> None:
         """The workload finished: stop the failure detector's periodic
-        traffic so the event heap can drain and the run terminate."""
+        traffic (and any membership retry timers) so the event heap can
+        drain and the run terminate."""
         if self.detector is not None:
             self.detector.stop()
+        if self.membership is not None:
+            self.membership.stop()
 
     def _crash(self, rank: int) -> None:
         node = self.machine.nodes[rank]
@@ -401,6 +438,11 @@ class FaultInjector:
         revives it through :meth:`_refute`.
         """
         if rank in self.detected_dead:
+            return
+        if self.membership is not None and not self.membership.is_member(rank):
+            # a departed (or never-admitted) node is dark *by choice*:
+            # stale gossip about an ex-member must not fence anyone or
+            # trigger a rescue — there is nothing to rescue
             return
         node = self.machine.nodes[rank]
         false_positive = not node.crashed

@@ -70,6 +70,24 @@ class FaultPlan:
     #: not named in any group form one implicit "rest" component.
     partitions: tuple[tuple[float, float, tuple[tuple[int, ...], ...]], ...] = ()
 
+    # -- elastic membership -------------------------------------------
+    #: ranks that start *outside* the member set (powered but idle: they
+    #: carry no tasks and exchange only membership-protocol traffic until
+    #: admitted).  Rank 0 must start as a member.
+    standby: tuple[int, ...] = ()
+    #: scheduled scale-up events: (rank, time) — the standby rank starts
+    #: the advertise/claim handshake at ``time`` and becomes a member at
+    #: the resulting epoch commit.
+    joins: tuple[tuple[int, float], ...] = ()
+    #: scheduled scale-down events: (rank, time) — the member drains
+    #: (hands every held/queued/pinned task off), then departs; a
+    #: departing node is *not* a death and must declare zero losses.
+    leaves: tuple[tuple[int, float], ...] = ()
+    #: scheduled root elections (sim times).  Each election is
+    #: incarnation-numbered and quorum-acknowledged; the committed root
+    #: rotates deterministically through the sorted member set.
+    elections: tuple[float, ...] = ()
+
     # -- failure detection --------------------------------------------
     #: ``"oracle"``: survivors learn of each crash ``detect_delay`` after
     #: it, globally and infallibly (the pre-detector behavior).
@@ -100,7 +118,7 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         for name in ("kinds", "links", "outages", "stalls", "crashes",
-                     "partitions"):
+                     "partitions", "standby", "joins", "leaves", "elections"):
             value = getattr(self, name)
             if value is not None:
                 object.__setattr__(self, name, _freeze(value))
@@ -123,6 +141,26 @@ class FaultPlan:
                 if named & set(group):
                     raise ValueError("partition components must be disjoint")
                 named |= set(group)
+        if 0 in self.standby:
+            raise ValueError("rank 0 must start as a member")
+        if len(set(self.standby)) != len(self.standby):
+            raise ValueError("duplicate standby ranks")
+        if len({r for r, _ in self.joins}) != len(self.joins):
+            raise ValueError("at most one scheduled join per rank")
+        if len({r for r, _ in self.leaves}) != len(self.leaves):
+            raise ValueError("at most one scheduled leave per rank")
+        standby = set(self.standby)
+        for rank, _when in self.joins:
+            if rank not in standby:
+                raise ValueError(
+                    f"join of rank {rank} requires it in standby")
+        crashed = {r for r, _ in self.crashes}
+        for rank, _when in self.leaves:
+            if rank in standby:
+                raise ValueError(f"leave of rank {rank}: not a member")
+            if rank in crashed:
+                raise ValueError(
+                    f"rank {rank} cannot both crash and leave gracefully")
 
     # ------------------------------------------------------------------
     def is_null(self) -> bool:
@@ -140,8 +178,15 @@ class FaultPlan:
             and not self.stalls
             and not self.crashes
             and not self.partitions
+            and not self.has_membership()
             and self.detector == "oracle"
         )
+
+    def has_membership(self) -> bool:
+        """True when the plan changes the member set at runtime (or
+        starts with standby ranks / schedules elections)."""
+        return bool(self.standby or self.joins or self.leaves
+                    or self.elections)
 
     def describe(self) -> str:
         """Short human label, e.g. ``"drop 1%"`` or ``"crash x1"`` —
@@ -162,6 +207,12 @@ class FaultPlan:
             parts.append(f"crash x{len(self.crashes)}")
         if self.partitions:
             parts.append(f"partition x{len(self.partitions)}")
+        if self.joins:
+            parts.append(f"join x{len(self.joins)}")
+        if self.leaves:
+            parts.append(f"leave x{len(self.leaves)}")
+        if self.elections:
+            parts.append(f"elect x{len(self.elections)}")
         if self.detector != "oracle":
             parts.append(f"{self.detector}-detect")
         return "+".join(parts)
@@ -192,6 +243,13 @@ class FaultPlan:
     @classmethod
     def partitioned(cls, partitions, seed: int = 0, **kw) -> "FaultPlan":
         return cls(seed=seed, partitions=tuple(partitions), **kw)
+
+    @classmethod
+    def elastic(cls, standby=(), joins=(), leaves=(), elections=(),
+                seed: int = 0, **kw) -> "FaultPlan":
+        """An elastic-membership plan (runtime join/leave/election)."""
+        return cls(seed=seed, standby=tuple(standby), joins=tuple(joins),
+                   leaves=tuple(leaves), elections=tuple(elections), **kw)
 
 
 #: Shared do-nothing plan; ``Machine.attach_faults`` treats it like None.

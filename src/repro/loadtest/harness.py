@@ -69,6 +69,11 @@ class LoadtestConfig:
     attribution: bool = True
     #: include the node/event/lane memory audit of a prepared machine
     mem_audit: bool = False
+    #: attach a seeded elastic-membership plan (standby ranks, runtime
+    #: joins/leaves, elections, the odd crash) to every cell — the
+    #: capacity-under-churn profile.  Plans are drawn per cell from the
+    #: campaign seed, so the schedule stays deterministic.
+    churn: bool = False
 
     def __post_init__(self) -> None:
         if self.arrival not in ("closed", "open"):
@@ -114,6 +119,15 @@ def build_schedule(config: LoadtestConfig) -> list[ScheduledCell]:
     hashes — those repeats are the result-cache/coalescing exercise.
     Open-loop offsets are cumulative ``Expovariate(rate)`` draws from
     ``random.Random(seed)``; closed-loop offsets are all zero.
+
+    With ``churn``, each cell additionally carries an elastic-membership
+    :class:`~repro.faults.FaultPlan` drawn from
+    :func:`repro.faults.chaos.random_churn_plan` with the same per-cell
+    RNG stream the chaos harness uses (``(seed << 20) ^ i``), so a
+    failing cell can be replayed under ``repro chaos --churn``.  Distinct
+    plans give every cell a distinct content hash, which deliberately
+    defeats result-cache coalescing: the churn profile measures raw
+    capacity with membership protocol traffic on every run.
     """
     mix = [
         (w, s, sh)
@@ -123,6 +137,8 @@ def build_schedule(config: LoadtestConfig) -> list[ScheduledCell]:
     ]
     if not mix:
         raise ValueError("empty workload/strategy/shards mix")
+    if config.churn:
+        from repro.faults.chaos import random_churn_plan
     rng = random.Random(config.seed)
     schedule = []
     offset = 0.0
@@ -130,6 +146,11 @@ def build_schedule(config: LoadtestConfig) -> list[ScheduledCell]:
         workload, strategy, shards = mix[i % len(mix)]
         if config.arrival == "open":
             offset += rng.expovariate(config.rate)
+        faults = None
+        if config.churn:
+            faults = random_churn_plan(
+                random.Random((config.seed << 20) ^ i),
+                num_nodes=config.num_nodes)
         req = RunRequest(
             workload=workload,
             strategy=strategy,
@@ -137,6 +158,7 @@ def build_schedule(config: LoadtestConfig) -> list[ScheduledCell]:
             seed=config.workload_seed,
             scale=config.scale,
             shards=shards,
+            faults=faults,
         )
         schedule.append(ScheduledCell(index=i, offset_s=offset, request=req))
     return schedule

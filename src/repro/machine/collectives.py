@@ -130,28 +130,39 @@ class GatherTree:
         self._acc = [dict() for _ in range(n)]
         self._expected = [len(self.children[r]) + 1 for r in range(n)]
 
-    def rebuild_groups(self, groups: Iterable[Iterable[int]]) -> None:
+    def rebuild_groups(
+        self,
+        groups: Iterable[Iterable[int]],
+        roots: Optional[Iterable[Optional[int]]] = None,
+    ) -> None:
         """Rebuild as a *forest*: one independent reduction per group.
 
-        Used while the machine is partitioned — each reachability
-        component gathers to its own root (the group's smallest rank),
+        Used while the machine is partitioned or the membership epoch
+        changes — each reachability component gathers to its own root,
         detected by ``parent[rank] == -1``, and runs system phases
-        locally.  Like :meth:`rebuild` this discards in-flight rounds.
+        locally.  By default a group roots at its smallest rank;
+        ``roots`` overrides per group (an *elected* root need not be the
+        minimum — None entries keep the default).  Like :meth:`rebuild`
+        this discards in-flight rounds.
         """
         n = self.machine.num_nodes
         parent = [-2] * n
         children: list[list[int]] = [[] for _ in range(n)]
-        roots = []
-        for group in groups:
+        wanted = list(roots) if roots is not None else []
+        chosen = []
+        for gi, group in enumerate(groups):
             group = sorted(group)
+            g_root = wanted[gi] if gi < len(wanted) else None
+            if g_root is None or g_root not in group:
+                g_root = group[0]
             g_parent, g_children = survivor_tree(
-                self.machine.topology, group, group[0])
-            roots.append(group[0])
+                self.machine.topology, group, g_root)
+            chosen.append(g_root)
             for r in group:
                 parent[r] = g_parent[r]
                 children[r] = g_children[r]
         self.parent, self.children = parent, children
-        self.root = roots[0]
+        self.root = chosen[0]
         self._acc = [dict() for _ in range(n)]
         self._expected = [len(self.children[r]) + 1 for r in range(n)]
 
@@ -178,6 +189,12 @@ class GatherTree:
 
     def _absorb(self, rank: int, round_id: int, value: Any) -> None:
         if round_id < self._min_round:
+            return
+        if self.parent[rank] == -2:
+            # rank is outside the current forest (departed, standby, or
+            # cut off by an epoch rebuild that didn't abandon a round) —
+            # its contributions are stale by definition, and completing a
+            # slot here would forward to the -2 sentinel.
             return
         acc = self._acc[rank]
         slot = acc.get(round_id)

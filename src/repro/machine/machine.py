@@ -157,10 +157,14 @@ class Machine:
         return restore(snapshot)
 
     def alive_ranks(self) -> list[int]:
-        """Ranks usable for scheduling, ascending: not fail-stopped and
-        not fenced (a fenced node is falsely declared dead; until it
-        refutes, every protocol must treat it exactly like a crash)."""
-        return [n.rank for n in self.nodes if not n.crashed and not n.fenced]
+        """Ranks usable for scheduling, ascending: not fail-stopped, not
+        fenced (a fenced node is falsely declared dead; until it refutes,
+        every protocol must treat it exactly like a crash), and a full
+        member of the current membership epoch (standby/joining/draining/
+        departed nodes never receive tasks)."""
+        return [n.rank for n in self.nodes
+                if not n.crashed and not n.fenced
+                and n.membership == "member"]
 
     def _deliver(self, msg: Message) -> None:
         tr = self.tracer

@@ -74,6 +74,18 @@ class Node:
         #: bumped on fence/crash-like resets; in-flight CPU bursts carry
         #: the epoch they started under and are voided on mismatch.
         self._cpu_epoch = 0
+        #: elastic-membership lifecycle: ``"member"`` (default),
+        #: ``"standby"`` (powered but not admitted — carries membership
+        #: protocol traffic only, never tasks), ``"joining"``,
+        #: ``"draining"`` (handing work off before departing), or
+        #: ``"left"``.  The default keeps every non-elastic run on the
+        #: pre-membership code paths.
+        self.membership = "member"
+        #: set when a drained node goes dark.  Unlike ``crashed`` this is
+        #: voluntary: nothing was lost, and unlike ``fenced`` there is no
+        #: lease/refutation — a departed node stays dark until a future
+        #: join handshake readmits it.
+        self.departed = False
         #: sharded execution: which mesh shard owns this node (set by
         #: repro.shard while a sharded run is driven; None = unsharded).
         #: Used for per-shard CPU accounting and shard-grouped traces.
@@ -170,7 +182,7 @@ class Node:
             raise ValueError("duration must be >= 0")
         if category not in self.cpu_time:
             raise ValueError(f"unknown CPU category {category!r}")
-        if self.crashed or self.fenced:
+        if self.crashed or self.fenced or self.departed:
             return
         self._cpu_queue.append((duration, category, fn, args))
         if not self._cpu_busy:
@@ -201,11 +213,11 @@ class Node:
         return self.sim.schedule(delay, self._fire_timer, fn, args)
 
     def _fire_timer(self, fn: Callable[..., None], args: tuple) -> None:
-        if not self.crashed and not self.fenced:
+        if not self.crashed and not self.fenced and not self.departed:
             fn(*args)
 
     def _start_next(self) -> None:
-        if self.stalled or self.crashed or self.fenced:
+        if self.stalled or self.crashed or self.fenced or self.departed:
             return
         duration, category, fn, args = self._cpu_queue.popleft()
         self._cpu_busy = True

@@ -1,0 +1,21 @@
+"""Elastic membership: runtime join/leave and deterministic root election.
+
+See :mod:`repro.membership.manager` for the protocol.  The package is
+only imported when a :class:`~repro.faults.plan.FaultPlan` carries
+membership events (``standby``/``joins``/``leaves``/``elections``), so
+static-membership runs never touch these code paths.
+"""
+
+from .manager import (
+    ADVERTISE_KIND,
+    CLAIM_ACK_KIND,
+    CLAIM_KIND,
+    MembershipManager,
+)
+
+__all__ = [
+    "MembershipManager",
+    "ADVERTISE_KIND",
+    "CLAIM_KIND",
+    "CLAIM_ACK_KIND",
+]

@@ -538,6 +538,14 @@ class SessionManager:
         self._c_slice_failures = counter("service.slice_failures")
         self._c_slice_timeouts = counter("service.slice_timeouts")
         self._c_recovered = counter("service.recovered_sessions")
+        # elastic-membership rollups: finished runs whose FaultPlan
+        # changed the member set report their epoch log in
+        # RunMetrics.extra["membership"]; /v1/metrics aggregates it here
+        self._c_mem_epochs = counter("service.membership_epochs")
+        self._c_mem_joins = counter("service.membership_joins")
+        self._c_mem_leaves = counter("service.membership_leaves")
+        self._c_mem_elections = counter("service.membership_elections")
+        self._c_mem_lost_tasks = counter("service.membership_lost_tasks")
         self._h_wait = self.metrics.histogram("service.session_wait_s")
         self._h_exec = self.metrics.histogram("service.session_exec_s")
         self.last_recovery: Optional[dict] = None
@@ -1078,6 +1086,7 @@ class SessionManager:
 
             if metrics is not None:
                 rec.metrics = metrics
+                self._note_membership(metrics)
                 if (self.result_cache is not None and not rec.request.trace
                         and not rec.restored and rec.request.shards < 2):
                     # a straight start-to-finish run is exactly what
@@ -1105,6 +1114,30 @@ class SessionManager:
                     and self.config.checkpoint_every_slices > 0
                     and rec.slices % self.config.checkpoint_every_slices == 0):
                 await self._auto_checkpoint(rec, loop)
+
+    def _note_membership(self, metrics) -> None:
+        """Roll a finished run's membership epoch log into the registry.
+
+        ``lost_tasks`` staying at zero across every epoch of every run is
+        the service-visible form of the conservation invariant — a
+        non-zero value here means some run leaked or duplicated work at
+        an epoch boundary.
+        """
+        extra = getattr(metrics, "extra", None) or {}
+        summary = extra.get("membership")
+        if not isinstance(summary, dict):
+            return
+        transitions = summary.get("transitions") or []
+        self._c_mem_epochs.inc(len(transitions))
+        for entry in transitions:
+            kind = entry.get("kind")
+            if kind == "join":
+                self._c_mem_joins.inc()
+            elif kind == "leave":
+                self._c_mem_leaves.inc()
+            elif kind == "election":
+                self._c_mem_elections.inc()
+            self._c_mem_lost_tasks.inc(max(0, int(entry.get("lost_delta", 0))))
 
     async def _run_slice(self, rec: SessionRecord, loop,
                          max_events: Optional[int]):

@@ -69,7 +69,11 @@ __all__ = [
 #: the FaultInjector graph.
 #: v3: sharded execution — ``Node.shard``, the networks' ``shard_router``
 #: hook, and the session meta's ``shards`` count.
-SNAPSHOT_VERSION = 3
+#: v4: elastic membership — ``Node.membership``/``Node.departed``, the
+#: ``MembershipManager`` (epoch log, handshake/election timers) in the
+#: FaultInjector graph, and the driver's ``repinned``/``joined_nodes``/
+#: ``departed_nodes`` state.
+SNAPSHOT_VERSION = 4
 
 _MAGIC = b"repro-snapshot\n"
 

@@ -68,8 +68,11 @@ def test_cache_keys_unchanged():
 def test_new_fields_do_not_leak_into_canonical_form():
     assert "detector" not in ORACLE_PLAN.canonical()
     assert "partitions" not in ORACLE_PLAN.canonical()
+    for field in ("standby", "joins", "leaves", "elections"):
+        assert field not in ORACLE_PLAN.canonical()
     explicit = FaultPlan(seed=404, crashes=((5, 0.01),), drop_rate=0.01,
-                         detector="oracle", partitions=())
+                         detector="oracle", partitions=(),
+                         standby=(), joins=(), leaves=(), elections=())
     assert explicit == ORACLE_PLAN
     assert explicit.canonical() == ORACLE_PLAN.canonical()
 
@@ -83,7 +86,9 @@ def test_heartbeat_and_partitions_do_change_the_cache_key():
     cut = dataclasses.replace(
         ORACLE_PLAN, partitions=(((0.004, 0.008,
                                    (tuple(range(8)), tuple(range(8, 16))))),))
-    for plan in (hb, cut):
+    elastic = dataclasses.replace(
+        ORACLE_PLAN, standby=(9,), joins=((9, 0.004),))
+    for plan in (hb, cut, elastic):
         req = RunRequest("queens-10", "RIPS", num_nodes=16, seed=7,
                          scale="small", faults=plan)
         assert req.canonical_json() != base.canonical_json()

@@ -143,3 +143,61 @@ def test_check_without_baseline_fails_loudly(tmp_path):
     result = check_loadtest(path=tmp_path / "missing.json")
     assert not result["ok"]
     assert any("no baseline" in f for f in result["failures"])
+
+
+# ----------------------------------------------------------------------
+# the churn profile
+# ----------------------------------------------------------------------
+
+def test_churn_schedule_attaches_deterministic_plans():
+    config = _config(sessions=6, churn=True)
+    a, b = build_schedule(config), build_schedule(config)
+    assert a == b
+    for cell in a:
+        plan = cell.request.faults
+        assert plan is not None and plan.has_membership()
+        assert plan.detector == "heartbeat"
+        # the chaos harness's per-cell stream: cell i replays under
+        # `repro chaos --churn` at the same campaign seed
+        import random
+
+        from repro.faults.chaos import random_churn_plan
+
+        expected = random_churn_plan(
+            random.Random((config.seed << 20) ^ cell.index),
+            num_nodes=config.num_nodes)
+        assert plan == expected
+    # distinct per-cell plans: repeats do NOT share a content hash
+    hashes = {c.request.content_hash() for c in a}
+    assert len(hashes) == len(a)
+    # and the config round-trips with the new field
+    assert LoadtestConfig.from_dict(config.to_dict()) == config
+
+
+def test_churn_without_flag_changes_nothing():
+    plain, churny = _config(sessions=4), _config(sessions=4, churn=True)
+    for cell in build_schedule(plain):
+        assert cell.request.faults is None
+    assert [c.request.label() for c in build_schedule(plain)] != \
+        [c.request.label() for c in build_schedule(churny)]
+
+
+def test_structural_gates_exempt_churn_from_cache_hits():
+    config = _config(sessions=6, churn=True)
+    outcome = {
+        "targets": {
+            "runner": {
+                "sessions": 6, "completed": 6, "failed": 0,
+                "latency_s": {"p50": 0.1, "p99": 0.2},
+                "events_per_sec": 1000.0,
+                "cache": {"result_hits": 0, "snapshot_hits": 0},
+                "errors": {"r429": 0, "r503": 0},
+            }
+        }
+    }
+    report = make_loadtest_report(config, outcome)
+    assert _structural_failures(report) == []
+    # the same zero-hit outcome without churn IS a failure
+    report["data"]["config"]["churn"] = False
+    assert any("zero result-cache hits" in f
+               for f in _structural_failures(report))

@@ -1,0 +1,206 @@
+"""Elastic membership: the join handshake, drain-and-depart leaves,
+deterministic quorum elections, and the epoch-conservation invariant
+(``lost_delta == 0`` at every commit) across every strategy."""
+
+import pytest
+
+from repro.balancers import SenderInitiatedDiffusion, StaticPreschedule
+from repro.core.mwa_protocol import member_row_bands
+from repro.faults import FaultPlan, audit_session
+from repro.machine import MeshTopology
+from repro.session import Session
+
+
+def _run(plan, strategy="RIPS", num_nodes=8, seed=1234):
+    sess = Session("queens-10", strategy=strategy, num_nodes=num_nodes,
+                   seed=seed, scale="small", faults=plan, trace=True)
+    return sess, sess.run()
+
+
+# ----------------------------------------------------------------------
+# single transitions
+# ----------------------------------------------------------------------
+def test_join_commits_epoch_and_conserves():
+    plan = FaultPlan.elastic(standby=(5,), joins=((5, 0.003),), seed=1)
+    sess, m = _run(plan)
+    mem = m.extra["membership"]
+    assert mem["epoch"] == 1
+    (entry,) = mem["transitions"]
+    assert entry["kind"] == "join" and entry["rank"] == 5
+    assert entry["lost_delta"] == 0
+    assert 5 in mem["members"]
+    node = sess.machine.nodes[5]
+    assert node.membership == "member" and not node.departed
+    assert audit_session(sess).ok
+
+
+def test_standby_rank_stays_dark_without_a_join():
+    plan = FaultPlan.elastic(standby=(5,), seed=1)
+    sess, m = _run(plan)
+    mem = m.extra["membership"]
+    assert mem["epoch"] == 0 and 5 not in mem["members"]
+    assert sess.machine.nodes[5].membership == "standby"
+    assert audit_session(sess).ok
+
+
+def test_leave_drains_and_conserves():
+    plan = FaultPlan.elastic(leaves=((3, 0.004),), seed=2)
+    sess, m = _run(plan)
+    mem = m.extra["membership"]
+    (entry,) = mem["transitions"]
+    assert entry["kind"] == "leave" and entry["rank"] == 3
+    assert entry["lost_delta"] == 0
+    assert entry["handed_off"] >= 0
+    assert 3 not in mem["members"]
+    node = sess.machine.nodes[3]
+    assert node.departed and node.membership == "left"
+    # a departure is not a death: nothing may be declared lost to it
+    assert 3 not in m.extra.get("crashed_nodes", ())
+    assert not m.extra.get("lost_task_ids", ())
+    assert audit_session(sess).ok
+
+
+def test_election_is_deterministic_and_quorum_acked():
+    plan = FaultPlan.elastic(elections=(0.004,), seed=3)
+    sess, m = _run(plan)
+    mem = m.extra["membership"]
+    (entry,) = mem["transitions"]
+    assert entry["kind"] == "election"
+    assert entry["lost_delta"] == 0
+    assert entry["old_root"] == 0
+    # candidate for incarnation 1 over usable members [0..7] is rank 1
+    assert mem["root"] == 1 and mem["root_incarnation"] == 1
+    assert audit_session(sess).ok
+
+
+def test_root_leave_elects_a_successor_first():
+    plan = FaultPlan.elastic(leaves=((0, 0.004),), seed=4)
+    sess, m = _run(plan)
+    mem = m.extra["membership"]
+    kinds = [e["kind"] for e in mem["transitions"]]
+    assert kinds == ["election", "leave"]
+    assert mem["root"] != 0
+    assert 0 not in mem["members"]
+    assert all(e["lost_delta"] == 0 for e in mem["transitions"])
+    assert audit_session(sess).ok
+
+
+# ----------------------------------------------------------------------
+# every strategy rebalances across epochs without losing work
+# ----------------------------------------------------------------------
+STRATEGY_FACTORIES = {
+    "random": lambda: "random",
+    "gradient": lambda: "gradient",
+    "RID": lambda: "RID",
+    "RIPS": lambda: "RIPS",
+    "SID": SenderInitiatedDiffusion,
+    "static": StaticPreschedule,
+}
+
+FULL_CHURN = FaultPlan.elastic(
+    standby=(5,), joins=((5, 0.003),), leaves=((3, 0.006),),
+    elections=(0.008,), detector="heartbeat", seed=11)
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGY_FACTORIES))
+def test_every_strategy_conserves_across_epochs(name):
+    sess, m = _run(FULL_CHURN, strategy=STRATEGY_FACTORIES[name]())
+    mem = m.extra["membership"]
+    kinds = [e["kind"] for e in mem["transitions"]]
+    # exactly one join and one leave; at least the scheduled election
+    # (detector suspicion of the root can legitimately add more)
+    assert kinds.count("join") == 1 and kinds.count("leave") == 1
+    assert kinds.count("election") >= 1
+    assert all(e["lost_delta"] == 0 for e in mem["transitions"])
+    assert sorted(mem["members"]) == [0, 1, 2, 4, 5, 6, 7]
+    assert audit_session(sess).ok
+
+
+# ----------------------------------------------------------------------
+# regressions and hooks
+# ----------------------------------------------------------------------
+def test_concurrent_joins_do_not_wedge_live_cpus():
+    """Regression (found by the churn campaign, ddmin'd to join x2 +
+    leave x1): powering a joining node must not bump its CPU epoch — a
+    standby node's CPU is live, and voiding an in-flight burst (e.g. it
+    is processing a fellow joiner's advertise) leaves ``_cpu_busy``
+    stuck on forever, so its own join never completes."""
+    from repro.faults.chaos import run_case
+
+    plan = FaultPlan.elastic(
+        standby=(5, 6), joins=((5, 0.003), (6, 0.0032)),
+        leaves=((9, 0.006),), detector="heartbeat", seed=5)
+    case = run_case(plan)
+    assert case.ok, case.violations
+
+
+def test_departed_member_leaves_no_detector_ghost():
+    """A stalled member is suspected, then departs: the detector must
+    garbage-collect every view of it — no permanent SUSPECT ghost, no
+    stale suspector votes, and no posthumous death declaration."""
+    plan = FaultPlan.elastic(
+        leaves=((3, 0.0045),), detector="heartbeat", seed=6,
+        stalls=((3, 0.002, 0.002),))
+    sess, m = _run(plan)
+    det = sess.machine.faults.detector
+    assert not det.views[3]
+    for views in det.views:
+        assert 3 not in views
+        for view in views.values():
+            assert 3 not in view.suspectors
+    assert 3 not in m.extra.get("crashed_nodes", ())
+    assert audit_session(sess).ok
+
+
+def test_join_hooks_read_current_epoch_topology():
+    """A joiner's neighbor views must reflect the *current* epoch's
+    member set: rank 6 departed before rank 5 joined, so 5's SID view
+    excludes 6 and every live neighbor learns about 5 symmetrically."""
+    strategy = SenderInitiatedDiffusion()
+    plan = FaultPlan.elastic(standby=(5,), joins=((5, 0.008),),
+                             leaves=((6, 0.003),), seed=7)
+    sess, m = _run(plan, strategy=strategy)
+    mem = m.extra["membership"]
+    assert [e["kind"] for e in mem["transitions"]] == ["leave", "join"]
+    nbr = strategy.nbr_load[5]
+    assert nbr and 6 not in nbr
+    for peer in nbr:
+        assert 5 in strategy.nbr_load[peer]
+    assert audit_session(sess).ok
+
+
+# ----------------------------------------------------------------------
+# epoch-scoped MWA
+# ----------------------------------------------------------------------
+def test_member_row_bands():
+    mesh = MeshTopology(4, 4)
+    assert member_row_bands(mesh, range(16)) == [(0, 4)]
+    # a hole in row 1 (ranks 4..7) splits the mesh into two bands
+    assert member_row_bands(mesh, set(range(16)) - {5}) == [(0, 1), (2, 4)]
+    assert member_row_bands(mesh, ()) == []
+
+
+def test_epoch_tagged_mwa_round_matches_untagged():
+    import numpy as np
+
+    from repro.core.mwa_protocol import run_mwa_protocol
+    from repro.machine import Machine
+
+    rng = np.random.default_rng(3)
+    w = rng.integers(0, 15, size=(4, 4))
+    plain = run_mwa_protocol(Machine(MeshTopology(4, 4), seed=1), w)
+    tagged = run_mwa_protocol(Machine(MeshTopology(4, 4), seed=1), w,
+                              epoch=7)
+    assert np.array_equal(tagged.final, plain.final)
+    assert tagged.cost == plain.cost
+    assert tagged.messages == plain.messages
+
+
+# ----------------------------------------------------------------------
+# bit-identity gating
+# ----------------------------------------------------------------------
+def test_static_membership_plans_have_no_manager():
+    plan = FaultPlan(seed=9, drop_rate=0.01)
+    sess, m = _run(plan)
+    assert sess.machine.faults.membership is None
+    assert "membership" not in m.extra

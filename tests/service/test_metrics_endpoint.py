@@ -69,3 +69,28 @@ def test_counters_advance_with_traffic(server):
     series = _series(client.metrics())
     assert series["service.submitted"]["value"] == 2
     assert series["service.cache_hits"]["value"] >= 1
+
+
+def test_membership_counters_roll_up_epoch_logs(server):
+    """A churn cell submitted over the wire lands its epoch log in the
+    service.membership_* counters — and the conservation invariant shows
+    up as membership_lost_tasks staying at zero."""
+    from repro.faults import FaultPlan
+
+    client = ServiceClient(server.url, tenant="t1")
+    plan = FaultPlan.elastic(standby=(5,), joins=((5, 0.003),),
+                             leaves=((3, 0.006),), elections=(0.008,),
+                             seed=31)
+    req = RunRequest(workload="queens-10", strategy="RIPS", num_nodes=8,
+                     seed=1, scale="small", faults=plan)
+    doc = client.submit(req)
+    final = client.wait(doc["id"], timeout=120)
+    assert final["state"] == "done"
+
+    series = _series(client.metrics())
+    assert series["service.membership_joins"]["value"] == 1
+    assert series["service.membership_leaves"]["value"] == 1
+    assert series["service.membership_elections"]["value"] >= 1
+    epochs = series["service.membership_epochs"]["value"]
+    assert epochs >= 3
+    assert series["service.membership_lost_tasks"]["value"] == 0
